@@ -1,0 +1,46 @@
+"""Ablation benches: NCAP threshold sensitivity (RHT, CIT, FCONS)."""
+
+from repro.experiments import RunSettings, ablations
+
+
+def test_ablation_rht(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: ablations.sweep_rht(settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "ablation_rht",
+        ablations.format_report(points, "Ablation — request-rate high threshold (RHT)"),
+    )
+    # A lower RHT triggers at least as many boosts as a higher one.
+    by_value = sorted(points, key=lambda p: p.value)
+    assert by_value[0].it_high_posts >= by_value[-1].it_high_posts
+
+
+def test_ablation_cit(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: ablations.sweep_cit(settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "ablation_cit",
+        ablations.format_report(points, "Ablation — core idle-time threshold (CIT)"),
+    )
+    # A smaller CIT fires the immediate IT_RX wake at least as often.
+    by_value = sorted(points, key=lambda p: p.value)
+    assert by_value[0].immediate_rx_posts >= by_value[-1].immediate_rx_posts
+
+
+def test_ablation_fcons(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: ablations.sweep_fcons(settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "ablation_fcons",
+        ablations.format_report(points, "Ablation — FCONS (frequency-descent steps)"),
+    )
+    assert len({p.value for p in points}) == 5

@@ -1,0 +1,34 @@
+"""Ablation bench: TOE slack (Section 7 of the paper).
+
+A TCP-offload-engine NIC holds packets longer before the host sees them.
+For a reactive policy that extra hold time lands directly on the response
+path; NCAP overlaps it with the wake-up/boost it already issued at wire
+arrival, so its latency should grow more slowly.
+"""
+
+from repro.experiments import RunSettings, ablations
+
+
+def test_ablation_toe_slack(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: ablations.sweep_toe_slack(settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "ablation_toe_slack",
+        ablations.format_report(points, "Ablation — TOE hold time (rx DMA latency)"),
+    )
+
+    def p95(policy, value):
+        return next(
+            p.p95_ms for p in points if p.policy == policy and p.value == value
+        )
+
+    values = sorted({p.value for p in points})
+    lo, hi = values[0], values[-1]
+    ncap_growth = p95("ncap.cons", hi) - p95("ncap.cons", lo)
+    base_growth = p95("ond.idle", hi) - p95("ond.idle", lo)
+    # NCAP's latency grows no faster than the reactive baseline's as the
+    # in-NIC hold time rises (it hides the extra delivery latency).
+    assert ncap_growth <= base_growth + 0.5  # ms tolerance

@@ -1,0 +1,34 @@
+"""Section 7 bench: NCAP across an imbalanced multi-server fleet."""
+
+from repro.cluster.datacenter import DatacenterConfig
+from repro.experiments import datacenter
+from repro.sim.units import MS
+
+
+def test_datacenter_imbalance(benchmark, save_report):
+    config = DatacenterConfig(
+        app="apache",
+        n_servers=4,
+        load_shares=(0.45, 0.30, 0.15, 0.10),
+        total_rps=120_000,
+        warmup_ns=15 * MS,
+        measure_ns=120 * MS,
+        drain_ns=80 * MS,
+    )
+    rows = benchmark.pedantic(
+        lambda: datacenter.run(config), rounds=1, iterations=1
+    )
+    save_report("datacenter_imbalance", datacenter.format_report(rows))
+
+    # Utilization decreases down the share list; savings must increase.
+    utils = [r.utilization for r in rows]
+    assert utils == sorted(utils, reverse=True)
+    savings = [r.saving_pct for r in rows]
+    assert savings[-1] > savings[0]           # coldest server saves most
+    assert savings[-1] > 30                   # real savings where idle
+    assert all(r.ncap_meets_sla for r in rows)
+    # Fleet-level: positive total saving despite the hot server.
+    total_saving = 1 - sum(r.ncap_energy_j for r in rows) / sum(
+        r.baseline_energy_j for r in rows
+    )
+    assert total_saving > 0.15

@@ -1,0 +1,15 @@
+"""Figure 1 bench: P-state transition timing table."""
+
+from repro.experiments import fig1_dvfs_timing
+
+
+def test_fig1_dvfs_timing(benchmark, save_report):
+    rows = benchmark.pedantic(fig1_dvfs_timing.run, rounds=1, iterations=1)
+    save_report("fig1_dvfs_timing", fig1_dvfs_timing.format_report(rows))
+
+    # Shape assertions from the paper's Figure 1 / Section 2.1:
+    up = next(r for r in rows if (r.from_index, r.to_index) == (14, 0))
+    down = next(r for r in rows if (r.from_index, r.to_index) == (0, 14))
+    assert down.total_us == 5.0            # highest->lowest ~5 us
+    assert up.total_us > 10 * down.total_us  # lowest->highest much slower
+    assert all(r.halt_us == 5.0 for r in rows)  # PLL relock everywhere

@@ -1,0 +1,26 @@
+"""Figure 2 bench: Apache p95 latency vs ondemand invocation period."""
+
+from repro.experiments import RunSettings, fig2_ondemand_period
+
+
+def test_fig2_ondemand_period(benchmark, save_report):
+    cells = benchmark.pedantic(
+        lambda: fig2_ondemand_period.run(settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig2_ondemand_period", fig2_ondemand_period.format_report(cells))
+
+    # The paper's point: the best invocation period varies with load and a
+    # shorter period is not uniformly better.  Verify the sweep produced a
+    # full grid and that period choice matters (>5% spread at some load).
+    loads = {c.load for c in cells}
+    assert loads == {"low", "medium", "high"}
+    for load in loads:
+        row = [c.p95_ms for c in cells if c.load == load]
+        assert len(row) == 4
+    spreads = []
+    for load in loads:
+        row = [c.p95_ms for c in cells if c.load == load]
+        spreads.append((max(row) - min(row)) / min(row))
+    assert max(spreads) > 0.05

@@ -1,0 +1,22 @@
+"""Figure 4 bench: network activity / power management correlation trace."""
+
+from repro.experiments import RunSettings, fig4_correlation
+
+
+def test_fig4_correlation(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig4_correlation.run(settings=RunSettings.standard()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4_correlation", fig4_correlation.format_report(result))
+
+    # Section 3's central claim: a strong correlation between the rate of
+    # received packets and processor utilization, and between utilization
+    # and the frequency the ondemand governor selects.
+    assert result.corr_rx_util > 0.4
+    assert result.corr_util_freq > 0.3
+    # The menu governor parks cores in deep sleep between bursts (Fig 4b).
+    assert result.cstate_entries.get("C6", 0) > 0
+    # ondemand reacts late (the paper observes ~11 ms with a 10 ms period).
+    assert result.freq_lag_ms is None or result.freq_lag_ms >= 0

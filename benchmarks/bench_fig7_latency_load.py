@@ -1,0 +1,35 @@
+"""Figure 7 bench: latency versus load; SLA at the inflexion point."""
+
+from repro.experiments import RunSettings, fig7_latency_load
+
+
+def test_fig7_apache(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig7_latency_load.run("apache", settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7_latency_load_apache", fig7_latency_load.format_report(result))
+
+    p95s = [p.p95_ms for p in result.points]
+    # Flat region then a steep rise past the knee.
+    assert p95s[-1] > 2.5 * p95s[0]
+    assert result.knee_rps is not None
+    # The paper's Apache saturates near 68K RPS; ours must be in the same
+    # regime (the "high" load level, 66K, must still be sustainable).
+    assert 60_000 <= result.knee_rps <= 80_000
+
+
+def test_fig7_memcached(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig7_latency_load.run("memcached", settings=RunSettings.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7_latency_load_memcached", fig7_latency_load.format_report(result))
+
+    p95s = [p.p95_ms for p in result.points]
+    assert p95s[-1] > 2.5 * p95s[0]
+    assert result.knee_rps is not None
+    # The paper's Memcached sustains ~143K RPS (2.1x Apache).
+    assert 135_000 <= result.knee_rps <= 160_000

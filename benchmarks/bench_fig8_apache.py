@@ -1,0 +1,46 @@
+"""Figure 8 bench: Apache — response-time distributions, energy, snapshots."""
+
+from repro.experiments import RunSettings, policy_comparison
+
+
+def test_fig8_apache(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: policy_comparison.run("apache", settings=RunSettings.standard()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "fig8_apache", policy_comparison.format_report(result, "Figure 8")
+    )
+
+    # --- shape assertions against the paper ---
+    # Low load: every policy saves vs perf; C-states matter a lot
+    # (perf.idle well below perf), ond saves too.
+    assert result.energy_rel("ond", "low") < 0.85
+    assert result.energy_rel("perf.idle", "low") < 0.60
+    assert result.energy_rel("ond.idle", "low") <= result.energy_rel("perf.idle", "low")
+    # NCAP: large savings vs the baseline while keeping near-perf latency.
+    assert result.energy_rel("ncap.aggr", "low") < 0.65
+    assert result.row("ncap.cons", "low").meets_sla
+    # NCAP latency beats the reactive governors' (ond/ond.idle mispredict).
+    assert (
+        result.row("ncap.cons", "low").p95_norm
+        < result.row("ond.idle", "low").p95_norm
+    )
+    # ncap.sw saves less energy than hardware NCAP (software overhead).
+    assert (
+        result.energy_rel("ncap.sw", "low")
+        > result.energy_rel("ncap.aggr", "low")
+    )
+    # High load: little idleness left; every policy converges toward perf.
+    for policy in ("ond", "perf.idle", "ond.idle", "ncap.cons"):
+        assert result.energy_rel(policy, "high") > 0.92
+    # cons vs aggr: conservative descent gives lower tail latency at the
+    # cost of (>=) energy — Section 6's FCONS trade-off.
+    assert (
+        result.row("ncap.cons", "high").p95_norm
+        <= result.row("ncap.aggr", "high").p95_norm
+    )
+    # Snapshots exist for the right-hand panels and NCAP posted wakes.
+    ncap_snap = next(s for s in result.snapshots if s.policy == "ncap.cons")
+    assert ncap_snap.wake_interrupts_ns

@@ -1,0 +1,33 @@
+"""Headline bench: the abstract's energy-saving claims, recomputed."""
+
+from repro.experiments import RunSettings, headline, policy_comparison
+
+
+def test_headline_savings(benchmark, save_report):
+    def compute():
+        results = [
+            policy_comparison.run(
+                app,
+                loads=("low", "medium"),
+                settings=RunSettings.quick(),
+                snapshot_policies=(),
+            )
+            for app in ("apache", "memcached")
+        ]
+        return headline.derive(results)
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report("headline_savings", headline.format_report(rows))
+
+    # Paper: 37-61% lower energy than the baseline at the loads where
+    # idleness exists.  Our reproduction must at least land the low-load
+    # points in (or near) that band, always SLA-clean.
+    assert all(r.ncap_meets_sla for r in rows)
+    low_rows = [r for r in rows if r.load == "low"]
+    assert all(r.ncap_vs_perf_saving_pct > 25 for r in low_rows)
+    assert any(r.ncap_vs_perf_saving_pct > 37 for r in low_rows)
+    # Savings shrink with load (medium <= low per app).
+    for app in ("apache", "memcached"):
+        low = next(r for r in rows if r.app == app and r.load == "low")
+        med = next(r for r in rows if r.app == app and r.load == "medium")
+        assert med.ncap_vs_perf_saving_pct <= low.ncap_vs_perf_saving_pct + 1

@@ -1,0 +1,38 @@
+"""Load-dynamics benches: diurnal swing and flash crowd."""
+
+from repro.experiments import RunSettings, dynamics
+
+
+def test_diurnal_swing(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: dynamics.diurnal(settings=RunSettings.standard()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "dynamics_diurnal",
+        dynamics.format_report(rows, "Load dynamics — diurnal swing (Apache)"),
+    )
+    perf, ond_idle, ncap = rows
+    assert ncap.energy_j < perf.energy_j          # saves in the valleys
+    assert ncap.p95_ms < ond_idle.p95_ms          # tracks the edges better
+    assert ncap.meets_sla
+
+
+def test_flash_crowd(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: dynamics.flash_crowd(settings=RunSettings.standard()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "dynamics_flash_crowd",
+        dynamics.format_report(rows, "Load dynamics — flash crowd (Apache)"),
+    )
+    perf, ond_idle, ncap = rows
+    # NCAP absorbs the 5x spike at near-perf latency, at roughly half the
+    # baseline's energy; the reactive governor is late into the spike.
+    assert ncap.energy_j < 0.7 * perf.energy_j
+    assert ncap.p95_ms < 1.35 * perf.p95_ms
+    assert ond_idle.p95_ms > 1.5 * perf.p95_ms
+    assert ncap.meets_sla

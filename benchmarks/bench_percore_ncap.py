@@ -1,0 +1,25 @@
+"""Section 7 bench: per-core NCAP (multi-queue NIC) vs chip-wide NCAP."""
+
+from repro.experiments import RunSettings
+from repro.experiments import percore
+
+
+def test_percore_vs_chipwide(benchmark, save_report):
+    def compute():
+        return {
+            app: percore.run(app, "low", settings=RunSettings.quick())
+            for app in ("memcached", "apache")
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report = "\n".join(
+        percore.format_report(rows, app, "low") for app, rows in results.items()
+    )
+    save_report("percore_ncap", report)
+
+    for app, rows in results.items():
+        chipwide, per_core = rows
+        # Per-core retuning saves energy beyond chip-wide NCAP (Section 7's
+        # prediction) while remaining SLA-clean.
+        assert per_core.energy_j < chipwide.energy_j
+        assert per_core.meets_sla

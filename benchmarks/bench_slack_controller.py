@@ -1,0 +1,19 @@
+"""Section 7 bench: exploiting NCAP's latency slack (Pegasus-style)."""
+
+from repro.experiments import RunSettings, slack
+
+
+def test_slack_controller_extra_savings(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: slack.run("apache", "low", settings=RunSettings.standard()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("slack_controller", slack.format_report(rows, "apache", "low"))
+
+    plain, with_slack = rows
+    # The controller converts latency slack into additional energy savings
+    # without violating the SLA (the paper's Section 7 suggestion).
+    assert with_slack.energy_j < plain.energy_j
+    assert with_slack.meets_sla
+    assert with_slack.cap_steps > 0

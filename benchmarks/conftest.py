@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing: report output to benchmarks/reports/."""
+
+import os
+
+import pytest
+
+REPORTS_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture
+def save_report():
+    """Persist a rendered experiment report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> str:
+        os.makedirs(REPORTS_DIR, exist_ok=True)
+        path = os.path.join(REPORTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,50 @@
+"""Quickstart: run one NCAP experiment and read the results.
+
+Simulates the paper's four-node cluster (three open-loop clients, one
+Apache server) for ~a quarter of a simulated second under the hardware
+NCAP policy, then prints latency percentiles, energy, and what the NCAP
+DecisionEngine did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.sim.units import MS
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        app="apache",            # or "memcached"
+        policy="ncap.cons",      # perf | ond | perf.idle | ond.idle |
+                                 # ncap.sw | ncap.cons | ncap.aggr
+        target_rps=24_000,       # offered load across the three clients
+        warmup_ns=20 * MS,
+        measure_ns=200 * MS,
+        drain_ns=80 * MS,
+        seed=42,
+    )
+    result = run_experiment(config)
+
+    print(f"policy            : {result.policy_name}")
+    print(f"offered load      : {result.target_rps / 1000:.0f}K RPS "
+          f"(achieved {result.achieved_rps / 1000:.1f}K)")
+    print(f"requests measured : {result.responses_received} "
+          f"({result.incomplete} still in flight)")
+    print(f"latency p50/p95   : {result.latency.p50_ns / 1e6:.2f} / "
+          f"{result.latency.p95_ns / 1e6:.2f} ms")
+    print(f"SLA (p95 <= {result.sla_ns / 1e6:.0f} ms) : "
+          f"{'met' if result.meets_sla else 'VIOLATED'}")
+    print(f"processor energy  : {result.energy.energy_j:.2f} J "
+          f"({result.avg_power_w:.1f} W average)")
+    print(f"C-state entries   : {result.cstate_entries}")
+    print(f"NCAP activity     : {result.ncap_stats}")
+
+    residency = result.energy.residency_ns
+    total = sum(residency.values())
+    print("core-time breakdown:")
+    for mode, ns in sorted(residency.items(), key=lambda kv: -kv[1]):
+        print(f"  {mode:>7}: {100 * ns / total:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (offline environment without wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""NCAP reproduction: network-driven, packet context-aware power management.
+
+Reimplementation of *NCAP: Network-Driven, Packet Context-Aware Power
+Management for Client-Server Architecture* (Alian et al., HPCA 2017) on a
+pure-Python discrete-event full-system model.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app="apache", policy="ncap.cons", target_rps=45_000,
+    ))
+    print(result.latency.p95_ns / 1e6, "ms p95;",
+          result.energy.energy_j, "J")
+
+Subpackages:
+
+- ``repro.core``     — NCAP itself (ReqMonitor, DecisionEngine, drivers);
+- ``repro.sim``      — discrete-event kernel, units, tracing, RNG;
+- ``repro.cpu``      — cores, P/C states, DVFS timing, power/energy;
+- ``repro.oskernel`` — scheduler, IRQs, cpufreq/cpuidle governors;
+- ``repro.net``      — links, switch, NIC, interrupt moderation;
+- ``repro.apps``     — Apache/Memcached models, open-loop clients;
+- ``repro.cluster``  — node/cluster wiring and the experiment runner;
+- ``repro.metrics``  — latency percentiles, energy windows, reports;
+- ``repro.experiments`` — one runner per paper table/figure.
+"""
+
+from repro.cluster import (
+    POLICIES,
+    POLICY_ORDER,
+    Cluster,
+    ExperimentConfig,
+    ExperimentResult,
+    PolicyConfig,
+    get_policy,
+    run_experiment,
+)
+from repro.core import NCAPConfig
+from repro.validation import validate_table1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POLICIES",
+    "POLICY_ORDER",
+    "Cluster",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PolicyConfig",
+    "get_policy",
+    "run_experiment",
+    "NCAPConfig",
+    "validate_table1",
+    "__version__",
+]

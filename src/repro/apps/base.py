@@ -1,0 +1,129 @@
+"""Server application base: a request's life after the socket.
+
+A request delivered by the NIC driver becomes a three-phase pipeline, the
+shape both OLDI applications in the paper share:
+
+1. **service phase** — CPU cycles to parse and process the request
+   (frequency-sensitive: time = cycles / F);
+2. **I/O phase** — optional off-CPU latency (disk for Apache; absent for
+   Memcached) during which the core is free — this is why Apache's latency
+   is less sensitive to F than Memcached's (Section 6);
+3. **response phase** — CPU cycles to build the response *plus* the kernel
+   transmit cost for its segments, after which the message is handed to
+   the NIC.
+
+Subclasses define the per-request costs and the response-size distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cpu.core import Job
+from repro.net.driver import NICDriver
+from repro.net.packet import Frame, make_response, segments_for
+from repro.oskernel.netstack import NetStackCosts
+from repro.oskernel.scheduler import Scheduler
+from repro.sim.kernel import Simulator
+
+
+class ServerApp:
+    """Base OLDI server application."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        driver: NICDriver,
+        costs: NetStackCosts,
+        rng: random.Random,
+        name: str = "server",
+    ):
+        self._sim = sim
+        self._scheduler = scheduler
+        self._driver = driver
+        self._costs = costs
+        self._rng = rng
+        self.name = name
+        self.requests_received = 0
+        self.responses_sent = 0
+        self.non_requests_ignored = 0
+        #: Optional core affinity for the *next* request's jobs.  The
+        #: per-core (multi-queue) node sets this around each delivery so a
+        #: flow's processing stays on its RSS queue's core (RFS-style).
+        self.affinity_hint: Optional[int] = None
+        #: Called with each request's server-observed latency (ns from the
+        #: client send timestamp to the response hitting the NIC) — the
+        #: feed Pegasus-style slack controllers consume.
+        self.latency_listeners: list = []
+
+    # -- workload shape (override in subclasses) ---------------------------
+
+    def service_cycles(self, frame: Frame) -> float:
+        """CPU cycles for phase 1 (parse + process)."""
+        raise NotImplementedError
+
+    def io_latency_ns(self, frame: Frame) -> int:
+        """Off-CPU latency for phase 2 (0 = no I/O phase)."""
+        raise NotImplementedError
+
+    def response_bytes(self, frame: Frame) -> int:
+        """Response payload size."""
+        raise NotImplementedError
+
+    def response_cycles(self, frame: Frame, response_bytes: int) -> float:
+        """CPU cycles for phase 3, excluding kernel transmit cost."""
+        raise NotImplementedError
+
+    # -- request pipeline -----------------------------------------------------
+
+    def on_packet(self, frame: Frame) -> None:
+        """Socket delivery point — wire as ``NICDriver.packet_sink``."""
+        if frame.kind != "request":
+            self.non_requests_ignored += 1
+            return
+        self.requests_received += 1
+        hint = self.affinity_hint
+        self._scheduler.enqueue(
+            Job(
+                self.service_cycles(frame),
+                on_complete=lambda: self._after_service(frame, hint),
+                name="service",
+            ),
+            core_hint=hint,
+        )
+
+    def _after_service(self, frame: Frame, hint: Optional[int]) -> None:
+        io_ns = self.io_latency_ns(frame)
+        if io_ns > 0:
+            self._sim.schedule(io_ns, self._after_io, frame, hint)
+        else:
+            self._after_io(frame, hint)
+
+    def _after_io(self, frame: Frame, hint: Optional[int]) -> None:
+        size = self.response_bytes(frame)
+        cycles = self.response_cycles(frame, size)
+        cycles += self._costs.tx_message_cycles(segments_for(size))
+        self._scheduler.enqueue(
+            Job(
+                cycles,
+                on_complete=lambda: self._send_response(frame, size),
+                name="response",
+            ),
+            core_hint=hint,
+        )
+
+    def _send_response(self, frame: Frame, size: int) -> None:
+        self.responses_sent += 1
+        for listener in self.latency_listeners:
+            listener(self._sim.now - frame.created_ns)
+        self._driver.transmit(
+            make_response(
+                self.name,
+                frame.src,
+                payload_bytes=size,
+                req_id=frame.req_id,
+                created_ns=self._sim.now,
+            )
+        )

@@ -1,0 +1,146 @@
+"""Open-loop bursty clients (Section 5 of the paper).
+
+The paper modifies the Apache and Memcached clients to be **open-loop**:
+requests are emitted on a schedule, never gated on responses, avoiding the
+client-side queueing bias and inter-burst dependencies that Treadmill
+identifies as evaluation pitfalls.  Each client periodically emits a burst
+of requests (e.g. 200 per burst), with the period set by the target load.
+
+Clients are deliberately lightweight network endpoints (no CPU/power
+model): the paper instruments them only for request round-trip times.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.link import LinkPort
+from repro.net.packet import Frame, make_http_request, make_memcached_request
+from repro.sim.kernel import Simulator
+
+_req_ids = itertools.count(1)
+
+
+def http_request_factory(client: str, server: str) -> Callable[[int], Frame]:
+    """Factory producing HTTP GETs (the Apache workload)."""
+
+    def make(created_ns: int) -> Frame:
+        return make_http_request(
+            client, server, method="GET", req_id=next(_req_ids), created_ns=created_ns
+        )
+
+    return make
+
+
+def memcached_request_factory(
+    client: str, server: str, rng: Optional[random.Random] = None, keyspace: int = 100_000
+) -> Callable[[int], Frame]:
+    """Factory producing Memcached gets over a keyspace."""
+    rng = rng or random.Random(0)
+
+    def make(created_ns: int) -> Frame:
+        key = f"key:{rng.randrange(keyspace)}"
+        return make_memcached_request(
+            client, server, command="get", key=key,
+            req_id=next(_req_ids), created_ns=created_ns,
+        )
+
+    return make
+
+
+class OpenLoopClient:
+    """A bursty open-loop traffic source and RTT recorder."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        request_factory: Callable[[int], Frame],
+        burst_size: int = 100,
+        burst_period_ns: int = 10_000_000,
+        intra_burst_gap_ns: int = 1_000,
+        jitter_rng: Optional[random.Random] = None,
+        jitter_fraction: float = 0.0,
+    ):
+        if burst_size < 1:
+            raise ValueError("burst_size must be at least 1")
+        if burst_period_ns <= 0:
+            raise ValueError("burst_period_ns must be positive")
+        self._sim = sim
+        self.name = name
+        self._factory = request_factory
+        self.burst_size = burst_size
+        self.burst_period_ns = burst_period_ns
+        self.intra_burst_gap_ns = intra_burst_gap_ns
+        self._jitter_rng = jitter_rng
+        self.jitter_fraction = jitter_fraction
+        self._port: Optional[LinkPort] = None
+        self._running = False
+
+        self.sent: dict = {}                 # req_id -> send time
+        self.rtts: List[Tuple[int, int]] = []  # (send time, rtt)
+        self.requests_sent = 0
+        self.responses_received = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_port(self, port: LinkPort) -> None:
+        self._port = port
+
+    def receive_frame(self, frame: Frame) -> None:
+        """Link delivery point (we are a NetDevice)."""
+        if frame.kind != "response" or frame.req_id is None:
+            return
+        send_ns = self.sent.pop(frame.req_id, None)
+        if send_ns is None:
+            return
+        self.responses_received += 1
+        self.rtts.append((send_ns, self._sim.now - send_ns))
+
+    # -- traffic generation ---------------------------------------------------
+
+    def start(self, initial_delay_ns: int = 0) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._sim.schedule(initial_delay_ns, self._emit_burst)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _emit_burst(self) -> None:
+        if not self._running:
+            return
+        for i in range(self.burst_size):
+            self._sim.schedule(i * self.intra_burst_gap_ns, self._emit_one)
+        period = self.burst_period_ns
+        if self._jitter_rng is not None and self.jitter_fraction > 0:
+            spread = self.jitter_fraction * period
+            period = max(1, round(period + self._jitter_rng.uniform(-spread, spread)))
+        self._sim.schedule(period, self._emit_burst)
+
+    def _emit_one(self) -> None:
+        if not self._running:
+            return
+        assert self._port is not None, "client has no attached link port"
+        frame = self._factory(self._sim.now)
+        self.sent[frame.req_id] = self._sim.now
+        self.requests_sent += 1
+        self._port.send(frame)
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.sent)
+
+    def rtts_in_window(self, start_ns: int, end_ns: int) -> List[int]:
+        """RTTs of requests *sent* within [start, end)."""
+        return [rtt for send, rtt in self.rtts if start_ns <= send < end_ns]
+
+    def sent_in_window(self, start_ns: int, end_ns: int) -> int:
+        completed = sum(1 for send, _ in self.rtts if start_ns <= send < end_ns)
+        pending = sum(1 for send in self.sent.values() if start_ns <= send < end_ns)
+        return completed + pending

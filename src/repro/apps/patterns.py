@@ -1,0 +1,96 @@
+"""Time-varying load patterns.
+
+The paper's Section 3 stresses that "the rate of network packets is
+inherently unpredictable ... it can suddenly increase and decrease after
+it stays at a low level for a long period".  These patterns generate that
+behaviour at experiment scale: a step change, a diurnal (sinusoidal)
+swing, and a flash-crowd spike.  :class:`VariableRateClient` re-times its
+bursts against the pattern so the aggregate offered load follows it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.apps.client import OpenLoopClient
+
+
+class LoadPattern(Protocol):
+    """Offered load as a function of simulated time."""
+
+    def rps_at(self, t_ns: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantPattern:
+    rps: float
+
+    def rps_at(self, t_ns: int) -> float:
+        return self.rps
+
+
+@dataclass(frozen=True)
+class StepPattern:
+    """Low load, then a sudden sustained jump at ``step_at_ns``."""
+
+    rps_before: float
+    rps_after: float
+    step_at_ns: int
+
+    def rps_at(self, t_ns: int) -> float:
+        return self.rps_after if t_ns >= self.step_at_ns else self.rps_before
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """A day compressed into ``period_ns``: sinusoid between base and peak."""
+
+    base_rps: float
+    peak_rps: float
+    period_ns: int
+    phase: float = 0.0
+
+    def rps_at(self, t_ns: int) -> float:
+        mid = (self.base_rps + self.peak_rps) / 2
+        amp = (self.peak_rps - self.base_rps) / 2
+        return mid + amp * math.sin(2 * math.pi * t_ns / self.period_ns + self.phase)
+
+
+@dataclass(frozen=True)
+class SpikePattern:
+    """A flash crowd: base load with a rectangular spike."""
+
+    base_rps: float
+    spike_rps: float
+    spike_start_ns: int
+    spike_len_ns: int
+
+    def rps_at(self, t_ns: int) -> float:
+        if self.spike_start_ns <= t_ns < self.spike_start_ns + self.spike_len_ns:
+            return self.spike_rps
+        return self.base_rps
+
+
+class VariableRateClient(OpenLoopClient):
+    """An open-loop burst client whose period tracks a load pattern.
+
+    ``share`` is this client's fraction of the pattern's aggregate load
+    (1/n_clients in the usual symmetric setup).
+    """
+
+    def __init__(self, *args, pattern: LoadPattern, share: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if share <= 0:
+            raise ValueError("share must be positive")
+        self.pattern = pattern
+        self.share = share
+
+    def _emit_burst(self) -> None:
+        if not self._running:
+            return
+        rps = max(1.0, self.pattern.rps_at(self._sim.now) * self.share)
+        self.burst_period_ns = max(1, round(self.burst_size / rps * 1e9))
+        super()._emit_burst()

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      — one cluster experiment (app, policy, load or RPS);
+- ``compare``  — all seven policies at one load level;
+- ``fig``      — regenerate a paper figure report (1, 2, 4, 7, 8, 9);
+- ``headline`` — the abstract's savings table;
+- ``policies`` — list the policy registry.
+
+Every command prints the same plain-text reports the benchmark suite
+saves under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.workload import LOAD_LEVELS, load_level
+from repro.cluster.policies import POLICIES, POLICY_ORDER
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.experiments import (
+    RunSettings,
+    fig1_dvfs_timing,
+    fig2_ondemand_period,
+    fig4_correlation,
+    fig7_latency_load,
+    headline,
+    policy_comparison,
+)
+from repro.metrics.report import format_table
+from repro.sim.units import MS
+
+
+def _settings(args: argparse.Namespace) -> RunSettings:
+    preset = {
+        "quick": RunSettings.quick,
+        "standard": RunSettings.standard,
+        "full": RunSettings.full,
+    }[args.settings]
+    return preset(seed=args.seed)
+
+
+def _resolve_rps(app: str, load: Optional[str], rps: Optional[float]) -> float:
+    if rps is not None:
+        return rps
+    return load_level(app, load or "low").target_rps
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    result = run_experiment(
+        ExperimentConfig(
+            app=args.app,
+            policy=args.policy,
+            target_rps=_resolve_rps(args.app, args.load, args.rps),
+            warmup_ns=settings.warmup_ns,
+            measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns,
+            seed=settings.seed,
+        )
+    )
+    rows = [
+        ["policy", result.policy_name],
+        ["offered RPS", f"{result.target_rps / 1000:.0f}K"],
+        ["achieved RPS", f"{result.achieved_rps / 1000:.1f}K"],
+        ["p50 (ms)", round(result.latency.p50_ns / 1e6, 3)],
+        ["p95 (ms)", round(result.latency.p95_ns / 1e6, 3)],
+        ["p99 (ms)", round(result.latency.p99_ns / 1e6, 3)],
+        ["SLA", "met" if result.meets_sla else "VIOLATED"],
+        ["energy (J)", round(result.energy.energy_j, 3)],
+        ["avg power (W)", round(result.avg_power_w, 2)],
+        ["C-state entries", str(result.cstate_entries)],
+        ["NCAP posts", str(result.ncap_stats)],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{args.app} / {args.policy}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    result = policy_comparison.run(
+        args.app,
+        loads=(args.load,),
+        settings=settings,
+        snapshot_policies=(),
+    )
+    print(policy_comparison.format_report(result, figure_name="Policy comparison"))
+    return 0
+
+
+def cmd_fig(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    figure = args.number
+    if figure == "1":
+        print(fig1_dvfs_timing.format_report(fig1_dvfs_timing.run()))
+    elif figure == "2":
+        print(fig2_ondemand_period.format_report(
+            fig2_ondemand_period.run(settings=settings)))
+    elif figure == "4":
+        print(fig4_correlation.format_report(fig4_correlation.run(settings=settings)))
+    elif figure == "7":
+        for app in ("apache", "memcached"):
+            print(fig7_latency_load.format_report(
+                fig7_latency_load.run(app, settings=settings)))
+    elif figure == "8":
+        print(policy_comparison.format_report(
+            policy_comparison.run("apache", settings=settings), "Figure 8"))
+    elif figure == "9":
+        print(policy_comparison.format_report(
+            policy_comparison.run("memcached", settings=settings), "Figure 9"))
+    else:
+        print(f"unknown figure {figure!r}; choose from 1, 2, 4, 7, 8, 9",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    results = [
+        policy_comparison.run(
+            app, loads=("low", "medium"), settings=settings, snapshot_policies=()
+        )
+        for app in ("apache", "memcached")
+    ]
+    print(headline.format_report(headline.derive(results)))
+    return 0
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.metrics.export import export_figure4_bundle
+
+    settings = _settings(args)
+    config = ExperimentConfig(
+        app=args.app,
+        policy=args.policy,
+        target_rps=_resolve_rps(args.app, args.load, None),
+        collect_traces=True,
+        warmup_ns=settings.warmup_ns,
+        measure_ns=settings.measure_ns,
+        drain_ns=settings.drain_ns,
+        seed=settings.seed,
+    )
+    result = run_experiment(config)
+    assert result.trace is not None
+    paths = export_figure4_bundle(
+        result.trace,
+        args.out,
+        config.warmup_ns,
+        config.warmup_ns + config.measure_ns,
+        1 * MS,
+    )
+    for path in paths:
+        print(path)
+    print(f"exported {len(paths)} series to {args.out}")
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    rows = []
+    for name in POLICY_ORDER:
+        policy = POLICIES[name]
+        rows.append([
+            name, policy.governor,
+            "menu" if policy.cstates else "-",
+            policy.ncap or "-",
+            policy.fcons if policy.uses_ncap else "-",
+        ])
+    print(format_table(
+        ["policy", "P-state governor", "C-state governor", "ncap", "FCONS"],
+        rows, title="Power-management policies (paper Section 6)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NCAP (HPCA 2017) reproduction toolkit"
+    )
+    parser.add_argument("--settings", choices=("quick", "standard", "full"),
+                        default="quick", help="run-length preset")
+    parser.add_argument("--seed", type=int, default=1)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
+    p_run.add_argument("--policy", choices=tuple(POLICIES), default="ncap.cons")
+    p_run.add_argument("--load", choices=("low", "medium", "high"))
+    p_run.add_argument("--rps", type=float, help="explicit offered load")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all seven policies at one load")
+    p_cmp.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
+    p_cmp.add_argument("--load", choices=("low", "medium", "high"), default="low")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_fig = sub.add_parser("fig", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=("1", "2", "4", "7", "8", "9"))
+    p_fig.set_defaults(fn=cmd_fig)
+
+    p_head = sub.add_parser("headline", help="abstract's savings table")
+    p_head.set_defaults(fn=cmd_headline)
+
+    p_pol = sub.add_parser("policies", help="list the policy registry")
+    p_pol.set_defaults(fn=cmd_policies)
+
+    p_exp = sub.add_parser(
+        "export-trace", help="run traced and dump Figure-4 series as CSV"
+    )
+    p_exp.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
+    p_exp.add_argument("--policy", choices=tuple(POLICIES), default="ond.idle")
+    p_exp.add_argument("--load", choices=("low", "medium", "high"), default="low")
+    p_exp.add_argument("--out", default="trace_export")
+    p_exp.set_defaults(fn=cmd_export_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

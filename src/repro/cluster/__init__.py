@@ -1,0 +1,22 @@
+"""Cluster wiring: nodes, policies, and the experiment runner."""
+
+from repro.cluster.node import ServerNode
+from repro.cluster.policies import POLICIES, POLICY_ORDER, PolicyConfig, get_policy
+from repro.cluster.simulation import (
+    Cluster,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "ServerNode",
+    "POLICIES",
+    "POLICY_ORDER",
+    "PolicyConfig",
+    "get_policy",
+    "Cluster",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,189 @@
+"""A multi-server cluster with imbalanced load (Section 7 of the paper).
+
+"A production datacenter consists of hundreds or thousands of servers...
+One of key characteristics of large-scale datacenters is the load
+imbalance amongst server nodes.  Therefore, there is a significant
+fraction of underutilized servers even at a high overall load level and
+NCAP can achieve energy reduction for such underutilized servers."
+
+This builder scales the four-node experiment out pd-gem5 style: N servers
+behind one switch, each with its own set of open-loop clients, and an
+uneven share of the total offered load.  Per-server energy, latency, and
+utilization come back side by side so the utilization-versus-saving
+relationship can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from repro.apps.client import (
+    OpenLoopClient,
+    http_request_factory,
+    memcached_request_factory,
+)
+from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
+from repro.cluster.node import ServerNode
+from repro.cluster.policies import PolicyConfig
+from repro.cpu.energy import EnergyReport
+from repro.metrics.energy import energy_delta
+from repro.metrics.latency import LatencyStats
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullTraceRecorder
+from repro.sim.units import MS, US, gbps
+
+
+@dataclass
+class DatacenterConfig:
+    """A scaled-out, imbalanced cluster run."""
+
+    app: str = "apache"
+    policy: Union[str, PolicyConfig] = "ncap.cons"
+    n_servers: int = 4
+    #: Each server's share of ``total_rps`` (normalized internally).
+    load_shares: Sequence[float] = (0.45, 0.30, 0.15, 0.10)
+    total_rps: float = 120_000.0
+    clients_per_server: int = 3
+    warmup_ns: int = 20 * MS
+    measure_ns: int = 150 * MS
+    drain_ns: int = 80 * MS
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.load_shares) != self.n_servers:
+            raise ValueError("one load share per server is required")
+        if any(s <= 0 for s in self.load_shares):
+            raise ValueError("load shares must be positive")
+
+
+@dataclass
+class ServerOutcome:
+    server: str
+    target_rps: float
+    utilization: float
+    latency: LatencyStats
+    energy: EnergyReport
+    meets_sla: bool
+
+
+@dataclass
+class DatacenterResult:
+    config: DatacenterConfig
+    servers: List[ServerOutcome]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(s.energy.energy_j for s in self.servers)
+
+
+class DatacenterCluster:
+    """N servers, each with its own client pool, behind one switch."""
+
+    def __init__(self, config: DatacenterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        trace = NullTraceRecorder()
+        self.switch = Switch(self.sim)
+        self.servers: List[ServerNode] = []
+        self.clients: Dict[str, List[OpenLoopClient]] = {}
+
+        shares = [s / sum(config.load_shares) for s in config.load_shares]
+        burst_size = default_burst_size(config.app)
+        for i in range(config.n_servers):
+            server_name = f"server{i}"
+            server = ServerNode(
+                self.sim, server_name, config.policy, config.app, self.rng,
+                trace=trace,
+            )
+            link = Link(self.sim, gbps(10), 1 * US)
+            link.attach(server, self.switch)
+            server.attach_port(link.endpoint_port(server))
+            self.switch.attach_link(link, server_name)
+            self.servers.append(server)
+
+            rps = config.total_rps * shares[i]
+            period = burst_period_ns(rps, config.clients_per_server, burst_size)
+            pool: List[OpenLoopClient] = []
+            for j in range(config.clients_per_server):
+                client_name = f"client{i}_{j}"
+                if config.app == "apache":
+                    factory = http_request_factory(client_name, server_name)
+                else:
+                    factory = memcached_request_factory(
+                        client_name, server_name,
+                        rng=self.rng.stream(f"{client_name}.keys"),
+                    )
+                client = OpenLoopClient(
+                    self.sim, client_name, factory,
+                    burst_size=burst_size, burst_period_ns=period,
+                    jitter_rng=self.rng.stream(f"{client_name}.jitter"),
+                    jitter_fraction=0.30,
+                )
+                client_link = Link(self.sim, gbps(10), 1 * US)
+                client_link.attach(client, self.switch)
+                client.attach_port(client_link.endpoint_port(client))
+                self.switch.attach_link(client_link, client_name)
+                pool.append(client)
+            self.clients[server_name] = pool
+
+    def run(self) -> DatacenterResult:
+        config = self.config
+        for server in self.servers:
+            server.start()
+        for pool in self.clients.values():
+            for client in pool:
+                client.start()
+
+        window_start = config.warmup_ns
+        window_end = config.warmup_ns + config.measure_ns
+        snapshots: Dict[str, EnergyReport] = {}
+        busy_marks: Dict[str, List[int]] = {}
+
+        def snap(tag: str) -> None:
+            for server in self.servers:
+                snapshots[f"{server.name}.{tag}"] = server.package.energy_report()
+                busy_marks[f"{server.name}.{tag}"] = server.package.busy_ns_per_core()
+
+        self.sim.schedule_at(window_start, snap, "a")
+        self.sim.schedule_at(window_end, snap, "b")
+        for pool in self.clients.values():
+            for client in pool:
+                self.sim.schedule_at(window_end, client.stop)
+        self.sim.run(until=window_end + config.drain_ns)
+
+        shares = [s / sum(config.load_shares) for s in config.load_shares]
+        sla_ns = sla_for(config.app)
+        outcomes = []
+        for i, server in enumerate(self.servers):
+            rtts: List[int] = []
+            for client in self.clients[server.name]:
+                rtts.extend(client.rtts_in_window(window_start, window_end))
+            latency = LatencyStats.from_values(rtts)
+            energy = energy_delta(
+                snapshots[f"{server.name}.a"], snapshots[f"{server.name}.b"]
+            )
+            busy_a = busy_marks[f"{server.name}.a"]
+            busy_b = busy_marks[f"{server.name}.b"]
+            utilization = sum(
+                b - a for a, b in zip(busy_a, busy_b)
+            ) / (len(busy_a) * config.measure_ns)
+            outcomes.append(
+                ServerOutcome(
+                    server=server.name,
+                    target_rps=config.total_rps * shares[i],
+                    utilization=utilization,
+                    latency=latency,
+                    energy=energy,
+                    meets_sla=latency.meets_sla(sla_ns),
+                )
+            )
+        return DatacenterResult(config=config, servers=outcomes)
+
+
+def run_datacenter(config: DatacenterConfig) -> DatacenterResult:
+    return DatacenterCluster(config).run()

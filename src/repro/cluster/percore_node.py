@@ -1,0 +1,197 @@
+"""Per-core NCAP server (the Section 7 multi-queue extension).
+
+A server where every core owns its own V/F domain and its own NIC rx
+queue:
+
+- RSS steers each client flow to a fixed queue/core, and RFS-style
+  affinity keeps that flow's request processing on the same core;
+- every queue carries its own NCAP hardware (ReqMonitor + DecisionEngine),
+  driving *only its* core's cpufreq/cpuidle — per-core instead of
+  chip-wide P/C-state changes;
+- each domain runs its own ondemand instance, and the menu governor is
+  disabled/enabled per core.
+
+Compare against the chip-wide :class:`ServerNode` under ``ncap.cons`` with
+``benchmarks/bench_percore_ncap.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.apache import ApacheApp, ApacheProfile
+from repro.apps.memcached import MemcachedApp, MemcachedProfile
+from repro.core.config import NCAPConfig
+from repro.core.ncap_driver import NCAPDriverExtension
+from repro.core.ncap_nic import NCAPHardware
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.core import Core
+from repro.cpu.multidomain import MultiDomainProcessor
+from repro.net.driver import NICDriver
+from repro.net.interrupts import ModerationConfig
+from repro.net.link import LinkPort
+from repro.net.multiqueue import MultiQueueNIC
+from repro.net.packet import Frame
+from repro.oskernel.cpufreq import CpufreqDriver, OndemandGovernor
+from repro.oskernel.cpuidle import CpuidleDriver, MenuGovernor
+from repro.oskernel.irq import IRQController
+from repro.oskernel.netstack import NetStackCosts
+from repro.oskernel.scheduler import Scheduler
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import MS
+
+
+class PerCoreCpuidle:
+    """Routes idle notifications to one CpuidleDriver per core, so NCAP can
+    disable the menu governor on a single core."""
+
+    def __init__(self, processor: MultiDomainProcessor):
+        governor = MenuGovernor(processor.cstates)
+        self.drivers: List[CpuidleDriver] = [
+            CpuidleDriver(governor) for _ in processor.cores
+        ]
+
+    def on_core_idle(self, core: Core) -> None:
+        self.drivers[core.core_id].on_core_idle(core)
+
+    def driver_for(self, core_id: int) -> CpuidleDriver:
+        return self.drivers[core_id]
+
+
+class PerCoreServerNode:
+    """An OLDI server with per-core DVFS and per-queue NCAP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        app: str,
+        rng: RngRegistry,
+        trace: Optional[TraceRecorder] = None,
+        processor: ProcessorConfig = ProcessorConfig(),
+        netstack: NetStackCosts = NetStackCosts(),
+        moderation: ModerationConfig = ModerationConfig(),
+        ondemand_period_ns: int = 10 * MS,
+        ncap_config: Optional[NCAPConfig] = None,
+        fcons: int = 5,
+        apache_profile: Optional[ApacheProfile] = None,
+        memcached_profile: Optional[MemcachedProfile] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.app_name = app
+        self.processor = MultiDomainProcessor(sim, processor, trace=trace, name=f"{name}.cpu")
+        if trace is not None:
+            for core in self.processor.cores:
+                core.cstate_channel = trace.event_channel(
+                    f"{name}.core{core.core_id}.cstate"
+                )
+        self.scheduler = Scheduler(sim, self.processor)  # facade: .cores
+        self.irq = IRQController(sim, self.processor)
+        self.cpuidle = PerCoreCpuidle(self.processor)
+        self.scheduler.idle_hook = self.cpuidle.on_core_idle
+
+        # Per-domain cpufreq + ondemand (each samples and runs on its core).
+        self.cpufreq: List[CpufreqDriver] = []
+        self.ondemand: List[OndemandGovernor] = []
+        for i, domain in enumerate(self.processor.domains):
+            driver = CpufreqDriver(sim, domain)
+            governor = OndemandGovernor(
+                sim, driver, self.irq, period_ns=ondemand_period_ns, core_id=i
+            )
+            self.cpufreq.append(driver)
+            self.ondemand.append(governor)
+
+        # NIC: one queue per core, one driver per queue.
+        n_queues = processor.n_cores
+        self.nic = MultiQueueNIC(
+            sim, name=name, n_queues=n_queues, moderation=moderation, trace=trace
+        )
+        self.drivers: List[NICDriver] = []
+
+        # Application (affinity hints keep flows on their RSS core).
+        app_rng = rng.stream(f"{name}.{app}")
+        if app == "apache":
+            self.app = ApacheApp(
+                sim, self.scheduler, None, netstack, app_rng, name=name,
+                profile=apache_profile or ApacheProfile(),
+            )
+        elif app == "memcached":
+            self.app = MemcachedApp(
+                sim, self.scheduler, None, netstack, app_rng, name=name,
+                profile=memcached_profile or MemcachedProfile(),
+            )
+        else:
+            raise ValueError(f"unknown app {app!r}")
+
+        config = ncap_config or NCAPConfig(fcons=fcons)
+        self.ncap_hw: List[NCAPHardware] = []
+        self.ncap_ext: List[NCAPDriverExtension] = []
+        for i, queue in enumerate(self.nic.queues):
+            driver = NICDriver(sim, queue, self.irq, netstack, core_id=i)  # type: ignore[arg-type]
+            driver.packet_sink = self._make_sink(i)
+            domain = self.processor.domains[i]
+            hardware = NCAPHardware(
+                sim, queue, config,  # type: ignore[arg-type]
+                cpu_at_max=lambda d=domain: d.at_max_performance,
+                trace=trace,
+            )
+            extension = NCAPDriverExtension(
+                config,
+                self.cpufreq[i],
+                self.scheduler,
+                cpuidle=self.cpuidle.driver_for(i),
+                ondemand=self.ondemand[i],
+                wake_core=self.processor.cores[i],
+            )
+            driver.icr_hooks.append(extension.on_icr)
+            self.drivers.append(driver)
+            self.ncap_hw.append(hardware)
+            self.ncap_ext.append(extension)
+        # The app transmits through the shared tx path via the first driver.
+        self.app._driver = self.drivers[0]
+
+    def _make_sink(self, core_id: int):
+        def sink(frame: Frame) -> None:
+            self.app.affinity_hint = core_id
+            try:
+                self.app.on_packet(frame)
+            finally:
+                self.app.affinity_hint = None
+
+        return sink
+
+    # -- link endpoint ------------------------------------------------------
+
+    def receive_frame(self, frame: Frame) -> None:
+        self.nic.receive_frame(frame)
+
+    def attach_port(self, port: LinkPort) -> None:
+        self.nic.attach_port(port)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        for governor in self.ondemand:
+            governor.start()
+        for hardware in self.ncap_hw:
+            hardware.start()
+
+    def stop(self) -> None:
+        for governor in self.ondemand:
+            governor.stop()
+        for hardware in self.ncap_hw:
+            hardware.stop()
+
+    # -- accounting ----------------------------------------------------------------
+
+    def energy_report(self):
+        return self.processor.energy_report()
+
+    def total_it_high_posts(self) -> int:
+        return sum(h.engine.it_high_posts for h in self.ncap_hw)
+
+    def total_immediate_rx_posts(self) -> int:
+        return sum(h.engine.immediate_rx_posts for h in self.ncap_hw)

@@ -1,0 +1,251 @@
+"""Experiment runner: the paper's four-node cluster, end to end.
+
+Topology (Section 5): three open-loop clients and one server, joined by a
+switch over 10 Gb/s, 1 µs links.  Each run has a warmup window (excluded
+from all measurements), a measurement window (request latencies are
+attributed to their *send* time; energy is the meter delta across the
+window), and a drain window so in-flight requests can complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.apps.client import (
+    OpenLoopClient,
+    http_request_factory,
+    memcached_request_factory,
+)
+from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
+from repro.cluster.node import ServerNode
+from repro.cluster.policies import PolicyConfig, get_policy
+from repro.core.config import NCAPConfig
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.energy import EnergyReport
+from repro.metrics.energy import average_power_w, energy_delta
+from repro.metrics.latency import LatencyStats
+from repro.net.interrupts import ModerationConfig
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.oskernel.netstack import NetStackCosts
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullTraceRecorder, TraceRecorder
+from repro.sim.units import MS, US, gbps
+
+
+@dataclass
+class ExperimentConfig:
+    """One cluster run."""
+
+    app: str = "apache"
+    policy: Union[str, PolicyConfig] = "perf"
+    target_rps: float = 24_000.0
+    n_clients: int = 3
+    #: Per-client burst size; None selects the application default
+    #: (Apache 200, Memcached 75 — see ``repro.apps.workload``).
+    burst_size: Optional[int] = None
+    #: Fractional jitter on each client's burst period.  Datacenter burst
+    #: timing is highly variable (Benson et al., the paper's [30]); 0.30
+    #: reproduces the unpredictable inter-burst gaps that make reactive
+    #: governors mispredict (Section 3 of the paper).
+    burst_jitter: float = 0.30
+    warmup_ns: int = 40 * MS
+    measure_ns: int = 300 * MS
+    drain_ns: int = 60 * MS
+    seed: int = 1
+    ondemand_period_ns: int = 10 * MS
+    collect_traces: bool = False
+    link_bandwidth_bps: float = gbps(10)
+    link_latency_ns: int = 1 * US
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    netstack: NetStackCosts = field(default_factory=NetStackCosts)
+    moderation: ModerationConfig = field(default_factory=ModerationConfig)
+    #: Override the NIC's per-frame rx DMA latency (None = NIC default).
+    #: Used by the TOE-slack ablation (Section 7 of the paper).
+    nic_dma_latency_ns: Optional[int] = None
+    ncap_base_config: Optional[NCAPConfig] = None
+    apache_profile: Optional[object] = None
+    memcached_profile: Optional[object] = None
+
+    @property
+    def sla_ns(self) -> int:
+        return sla_for(self.app)
+
+    @property
+    def end_ns(self) -> int:
+        return self.warmup_ns + self.measure_ns + self.drain_ns
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench/table needs from one run."""
+
+    policy_name: str
+    app: str
+    target_rps: float
+    latency: LatencyStats
+    energy: EnergyReport
+    avg_power_w: float
+    sla_ns: int
+    meets_sla: bool
+    requests_sent: int
+    responses_received: int
+    incomplete: int
+    achieved_rps: float
+    cstate_entries: Dict[str, int]
+    ncap_stats: Dict[str, int]
+    trace: Optional[TraceRecorder] = None
+    server: Optional[ServerNode] = None
+
+    @property
+    def normalized_latency(self) -> Dict[str, float]:
+        return self.latency.normalized_to(self.sla_ns)
+
+
+class Cluster:
+    """A built (but not yet run) four-node experiment."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.trace: TraceRecorder = (
+            TraceRecorder() if config.collect_traces else NullTraceRecorder()
+        )
+        self.rng = RngRegistry(config.seed)
+        self.server = ServerNode(
+            self.sim,
+            "server",
+            config.policy,
+            config.app,
+            self.rng,
+            trace=self.trace,
+            processor=config.processor,
+            netstack=config.netstack,
+            moderation=config.moderation,
+            ondemand_period_ns=config.ondemand_period_ns,
+            nic_dma_latency_ns=config.nic_dma_latency_ns,
+            ncap_base_config=config.ncap_base_config,
+            apache_profile=config.apache_profile,
+            memcached_profile=config.memcached_profile,
+        )
+        self.switch = Switch(self.sim)
+        self.clients: List[OpenLoopClient] = []
+
+        burst_size = (
+            config.burst_size
+            if config.burst_size is not None
+            else default_burst_size(config.app)
+        )
+        self.burst_size = burst_size
+        period = burst_period_ns(config.target_rps, config.n_clients, burst_size)
+        for i in range(config.n_clients):
+            name = f"client{i}"
+            if config.app == "apache":
+                factory = http_request_factory(name, "server")
+            else:
+                factory = memcached_request_factory(
+                    name, "server", rng=self.rng.stream(f"{name}.keys")
+                )
+            client = OpenLoopClient(
+                self.sim,
+                name,
+                factory,
+                burst_size=burst_size,
+                burst_period_ns=period,
+                jitter_rng=self.rng.stream(f"{name}.jitter"),
+                jitter_fraction=config.burst_jitter,
+            )
+            self.clients.append(client)
+
+        # Star topology around the switch.
+        server_link = Link(self.sim, config.link_bandwidth_bps, config.link_latency_ns)
+        server_link.attach(self.server, self.switch)
+        self.server.attach_port(server_link.endpoint_port(self.server))
+        self.switch.attach_link(server_link, "server")
+        for client in self.clients:
+            link = Link(self.sim, config.link_bandwidth_bps, config.link_latency_ns)
+            link.attach(client, self.switch)
+            client.attach_port(link.endpoint_port(client))
+            self.switch.attach_link(link, client.name)
+
+    def run(self) -> ExperimentResult:
+        config = self.config
+        self.server.start()
+        if config.collect_traces:
+            from repro.metrics.timeseries import UtilizationSampler
+
+            sampler = UtilizationSampler(
+                self.sim, self.server.package, self.trace,
+                channel=f"{self.server.name}.cpu.util",
+            )
+            sampler.start()
+        # Clients start aligned: their bursts aggregate into the BW(Rx)
+        # surges of Figure 4 (the paper's clients are synchronized periodic
+        # sources).  The small per-period jitter keeps the alignment from
+        # being perfectly rigid over long runs.
+        for client in self.clients:
+            client.start(initial_delay_ns=0)
+
+        window_start = config.warmup_ns
+        window_end = config.warmup_ns + config.measure_ns
+
+        snapshots: Dict[str, EnergyReport] = {}
+        self.sim.schedule_at(
+            window_start,
+            lambda: snapshots.__setitem__("start", self.server.package.energy_report()),
+        )
+        self.sim.schedule_at(
+            window_end,
+            lambda: snapshots.__setitem__("end", self.server.package.energy_report()),
+        )
+        # Stop generating traffic at window end; drain afterwards.
+        for client in self.clients:
+            self.sim.schedule_at(window_end, client.stop)
+        self.sim.run(until=config.end_ns)
+
+        rtts: List[int] = []
+        sent = 0
+        for client in self.clients:
+            rtts.extend(client.rtts_in_window(window_start, window_end))
+            sent += client.sent_in_window(window_start, window_end)
+        latency = LatencyStats.from_values(rtts)
+        energy = energy_delta(snapshots["start"], snapshots["end"])
+
+        ncap_stats: Dict[str, int] = {}
+        engine = self.server.engine
+        if engine is not None:
+            ncap_stats = {
+                "it_high_posts": engine.it_high_posts,
+                "it_low_posts": engine.it_low_posts,
+                "immediate_rx_posts": engine.immediate_rx_posts,
+            }
+        cstate_entries: Dict[str, int] = {}
+        for core in self.server.package.cores:
+            for state, count in core.cstate_entries.items():
+                cstate_entries[state] = cstate_entries.get(state, 0) + count
+
+        return ExperimentResult(
+            policy_name=self.server.policy.name,
+            app=config.app,
+            target_rps=config.target_rps,
+            latency=latency,
+            energy=energy,
+            avg_power_w=average_power_w(energy, config.measure_ns),
+            sla_ns=config.sla_ns,
+            meets_sla=latency.meets_sla(config.sla_ns),
+            requests_sent=sent,
+            responses_received=len(rtts),
+            incomplete=sent - len(rtts),
+            achieved_rps=sent * 1e9 / config.measure_ns,
+            cstate_entries=cstate_entries,
+            ncap_stats=ncap_stats,
+            trace=self.trace if config.collect_traces else None,
+            server=self.server,
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build and run one cluster experiment."""
+    return Cluster(config).run()

@@ -1,0 +1,22 @@
+"""NCAP — the paper's contribution: packet context-aware power management."""
+
+from repro.core.config import DEFAULT_TEMPLATES, NCAPConfig, aggressive, conservative
+from repro.core.decision_engine import DecisionEngine
+from repro.core.ncap_driver import NCAPDriverExtension
+from repro.core.ncap_nic import NCAPHardware
+from repro.core.ncap_sw import NCAPSoftware
+from repro.core.req_monitor import ReqMonitor
+from repro.core.tx_counter import TxBytesCounter
+
+__all__ = [
+    "DEFAULT_TEMPLATES",
+    "NCAPConfig",
+    "aggressive",
+    "conservative",
+    "DecisionEngine",
+    "NCAPDriverExtension",
+    "NCAPHardware",
+    "NCAPSoftware",
+    "ReqMonitor",
+    "TxBytesCounter",
+]

@@ -1,0 +1,60 @@
+"""NCAP configuration (thresholds from Section 6 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.sim.units import MS, US
+
+
+#: Request templates the paper programs into ReqMonitor's registers for
+#: OLDI workloads: HTTP ``GET`` and Memcached ASCII ``get``/``gets``.
+DEFAULT_TEMPLATES: Tuple[bytes, ...] = (b"GET", b"get")
+
+
+@dataclass(frozen=True)
+class NCAPConfig:
+    """Tunables of ReqMonitor / TxBytesCounter / DecisionEngine.
+
+    Defaults are the values the paper selects after characterizing Apache
+    and Memcached (Section 6): RHT = 35 K RPS, RLT = 5 K RPS, TLT = 5 Mb/s,
+    CIT = 500 µs; the MITT expires every 40–100 µs (we default to 100 µs);
+    a low-activity window of 1 ms arms IT_LOW; FCONS selects conservative
+    (5 steps) versus aggressive (1 step) frequency reduction.
+    """
+
+    rht_rps: float = 35_000.0          # request-rate high threshold
+    rlt_rps: float = 5_000.0           # request-rate low threshold
+    tlt_bps: float = 5_000_000.0       # transmit-rate low threshold (bits/s)
+    cit_ns: int = 500 * US             # core idle-time threshold
+    mitt_period_ns: int = 100 * US     # DecisionEngine evaluation tick
+    low_window_ns: int = 1 * MS        # sustained-low window before IT_LOW
+    fcons: int = 5                     # IT_LOW steps to reach minimum F
+    templates: Tuple[bytes, ...] = DEFAULT_TEMPLATES
+    #: ncap.sw only — SoftIRQ cycles per packet for the software ReqMonitor.
+    sw_inspect_cycles_per_packet: float = 1_500.0
+    #: ncap.sw only — kernel cycles per 1 ms DecisionEngine timer callback.
+    sw_decision_cycles: float = 12_000.0
+    #: ncap.sw only — DecisionEngine timer period (high-resolution timer).
+    sw_timer_period_ns: int = 1 * MS
+
+    def __post_init__(self) -> None:
+        if self.rlt_rps > self.rht_rps:
+            raise ValueError("RLT must not exceed RHT")
+        if self.fcons < 1:
+            raise ValueError("FCONS must be at least 1")
+        if not self.templates:
+            raise ValueError("at least one request template is required")
+        if self.mitt_period_ns <= 0 or self.low_window_ns <= 0:
+            raise ValueError("periods must be positive")
+
+
+def conservative() -> NCAPConfig:
+    """The paper's ``ncap.cons`` (FCONS = 5)."""
+    return NCAPConfig(fcons=5)
+
+
+def aggressive() -> NCAPConfig:
+    """The paper's ``ncap.aggr`` (FCONS = 1)."""
+    return NCAPConfig(fcons=1)

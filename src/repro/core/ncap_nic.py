@@ -1,0 +1,106 @@
+"""The enhanced NIC: wiring ReqMonitor, TxBytesCounter and DecisionEngine
+into a baseline NIC (Figure 5(a)–(c) of the paper).
+
+Everything in this module is *hardware*: packet inspection happens at wire
+arrival (before DMA), the MITT evaluation tick costs no CPU cycles, and
+decisions are delivered to the processor as NIC interrupts with the new
+``IT_HIGH``/``IT_LOW`` ICR bits — which is exactly how NCAP hides the
+P/C-state transition penalty behind the NIC→memory delivery latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import NCAPConfig
+from repro.core.decision_engine import DecisionEngine
+from repro.core.req_monitor import ReqMonitor
+from repro.core.tx_counter import TxBytesCounter
+from repro.net.nic import NIC
+from repro.oskernel.sysfs import SysFS
+from repro.sim.kernel import Event, Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class NCAPHardware:
+    """ReqMonitor + TxBytesCounter + DecisionEngine bolted onto a NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        config: NCAPConfig,
+        cpu_at_max: Callable[[], bool],
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self._sim = sim
+        self.nic = nic
+        self.config = config
+        self.req_monitor = ReqMonitor(config.templates)
+        self.tx_counter = TxBytesCounter()
+        self.engine = DecisionEngine(
+            sim,
+            config,
+            req_count=lambda: self.req_monitor.req_cnt,
+            tx_bytes=lambda: self.tx_counter.tx_bytes,
+            post=nic.post_interrupt_now,
+            last_interrupt_ns=lambda: nic.moderator.last_fire_ns,
+            cpu_at_max=cpu_at_max,
+            enable_cit=True,
+            trace=trace,
+            name=f"{nic.name}.ncap",
+        )
+        nic.rx_hw_taps.append(self.req_monitor.inspect)
+        nic.tx_hw_taps.append(self.tx_counter.observe)
+        self.req_monitor.count_listeners.append(self.engine.on_req_count_change)
+        self._tick_event: Optional[Event] = None
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the MITT evaluation tick."""
+        if self._running:
+            return
+        self._running = True
+        self.engine.start()
+        self._tick_event = self._sim.schedule(
+            self.config.mitt_period_ns, self._mitt_tick
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def _mitt_tick(self) -> None:
+        if not self._running:
+            return
+        self.engine.tick()
+        self._tick_event = self._sim.schedule(
+            self.config.mitt_period_ns, self._mitt_tick
+        )
+
+    # -- administration -------------------------------------------------------
+
+    def register_sysfs(self, sysfs: SysFS, prefix: str = "/sys/class/net/eth0/ncap") -> None:
+        """Expose the paper's programmable registers through sysfs."""
+        sysfs.register(
+            f"{prefix}/templates",
+            read=lambda: ",".join(t.decode("latin-1") for t in self.req_monitor.templates),
+            write=lambda v: self.req_monitor.program_templates(
+                [t.encode("latin-1") for t in v.split(",") if t]
+            ),
+        )
+        sysfs.register(f"{prefix}/rht_rps", initial=str(self.config.rht_rps))
+        sysfs.register(f"{prefix}/rlt_rps", initial=str(self.config.rlt_rps))
+        sysfs.register(f"{prefix}/tlt_bps", initial=str(self.config.tlt_bps))
+        sysfs.register(f"{prefix}/cit_us", initial=str(self.config.cit_ns // 1000))
+        sysfs.register(f"{prefix}/fcons", initial=str(self.config.fcons))
+        sysfs.register(
+            f"{prefix}/reqcnt", read=lambda: str(self.req_monitor.req_cnt)
+        )
+        sysfs.register(
+            f"{prefix}/txcnt", read=lambda: str(self.tx_counter.tx_bytes)
+        )

@@ -1,0 +1,25 @@
+"""TxBytesCounter — context-free counting of transmitted bytes.
+
+Section 4.1: responses are usually larger than the Ethernet MTU, so one
+response becomes a chain of TCP segments; detecting latency-critical
+*responses* by content would need complex hardware, and operating at P0
+finishes any transmission sooner anyway.  NCAP therefore just counts bytes
+(``TxCnt``) and lets DecisionEngine derive ``TxRate``.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Frame
+
+
+class TxBytesCounter:
+    """Accumulates transmitted wire bytes."""
+
+    def __init__(self) -> None:
+        self.tx_bytes: int = 0
+        self.frames_observed: int = 0
+
+    def observe(self, frame: Frame) -> None:
+        """Hardware tap on the NIC transmit path."""
+        self.frames_observed += 1
+        self.tx_bytes += frame.wire_bytes

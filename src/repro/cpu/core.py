@@ -1,0 +1,394 @@
+"""Preemptible core execution engine.
+
+A :class:`Core` executes :class:`Job`\\ s — cycle budgets whose wall-clock
+duration depends on the clock-domain frequency at each instant.  The engine
+supports everything the paper's mechanisms need:
+
+- **Preemption** — hardirq handlers preempt the running job (a job stack),
+  so governor/driver overhead steals real cycles from application work.
+- **Mid-job frequency changes** — remaining cycles are recomputed and the
+  completion event rescheduled whenever the clock domain retunes.
+- **PLL-relock stalls** — :meth:`Core.stall` pauses retirement for the halt
+  window of a DVFS transition (Figure 1 of the paper).
+- **C-states** — :meth:`Core.enter_sleep` / :meth:`Core.wake` model sleep
+  entry and the exit latency of C1/C3/C6; work dispatched to a sleeping core
+  implicitly wakes it and pays the exit latency.
+
+Power bookkeeping is delegated to the attached :class:`PowerMeter`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.cpu.cstates import CState
+from repro.cpu.energy import PowerMeter
+from repro.cpu.power import PowerMode
+from repro.sim.kernel import Event, Simulator
+from repro.sim.units import cycles_to_ns, ns_to_cycles
+
+
+class CoreBusyError(RuntimeError):
+    """Raised when a non-preempting dispatch hits a running core."""
+
+
+class CoreState(enum.Enum):
+    IDLE = "idle"        # C0, no job (polling loop)
+    RUN = "run"          # executing a job
+    STALL = "stall"      # halted for PLL relock
+    SLEEP = "sleep"      # in a C-state
+    WAKING = "waking"    # exiting a C-state
+
+
+class Job:
+    """A unit of work measured in core cycles."""
+
+    __slots__ = ("name", "total_cycles", "remaining", "on_complete", "kernel")
+
+    def __init__(
+        self,
+        cycles: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        name: str = "",
+        kernel: bool = False,
+    ):
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.name = name
+        self.total_cycles = float(cycles)
+        self.remaining = float(cycles)
+        self.on_complete = on_complete
+        self.kernel = kernel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.name!r}, remaining={self.remaining:.0f})"
+
+
+class Core:
+    """One processor core inside a clock/voltage domain (its package)."""
+
+    def __init__(self, sim: Simulator, core_id: int, package: "ClockDomain", meter: PowerMeter):
+        self._sim = sim
+        self.core_id = core_id
+        self._package = package
+        self.meter = meter
+        self.state: CoreState = CoreState.IDLE
+        self.on_idle: Optional[Callable[["Core"], None]] = None
+
+        self._current: Optional[Job] = None
+        self._stack: List[Job] = []
+        self._pending: Deque[Job] = deque()
+        self._completion: Optional[Event] = None
+        self._stall_end: Optional[Event] = None
+        self._wake_end: Optional[Event] = None
+        self._run_started: int = 0
+        self._cumulative_busy_ns: int = 0
+        self._cstate: Optional[CState] = None
+        self._idle_since: int = sim.now
+        self.cstate_entries: Dict[str, int] = {}
+        self.wake_extra_ns: int = 0  # optional MWAIT/MONITOR overhead
+        # Idle-period bookkeeping consumed by the cpuidle governors.  The
+        # boot-time idle period is not counted (it would record a degenerate
+        # duration and poison the governor's history).
+        self.last_idle_duration_ns: int = 0
+        self.idle_periods_completed: int = 0
+        self._boot_idle = True
+        #: Optional trace channel recording C-state transitions as
+        #: (time, state index); 0 = awake.  Wired by the node builder for
+        #: Figure 4(b) style analyses.
+        self.cstate_channel = None
+
+        meter.start(PowerMode.IDLE_POLL, package.voltage, package.frequency_hz)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def package(self) -> "ClockDomain":
+        return self._package
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the core can accept a job without preempting/queueing."""
+        return self.state is CoreState.IDLE
+
+    @property
+    def is_sleeping(self) -> bool:
+        return self.state is CoreState.SLEEP
+
+    @property
+    def current_cstate(self) -> Optional[CState]:
+        """The C-state the core is in (or waking from), if any."""
+        return self._cstate
+
+    @property
+    def current_job(self) -> Optional[Job]:
+        return self._current
+
+    @property
+    def idle_since(self) -> int:
+        """Time the core last became idle (valid while IDLE/SLEEP/WAKING)."""
+        return self._idle_since
+
+    def busy_ns_total(self) -> int:
+        """Cumulative busy time (RUN state), including the open segment."""
+        total = self._cumulative_busy_ns
+        if self.state is CoreState.RUN:
+            total += self._sim.now - self._run_started
+        return total
+
+    def queue_depth(self) -> int:
+        """Jobs waiting on this core (pending handlers + preempted stack)."""
+        return len(self._pending) + len(self._stack)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(self, job: Job, preempt: bool = False) -> None:
+        """Hand ``job`` to this core.
+
+        - IDLE: starts immediately.
+        - RUN: preempts the running job when ``preempt`` else raises
+          :class:`CoreBusyError` (the scheduler must only target idle cores).
+        - STALL/WAKING: queued; runs when the core becomes available.
+        - SLEEP: queued and the core is woken (pays the exit latency).
+        """
+        state = self.state
+        if state is CoreState.IDLE:
+            self._start(job)
+        elif state is CoreState.RUN:
+            if not preempt:
+                raise CoreBusyError(f"core {self.core_id} is running {self._current!r}")
+            self._pause_current(push=True)
+            self._start(job)
+        elif state in (CoreState.STALL, CoreState.WAKING):
+            self._pending.append(job)
+        elif state is CoreState.SLEEP:
+            self._pending.append(job)
+            self.wake()
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(state)
+
+    def enqueue_pending(self, job: Job) -> None:
+        """Queue ``job`` to run as soon as the core is next available —
+        after the current job but before any preempted work resumes.
+
+        Used for SoftIRQ chaining: softirqs raised while a kernel job runs
+        drain FIFO instead of preempting each other.
+        """
+        if self.state is CoreState.SLEEP:
+            self._pending.append(job)
+            self.wake()
+        elif self.state is CoreState.IDLE:
+            self._start(job)
+        else:
+            self._pending.append(job)
+
+    # -- execution internals -------------------------------------------------
+
+    def _start(self, job: Job) -> None:
+        if self.state in (CoreState.IDLE, CoreState.WAKING):
+            # An idle period (possibly spent in a C-state) ends now.
+            if self._boot_idle:
+                self._boot_idle = False
+            else:
+                self.last_idle_duration_ns = self._sim.now - self._idle_since
+                self.idle_periods_completed += 1
+        self._current = job
+        self.state = CoreState.RUN
+        self._run_started = self._sim.now
+        self.meter.set_mode(
+            PowerMode.RUN, self._package.voltage, self._package.frequency_hz
+        )
+        duration = cycles_to_ns(job.remaining, self._package.frequency_hz)
+        self._completion = self._sim.schedule(duration, self._complete)
+
+    def _pause_current(self, push: bool) -> None:
+        job = self._current
+        assert job is not None
+        elapsed = self._sim.now - self._run_started
+        if elapsed > 0:
+            job.remaining = max(
+                0.0, job.remaining - ns_to_cycles(elapsed, self._package.frequency_hz)
+            )
+            self._cumulative_busy_ns += elapsed
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._current = None
+        if push:
+            self._stack.append(job)
+
+    def _complete(self) -> None:
+        job = self._current
+        assert job is not None
+        self._cumulative_busy_ns += self._sim.now - self._run_started
+        job.remaining = 0.0
+        self._current = None
+        self._completion = None
+        self._maybe_run_next()
+        if job.on_complete is not None:
+            job.on_complete()
+
+    def _maybe_run_next(self) -> None:
+        if self._pending:
+            self._start(self._pending.popleft())
+        elif self._stack:
+            self._start(self._stack.pop())
+        else:
+            self.state = CoreState.IDLE
+            self._idle_since = self._sim.now
+            self._cstate = None
+            self.meter.set_mode(
+                PowerMode.IDLE_POLL, self._package.voltage, self._package.frequency_hz
+            )
+            if self.on_idle is not None:
+                self.on_idle(self)
+
+    # -- DVFS interaction ------------------------------------------------------
+
+    def stall(self, duration_ns: int) -> None:
+        """Halt retirement for ``duration_ns`` (PLL relock window).
+
+        Sleeping/waking cores are unaffected: their clock is already off.
+        """
+        if self.state in (CoreState.SLEEP, CoreState.WAKING):
+            return
+        if self.state is CoreState.STALL:
+            # Overlapping transitions are serialized by the package; extend.
+            assert self._stall_end is not None
+            if self._sim.now + duration_ns > self._stall_end.time:
+                self._stall_end.cancel()
+                self._stall_end = self._sim.schedule(duration_ns, self._stall_done)
+            return
+        if self.state is CoreState.RUN:
+            self._pause_current(push=True)
+        self.state = CoreState.STALL
+        self.meter.set_mode(
+            PowerMode.STALL, self._package.voltage, self._package.frequency_hz
+        )
+        self._stall_end = self._sim.schedule(duration_ns, self._stall_done)
+
+    def _stall_done(self) -> None:
+        self._stall_end = None
+        self._maybe_run_next()
+
+    def on_clock_change(self, old_freq_hz: float) -> None:
+        """The clock domain retuned: recompute the running job's completion.
+
+        ``old_freq_hz`` is the frequency at which progress so far retired.
+        """
+        freq = self._package.frequency_hz
+        voltage = self._package.voltage
+        if self.state is CoreState.RUN:
+            job = self._current
+            assert job is not None
+            elapsed = self._sim.now - self._run_started
+            if elapsed > 0:
+                job.remaining = max(
+                    0.0, job.remaining - ns_to_cycles(elapsed, old_freq_hz)
+                )
+                self._cumulative_busy_ns += elapsed
+                self._run_started = self._sim.now
+            if self._completion is not None:
+                self._completion.cancel()
+            self._completion = self._sim.schedule(
+                cycles_to_ns(job.remaining, freq), self._complete
+            )
+        if self.state is CoreState.SLEEP:
+            # C3/C6 hold their own retention voltage; only C1 tracks the
+            # domain voltage.
+            if self._cstate is not None and self._cstate.name == "C1":
+                self.meter.set_mode(self.meter.mode, voltage, freq)
+            return
+        self.meter.set_mode(self.meter.mode, voltage, freq)
+
+    # -- C-states ----------------------------------------------------------------
+
+    @staticmethod
+    def _sleep_mode(cstate: CState) -> PowerMode:
+        return {"C1": PowerMode.C1, "C3": PowerMode.C3, "C6": PowerMode.C6}.get(
+            cstate.name, PowerMode.C1
+        )
+
+    def _begin_sleep_power(self, cstate: CState) -> None:
+        """Charge the entry transition, then settle at the state's power.
+
+        During ``entry_latency_ns`` the core draws transition power (state
+        save, cache flush) — this is what makes very short sleep visits a
+        net energy loss (the churn the paper's [11] describes).
+        """
+        if cstate.entry_latency_ns > 0:
+            self.meter.set_mode(
+                PowerMode.WAKING, self._package.voltage, self._package.frequency_hz
+            )
+            self._sim.schedule(
+                cstate.entry_latency_ns, self._sleep_entry_done, cstate
+            )
+        else:
+            self.meter.set_mode(
+                self._sleep_mode(cstate), self._package.voltage, self._package.frequency_hz
+            )
+
+    def _sleep_entry_done(self, cstate: CState) -> None:
+        if self.state is CoreState.SLEEP and self._cstate is cstate:
+            self.meter.set_mode(
+                self._sleep_mode(cstate), self._package.voltage, self._package.frequency_hz
+            )
+
+    def enter_sleep(self, cstate: CState) -> None:
+        """Transition an IDLE core into ``cstate``."""
+        if self.state is not CoreState.IDLE:
+            raise RuntimeError(
+                f"core {self.core_id} cannot sleep from state {self.state}"
+            )
+        self.state = CoreState.SLEEP
+        self._cstate = cstate
+        self.cstate_entries[cstate.name] = self.cstate_entries.get(cstate.name, 0) + 1
+        if self.cstate_channel is not None:
+            self.cstate_channel.record(self._sim.now, cstate.index)
+        self._begin_sleep_power(cstate)
+
+    def promote_sleep(self, deeper: CState) -> None:
+        """Move a sleeping core into a deeper C-state without waking it.
+
+        Models the cheap re-entry a real idle loop performs when the tick
+        (or a governor re-evaluation) finds the core has already been idle
+        far longer than predicted; the deeper state's entry transition is
+        charged, and its exit latency is paid on the eventual wake.
+        """
+        if self.state is not CoreState.SLEEP:
+            raise RuntimeError(
+                f"core {self.core_id} cannot promote from state {self.state}"
+            )
+        assert self._cstate is not None
+        if deeper.index <= self._cstate.index:
+            return
+        self._cstate = deeper
+        self.cstate_entries[deeper.name] = self.cstate_entries.get(deeper.name, 0) + 1
+        if self.cstate_channel is not None:
+            self.cstate_channel.record(self._sim.now, deeper.index)
+        self._begin_sleep_power(deeper)
+
+    def wake(self) -> None:
+        """Begin exiting the current C-state (idempotent while waking)."""
+        if self.state is not CoreState.SLEEP:
+            return
+        assert self._cstate is not None
+        self.state = CoreState.WAKING
+        self.meter.set_mode(
+            PowerMode.WAKING, self._package.voltage, self._package.frequency_hz
+        )
+        delay = self._cstate.exit_latency_ns + self.wake_extra_ns
+        self._wake_end = self._sim.schedule(delay, self._wake_done)
+
+    def _wake_done(self) -> None:
+        self._wake_end = None
+        self._cstate = None
+        if self.cstate_channel is not None:
+            self.cstate_channel.record(self._sim.now, 0)
+        self._maybe_run_next()

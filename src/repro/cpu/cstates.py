@@ -1,0 +1,109 @@
+"""Processor sleep states (ACPI C-states).
+
+The paper models three sleep states beyond C0 (see Table 1 and Section 5):
+
+=====  =========  ============  =========  ==========================
+state  meaning    exit latency  residency  power (Section 5 assumptions)
+=====  =========  ============  =========  ==========================
+C1     halt       2 µs          10 µs      static power at current V
+C3     sleep      10 µs         22 µs/40µs static power at 0.6 V (1.64 W)
+C6     off        22 µs         150 µs     ~zero
+=====  =========  ============  =========  ==========================
+
+The *residency* is the minimum time a core should stay in a C-state for the
+transition to be worth its energy cost; the menu governor compares its idle
+prediction against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.sim.units import US
+
+
+@dataclass(frozen=True)
+class CState:
+    """One sleep state.
+
+    ``entry_latency_ns`` is the time spent *entering* the state (clock
+    gating, state save, cache flush for C6) during which the core still
+    draws transition power.  It is why very short C-state visits cost more
+    energy than they save — the churn effect the paper cites ([11]) and the
+    reason NCAP disables the menu governor during request bursts.
+    """
+
+    name: str
+    index: int
+    exit_latency_ns: int
+    target_residency_ns: int
+    entry_latency_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exit_latency_ns < 0 or self.target_residency_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.entry_latency_ns < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+def default_cstates() -> Tuple[CState, ...]:
+    """The paper's C1/C3/C6 ladder (exit 2/10/22 µs, residency 10/40/150 µs)."""
+    return (
+        CState("C1", 1, exit_latency_ns=2 * US, target_residency_ns=10 * US,
+               entry_latency_ns=1 * US),
+        CState("C3", 2, exit_latency_ns=10 * US, target_residency_ns=40 * US,
+               entry_latency_ns=5 * US),
+        CState("C6", 3, exit_latency_ns=22 * US, target_residency_ns=150 * US,
+               entry_latency_ns=15 * US),
+    )
+
+
+class CStateTable:
+    """Ordered (shallow -> deep) table of available C-states."""
+
+    def __init__(self, states: Sequence[CState] = ()):
+        states = tuple(states) if states else default_cstates()
+        for i in range(len(states) - 1):
+            if states[i].exit_latency_ns > states[i + 1].exit_latency_ns:
+                raise ValueError("exit latency must not decrease with depth")
+            if states[i].target_residency_ns > states[i + 1].target_residency_ns:
+                raise ValueError("residency must not decrease with depth")
+        self._states = states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, i: int) -> CState:
+        return self._states[i]
+
+    def __iter__(self):
+        return iter(self._states)
+
+    @property
+    def shallowest(self) -> CState:
+        return self._states[0]
+
+    @property
+    def deepest(self) -> CState:
+        return self._states[-1]
+
+    def by_name(self, name: str) -> CState:
+        for state in self._states:
+            if state.name == name:
+                return state
+        raise KeyError(name)
+
+    def deepest_allowed(
+        self, predicted_idle_ns: int, latency_limit_ns: int
+    ) -> "CState | None":
+        """Deepest state whose residency fits the prediction and whose exit
+        latency respects the limit; None if no state qualifies."""
+        chosen = None
+        for state in self._states:
+            if state.target_residency_ns > predicted_idle_ns:
+                break
+            if state.exit_latency_ns > latency_limit_ns:
+                break
+            chosen = state
+        return chosen

@@ -1,0 +1,144 @@
+"""Processor performance states (ACPI P-states) and DVFS transition timing.
+
+Table 1 of the paper configures 15 P-states spanning 0.65 V / 0.8 GHz to
+1.2 V / 3.1 GHz (an Intel i7-3770-like part).  P0 is the highest-performance
+state; larger indices are deeper (slower, lower-voltage) states.
+
+Figure 1 of the paper defines the transition timing model reproduced by
+:class:`DVFSTimingModel`:
+
+- To **raise** V/F, voltage ramps up first at 6.25 mV/µs while the core keeps
+  running at the old frequency; then the PLL relocks (~5 µs) during which the
+  core must halt; then the new frequency takes effect.
+- To **lower** V/F, the PLL relocks first (~5 µs halt), then voltage drops
+  (no stall attributable to the voltage change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim.units import US, ghz
+
+
+@dataclass(frozen=True)
+class PState:
+    """One performance state: an (index, frequency, voltage) operating point."""
+
+    index: int
+    freq_hz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+
+
+class PStateTable:
+    """An ordered table of P-states, index 0 = highest performance."""
+
+    def __init__(self, states: Sequence[PState]):
+        if not states:
+            raise ValueError("P-state table must not be empty")
+        for i, state in enumerate(states):
+            if state.index != i:
+                raise ValueError(f"P-state at position {i} has index {state.index}")
+        freqs = [s.freq_hz for s in states]
+        if any(freqs[i] <= freqs[i + 1] for i in range(len(freqs) - 1)):
+            raise ValueError("frequencies must strictly decrease with index")
+        self._states: Tuple[PState, ...] = tuple(states)
+
+    @classmethod
+    def linear(
+        cls,
+        count: int = 15,
+        f_max_hz: float = ghz(3.1),
+        f_min_hz: float = ghz(0.8),
+        v_max: float = 1.2,
+        v_min: float = 0.65,
+    ) -> "PStateTable":
+        """Build a table with linearly spaced F and V (Table 1 defaults)."""
+        if count < 2:
+            raise ValueError("need at least two P-states")
+        states = []
+        for i in range(count):
+            frac = i / (count - 1)
+            states.append(
+                PState(
+                    index=i,
+                    freq_hz=f_max_hz - frac * (f_max_hz - f_min_hz),
+                    voltage=v_max - frac * (v_max - v_min),
+                )
+            )
+        return cls(states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, index: int) -> PState:
+        return self._states[index]
+
+    def __iter__(self):
+        return iter(self._states)
+
+    @property
+    def p0(self) -> PState:
+        """The highest-performance state."""
+        return self._states[0]
+
+    @property
+    def deepest(self) -> PState:
+        """The lowest-performance (deepest) state."""
+        return self._states[-1]
+
+    @property
+    def max_index(self) -> int:
+        return len(self._states) - 1
+
+    def index_for_frequency(self, freq_hz: float) -> int:
+        """Index of the slowest P-state with frequency >= ``freq_hz``.
+
+        Mirrors cpufreq's CPUFREQ_RELATION_L: pick the lowest frequency at
+        or above the target (clamped to the table's range).
+        """
+        if freq_hz >= self._states[0].freq_hz:
+            return 0
+        for i in range(len(self._states) - 1, -1, -1):
+            if self._states[i].freq_hz >= freq_hz:
+                return i
+        return 0
+
+    def clamp_index(self, index: int) -> int:
+        return max(0, min(self.max_index, index))
+
+
+@dataclass(frozen=True)
+class DVFSTimingModel:
+    """Timing of P-state transitions (Figure 1 of the paper).
+
+    ``plan(old, new)`` returns ``(ramp_ns, halt_ns)``:
+
+    - ``ramp_ns`` — time spent ramping voltage *before* the frequency switch,
+      during which cores continue running at the old frequency.
+    - ``halt_ns`` — PLL relock window during which every core in the clock
+      domain must halt.
+    """
+
+    v_ramp_rate_mv_per_us: float = 6.25
+    pll_relock_ns: int = 5 * US
+
+    def plan(self, old: PState, new: PState) -> Tuple[int, int]:
+        if new.voltage > old.voltage:
+            delta_mv = (new.voltage - old.voltage) * 1000.0
+            ramp_ns = round(delta_mv / self.v_ramp_rate_mv_per_us * US)
+        else:
+            ramp_ns = 0
+        return ramp_ns, self.pll_relock_ns
+
+    def total_latency_ns(self, old: PState, new: PState) -> int:
+        """End-to-end transition latency (ramp + halt)."""
+        ramp_ns, halt_ns = self.plan(old, new)
+        return ramp_ns + halt_ns

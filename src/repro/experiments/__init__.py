@@ -1,0 +1,27 @@
+"""One runner per paper table/figure, plus ablations of NCAP's knobs."""
+
+from repro.experiments import (
+    ablations,
+    datacenter,
+    fig1_dvfs_timing,
+    fig2_ondemand_period,
+    fig4_correlation,
+    fig7_latency_load,
+    headline,
+    percore,
+    policy_comparison,
+)
+from repro.experiments.common import RunSettings
+
+__all__ = [
+    "ablations",
+    "datacenter",
+    "fig1_dvfs_timing",
+    "fig2_ondemand_period",
+    "fig4_correlation",
+    "fig7_latency_load",
+    "headline",
+    "percore",
+    "policy_comparison",
+    "RunSettings",
+]

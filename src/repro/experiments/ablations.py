@@ -1,0 +1,163 @@
+"""Ablations of NCAP's design parameters (our additions, motivated by
+Sections 4.3 and 7 of the paper).
+
+- **RHT sweep** — how sensitive is the boost trigger to the request-rate
+  high threshold?  Too low: spurious boosts burn energy; too high: bursts
+  go undetected and latency degrades toward ond.idle.
+- **CIT sweep** — the idle-time threshold for the immediate IT_RX wake.
+- **FCONS sweep** — conservative-versus-aggressive frequency descent (the
+  paper evaluates 1 and 5; we sweep the range).
+- **TOE slack** (Section 7) — a TCP-offload NIC holds packets longer
+  before delivery; NCAP gets more slack to hide wake-ups, so its latency
+  should hold while the baseline's grows with the delivery latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.workload import load_level
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.core.config import NCAPConfig
+from repro.experiments.common import RunSettings
+from repro.metrics.report import format_table
+from repro.net.interrupts import ModerationConfig
+from repro.sim.units import US
+
+
+@dataclass
+class AblationPoint:
+    parameter: str
+    value: float
+    policy: str
+    p95_ms: float
+    energy_j: float
+    it_high_posts: int
+    immediate_rx_posts: int
+
+
+def _run_point(
+    parameter: str,
+    value: float,
+    config: ExperimentConfig,
+) -> AblationPoint:
+    result = run_experiment(config)
+    return AblationPoint(
+        parameter=parameter,
+        value=value,
+        policy=result.policy_name,
+        p95_ms=result.latency.p95_ns / 1e6,
+        energy_j=result.energy.energy_j,
+        it_high_posts=result.ncap_stats.get("it_high_posts", 0),
+        immediate_rx_posts=result.ncap_stats.get("immediate_rx_posts", 0),
+    )
+
+
+def sweep_rht(
+    values_rps: Sequence[float] = (5_000, 15_000, 35_000, 70_000, 140_000),
+    app: str = "apache",
+    load: str = "low",
+    settings: RunSettings = RunSettings.quick(),
+) -> List[AblationPoint]:
+    level = load_level(app, load)
+    points = []
+    for rht in values_rps:
+        config = ExperimentConfig(
+            app=app, policy="ncap.cons", target_rps=level.target_rps,
+            ncap_base_config=NCAPConfig(rht_rps=rht),
+            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns, seed=settings.seed,
+        )
+        points.append(_run_point("RHT (RPS)", rht, config))
+    return points
+
+
+def sweep_cit(
+    values_us: Sequence[float] = (100, 250, 500, 1_000, 2_000),
+    app: str = "memcached",
+    load: str = "low",
+    settings: RunSettings = RunSettings.quick(),
+) -> List[AblationPoint]:
+    level = load_level(app, load)
+    points = []
+    for cit_us in values_us:
+        config = ExperimentConfig(
+            app=app, policy="ncap.cons", target_rps=level.target_rps,
+            ncap_base_config=NCAPConfig(cit_ns=round(cit_us * US)),
+            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns, seed=settings.seed,
+        )
+        points.append(_run_point("CIT (us)", cit_us, config))
+    return points
+
+
+def sweep_fcons(
+    values: Sequence[int] = (1, 2, 3, 5, 8),
+    app: str = "apache",
+    load: str = "medium",
+    settings: RunSettings = RunSettings.quick(),
+) -> List[AblationPoint]:
+    from repro.cluster.policies import PolicyConfig
+
+    level = load_level(app, load)
+    points = []
+    for fcons in values:
+        policy = PolicyConfig(
+            f"ncap.f{fcons}", governor="ondemand", cstates=True, ncap="hw",
+            fcons=fcons,
+        )
+        config = ExperimentConfig(
+            app=app, policy=policy, target_rps=level.target_rps,
+            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns, seed=settings.seed,
+        )
+        points.append(_run_point("FCONS", fcons, config))
+    return points
+
+
+def sweep_toe_slack(
+    dma_latency_us: Sequence[float] = (10, 25, 50, 80),
+    policies: Sequence[str] = ("ond.idle", "ncap.cons"),
+    app: str = "apache",
+    load: str = "low",
+    settings: RunSettings = RunSettings.quick(),
+) -> List[AblationPoint]:
+    """Section 7: a TOE NIC holds packets longer inside the NIC; NCAP gains
+    overlap slack while reactive policies inherit the full extra latency."""
+    level = load_level(app, load)
+    points = []
+    for dma_us in dma_latency_us:
+        for policy in policies:
+            config = ExperimentConfig(
+                app=app, policy=policy, target_rps=level.target_rps,
+                nic_dma_latency_ns=round(dma_us * US),
+                warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
+                drain_ns=settings.drain_ns, seed=settings.seed,
+            )
+            result = run_experiment(config)
+            points.append(
+                AblationPoint(
+                    parameter="DMA hold (us)",
+                    value=dma_us,
+                    policy=policy,
+                    p95_ms=result.latency.p95_ns / 1e6,
+                    energy_j=result.energy.energy_j,
+                    it_high_posts=result.ncap_stats.get("it_high_posts", 0),
+                    immediate_rx_posts=result.ncap_stats.get("immediate_rx_posts", 0),
+                )
+            )
+    return points
+
+
+def format_report(points: List[AblationPoint], title: str) -> str:
+    return format_table(
+        ["parameter", "value", "policy", "p95 (ms)", "energy (J)",
+         "IT_HIGH", "imm. IT_RX"],
+        [
+            [p.parameter, p.value, p.policy, round(p.p95_ms, 2),
+             round(p.energy_j, 2), p.it_high_posts, p.immediate_rx_posts]
+            for p in points
+        ],
+        title=title,
+    )

@@ -1,0 +1,33 @@
+"""Shared experiment plumbing: run-length presets and small helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """How long each cluster run simulates.
+
+    ``quick`` keeps full benchmark sweeps to a few minutes of wall time;
+    ``full`` uses longer windows for tighter percentiles.
+    """
+
+    warmup_ns: int
+    measure_ns: int
+    drain_ns: int
+    seed: int = 1
+
+    @classmethod
+    def quick(cls, seed: int = 1) -> "RunSettings":
+        return cls(warmup_ns=20 * MS, measure_ns=150 * MS, drain_ns=80 * MS, seed=seed)
+
+    @classmethod
+    def standard(cls, seed: int = 1) -> "RunSettings":
+        return cls(warmup_ns=20 * MS, measure_ns=250 * MS, drain_ns=100 * MS, seed=seed)
+
+    @classmethod
+    def full(cls, seed: int = 1) -> "RunSettings":
+        return cls(warmup_ns=40 * MS, measure_ns=600 * MS, drain_ns=150 * MS, seed=seed)

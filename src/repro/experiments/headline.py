@@ -1,0 +1,104 @@
+"""The paper's headline numbers, derived from the Figure 8/9 runs.
+
+Abstract / Section 1 claims:
+
+- a server deploying NCAP consumes **37–61 % lower processor energy than
+  the baseline** (``perf``) while satisfying the SLA (low-to-medium load);
+- NCAP consumes **21–49 % lower energy than the most energy-efficient
+  SLA-satisfying conventional policy**;
+- ``ncap.sw`` saves less and degrades latency relative to hardware NCAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.policy_comparison import ComparisonResult
+from repro.metrics.report import format_table
+
+CONVENTIONAL = ("perf", "ond", "perf.idle", "ond.idle")
+NCAP_HW = ("ncap.cons", "ncap.aggr")
+
+
+@dataclass
+class HeadlineRow:
+    app: str
+    load: str
+    best_ncap: str
+    ncap_vs_perf_saving_pct: float
+    best_conventional: Optional[str]
+    ncap_vs_conventional_saving_pct: Optional[float]
+    ncap_sw_vs_perf_saving_pct: float
+    ncap_meets_sla: bool
+
+
+def derive(results: Sequence[ComparisonResult], loads=("low", "medium")) -> List[HeadlineRow]:
+    """Compute the headline comparisons at the low/medium load levels."""
+    rows: List[HeadlineRow] = []
+    for comparison in results:
+        for load in loads:
+            ncap_rows = [
+                comparison.row(p, load) for p in NCAP_HW
+                if _has(comparison, p, load)
+            ]
+            ncap_rows = [r for r in ncap_rows if r.meets_sla] or ncap_rows
+            best_ncap = min(ncap_rows, key=lambda r: r.energy_rel_perf)
+
+            conventional = [
+                comparison.row(p, load) for p in CONVENTIONAL
+                if _has(comparison, p, load)
+            ]
+            sla_ok = [r for r in conventional if r.meets_sla]
+            best_conv = (
+                min(sla_ok, key=lambda r: r.energy_rel_perf) if sla_ok else None
+            )
+            sw = comparison.row("ncap.sw", load) if _has(comparison, "ncap.sw", load) else None
+            rows.append(
+                HeadlineRow(
+                    app=comparison.app,
+                    load=load,
+                    best_ncap=best_ncap.policy,
+                    ncap_vs_perf_saving_pct=(1 - best_ncap.energy_rel_perf) * 100,
+                    best_conventional=best_conv.policy if best_conv else None,
+                    ncap_vs_conventional_saving_pct=(
+                        (1 - best_ncap.energy_rel_perf / best_conv.energy_rel_perf) * 100
+                        if best_conv
+                        else None
+                    ),
+                    ncap_sw_vs_perf_saving_pct=(
+                        (1 - sw.energy_rel_perf) * 100 if sw else float("nan")
+                    ),
+                    ncap_meets_sla=best_ncap.meets_sla,
+                )
+            )
+    return rows
+
+
+def _has(comparison: ComparisonResult, policy: str, load: str) -> bool:
+    try:
+        comparison.row(policy, load)
+        return True
+    except KeyError:
+        return False
+
+
+def format_report(rows: List[HeadlineRow]) -> str:
+    table = format_table(
+        ["app", "load", "best NCAP", "vs perf (%)", "best conv (SLA-ok)",
+         "vs conv (%)", "ncap.sw vs perf (%)", "NCAP SLA"],
+        [
+            [r.app, r.load, r.best_ncap, round(r.ncap_vs_perf_saving_pct, 1),
+             r.best_conventional or "-",
+             round(r.ncap_vs_conventional_saving_pct, 1)
+             if r.ncap_vs_conventional_saving_pct is not None else "-",
+             round(r.ncap_sw_vs_perf_saving_pct, 1),
+             "ok" if r.ncap_meets_sla else "VIOLATED"]
+            for r in rows
+        ],
+        title="Headline — NCAP energy savings (paper: 37-61% vs baseline, "
+              "21-49% vs best SLA-satisfying conventional)",
+    )
+    savings = [r.ncap_vs_perf_saving_pct for r in rows]
+    table += f"\nNCAP-vs-baseline saving range: {min(savings):.0f}% .. {max(savings):.0f}%"
+    return table

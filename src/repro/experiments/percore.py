@@ -1,0 +1,151 @@
+"""Section 7 extension — per-core NCAP versus chip-wide NCAP.
+
+The paper argues a multi-queue NIC lets NCAP retune only the target core,
+improving on the chip-wide P/C-state changes its evaluation platform
+forces.  This experiment runs the same workload against:
+
+- the chip-wide :class:`ServerNode` under ``ncap.cons``, and
+- the :class:`PerCoreServerNode` (per-core V/F domains, one NCAP per
+  rx queue, RFS-style core affinity),
+
+and reports latency and energy side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.client import (
+    OpenLoopClient,
+    http_request_factory,
+    memcached_request_factory,
+)
+from repro.apps.workload import burst_period_ns, default_burst_size, load_level, sla_for
+from repro.cluster.percore_node import PerCoreServerNode
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.experiments.common import RunSettings
+from repro.metrics.energy import energy_delta
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import format_table
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.units import US, gbps
+
+
+@dataclass
+class VariantResult:
+    variant: str
+    p95_ms: float
+    p99_ms: float
+    energy_j: float
+    meets_sla: bool
+    wake_posts: int
+
+
+def run_percore(
+    app: str,
+    target_rps: float,
+    settings: RunSettings = RunSettings.standard(),
+    n_clients: int = 3,
+    fcons: int = 5,
+) -> VariantResult:
+    """One run of the per-core NCAP server in the standard star topology."""
+    sim = Simulator()
+    rng = RngRegistry(settings.seed)
+    server = PerCoreServerNode(sim, "server", app, rng, fcons=fcons)
+    switch = Switch(sim)
+    burst_size = default_burst_size(app)
+    period = burst_period_ns(target_rps, n_clients, burst_size)
+    clients: List[OpenLoopClient] = []
+    for i in range(n_clients):
+        name = f"client{i}"
+        if app == "apache":
+            factory = http_request_factory(name, "server")
+        else:
+            factory = memcached_request_factory(
+                name, "server", rng=rng.stream(f"{name}.keys")
+            )
+        clients.append(
+            OpenLoopClient(
+                sim, name, factory, burst_size=burst_size, burst_period_ns=period,
+                jitter_rng=rng.stream(f"{name}.jitter"), jitter_fraction=0.30,
+            )
+        )
+    server_link = Link(sim, gbps(10), 1 * US)
+    server_link.attach(server, switch)
+    server.attach_port(server_link.endpoint_port(server))
+    switch.attach_link(server_link, "server")
+    for client in clients:
+        link = Link(sim, gbps(10), 1 * US)
+        link.attach(client, switch)
+        client.attach_port(link.endpoint_port(client))
+        switch.attach_link(link, client.name)
+
+    server.start()
+    for client in clients:
+        client.start()
+    window_start = settings.warmup_ns
+    window_end = settings.warmup_ns + settings.measure_ns
+    snapshots = {}
+    sim.schedule_at(window_start, lambda: snapshots.__setitem__("a", server.energy_report()))
+    sim.schedule_at(window_end, lambda: snapshots.__setitem__("b", server.energy_report()))
+    for client in clients:
+        sim.schedule_at(window_end, client.stop)
+    sim.run(until=window_end + settings.drain_ns)
+
+    rtts = []
+    for client in clients:
+        rtts.extend(client.rtts_in_window(window_start, window_end))
+    latency = LatencyStats.from_values(rtts)
+    energy = energy_delta(snapshots["a"], snapshots["b"])
+    return VariantResult(
+        variant="ncap.percore",
+        p95_ms=latency.p95_ns / 1e6,
+        p99_ms=latency.p99_ns / 1e6,
+        energy_j=energy.energy_j,
+        meets_sla=latency.meets_sla(sla_for(app)),
+        wake_posts=server.total_it_high_posts() + server.total_immediate_rx_posts(),
+    )
+
+
+def run(
+    app: str = "memcached",
+    load: str = "low",
+    settings: RunSettings = RunSettings.standard(),
+) -> List[VariantResult]:
+    """Chip-wide ncap.cons versus per-core NCAP on the same workload."""
+    level = load_level(app, load)
+    chipwide = run_experiment(
+        ExperimentConfig(
+            app=app, policy="ncap.cons", target_rps=level.target_rps,
+            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns, seed=settings.seed,
+        )
+    )
+    chipwide_row = VariantResult(
+        variant="ncap.cons (chip-wide)",
+        p95_ms=chipwide.latency.p95_ns / 1e6,
+        p99_ms=chipwide.latency.p99_ns / 1e6,
+        energy_j=chipwide.energy.energy_j,
+        meets_sla=chipwide.meets_sla,
+        wake_posts=chipwide.ncap_stats.get("it_high_posts", 0)
+        + chipwide.ncap_stats.get("immediate_rx_posts", 0),
+    )
+    percore_row = run_percore(app, level.target_rps, settings=settings)
+    return [chipwide_row, percore_row]
+
+
+def format_report(rows: List[VariantResult], app: str, load: str) -> str:
+    return format_table(
+        ["variant", "p95 (ms)", "p99 (ms)", "energy (J)", "SLA", "wake posts"],
+        [
+            [r.variant, round(r.p95_ms, 2), round(r.p99_ms, 2),
+             round(r.energy_j, 2), "ok" if r.meets_sla else "VIOLATED",
+             r.wake_posts]
+            for r in rows
+        ],
+        title=f"Section 7 — per-core vs chip-wide NCAP ({app} @ {load})",
+    )

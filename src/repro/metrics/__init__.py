@@ -1,0 +1,22 @@
+"""Metrics: latency percentiles, energy windows, traces, text reports."""
+
+from repro.metrics.energy import average_power_w, energy_delta
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import format_series, format_table, sparkline
+from repro.metrics.timeseries import (
+    UtilizationSampler,
+    bandwidth_series_mbps,
+    normalized_series,
+)
+
+__all__ = [
+    "average_power_w",
+    "energy_delta",
+    "LatencyStats",
+    "format_series",
+    "format_table",
+    "sparkline",
+    "UtilizationSampler",
+    "bandwidth_series_mbps",
+    "normalized_series",
+]

@@ -1,0 +1,86 @@
+"""Trace export: dump recorded channels to CSV for external plotting.
+
+The benchmark suite prints sparkline reports, but anyone regenerating the
+paper's figures in a plotting tool needs the raw series.  These helpers
+write event channels (step functions) and counter channels (binned rates)
+to plain CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.trace import TraceRecorder
+
+
+def export_event_channel(
+    trace: TraceRecorder, channel: str, path: str
+) -> int:
+    """Write one event channel as ``time_ns,value`` rows; returns row count."""
+    ch = trace.event_channel(channel)
+    _ensure_dir(path)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_ns", "value"])
+        for t, v in zip(ch.times, ch.values):
+            writer.writerow([t, v])
+    return len(ch.times)
+
+
+def export_counter_channel(
+    trace: TraceRecorder,
+    channel: str,
+    path: str,
+    start_ns: int,
+    end_ns: int,
+    bin_ns: int,
+) -> int:
+    """Write a counter channel as per-bin ``bin_start_ns,amount`` rows."""
+    ch = trace.counter_channel(channel)
+    bins = ch.binned(start_ns, end_ns, bin_ns)
+    _ensure_dir(path)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["bin_start_ns", "amount"])
+        for i, amount in enumerate(bins):
+            writer.writerow([start_ns + i * bin_ns, amount])
+    return len(bins)
+
+
+def export_figure4_bundle(
+    trace: TraceRecorder,
+    directory: str,
+    start_ns: int,
+    end_ns: int,
+    bin_ns: int,
+    node: str = "server",
+    core_ids: Sequence[int] = (0, 1, 2, 3),
+) -> List[str]:
+    """Export everything a Figure 4 plot needs; returns written paths."""
+    paths = []
+    for channel, kind in (
+        (f"{node}.rx_bytes", "counter"),
+        (f"{node}.tx_bytes", "counter"),
+        (f"{node}.cpu.util", "event"),
+        (f"{node}.cpu.freq_ghz", "event"),
+    ):
+        path = os.path.join(directory, channel.replace(".", "_") + ".csv")
+        if kind == "counter":
+            export_counter_channel(trace, channel, path, start_ns, end_ns, bin_ns)
+        else:
+            export_event_channel(trace, channel, path)
+        paths.append(path)
+    for core_id in core_ids:
+        channel = f"{node}.core{core_id}.cstate"
+        if trace.has_channel(channel):
+            path = os.path.join(directory, channel.replace(".", "_") + ".csv")
+            export_event_channel(trace, channel, path)
+            paths.append(path)
+    return paths
+
+
+def _ensure_dir(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)

@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results (tables and sparklines).
+
+The benchmark harness is headless; these helpers print the same rows and
+series the paper's tables and figures report, so a run's output can be
+compared against the paper by eye (and recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A unicode sparkline of a series, resampled to ``width`` columns."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        stride = len(values) / width
+        values = [
+            max(values[int(i * stride): max(int(i * stride) + 1, int((i + 1) * stride))])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[1] * len(values)
+    out = []
+    for v in values:
+        idx = 1 + round((v - lo) / span * (len(_SPARK_CHARS) - 2))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def format_series(
+    name: str, series: Sequence[Tuple[int, float]], width: int = 60
+) -> str:
+    """Label + sparkline + range annotation for a (time, value) series."""
+    values = [v for _, v in series]
+    if not values:
+        return f"{name}: (empty)"
+    return (
+        f"{name:>12}: {sparkline(values, width)}  "
+        f"[min={min(values):.3g}, max={max(values):.3g}]"
+    )

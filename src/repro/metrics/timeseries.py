@@ -1,0 +1,77 @@
+"""Time-series sampling helpers for Figure 4 / 8 / 9 style traces."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.package import ClockDomain
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import MS
+
+
+class UtilizationSampler:
+    """Periodically samples mean core utilization into a trace channel.
+
+    Pure instrumentation: sampling costs no simulated CPU time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        package: ClockDomain,
+        trace: TraceRecorder,
+        bin_ns: int = 1 * MS,
+        channel: str = "cpu.util",
+    ):
+        self._sim = sim
+        self._package = package
+        self._channel = trace.event_channel(channel)
+        self.bin_ns = bin_ns
+        self._last_busy = package.busy_ns_per_core()
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._last_busy = self._package.busy_ns_per_core()
+        self._sim.schedule(self.bin_ns, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        busy = self._package.busy_ns_per_core()
+        deltas = [b - last for b, last in zip(busy, self._last_busy)]
+        self._last_busy = busy
+        mean_util = sum(deltas) / (len(deltas) * self.bin_ns)
+        self._channel.record(self._sim.now, min(1.0, mean_util))
+        self._sim.schedule(self.bin_ns, self._sample)
+
+
+def bandwidth_series_mbps(
+    trace: TraceRecorder,
+    channel: str,
+    start_ns: int,
+    end_ns: int,
+    bin_ns: int = 1 * MS,
+) -> List[Tuple[int, float]]:
+    """Per-bin bandwidth (Mb/s) from a byte-counter channel."""
+    counter = trace.counter_channel(channel)
+    return [
+        (t, rate_bytes_per_s * 8 / 1e6)
+        for t, rate_bytes_per_s in counter.rate_series(start_ns, end_ns, bin_ns)
+    ]
+
+
+def normalized_series(
+    series: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Normalize a series to its own maximum (the paper's BW plots)."""
+    peak = max((v for _, v in series), default=0.0)
+    if peak <= 0:
+        return [(t, 0.0) for t, _ in series]
+    return [(t, v / peak) for t, v in series]

@@ -1,0 +1,38 @@
+"""Network substrate: frames, links, switch, NIC, interrupt moderation."""
+
+from repro.net.driver import NICDriver
+from repro.net.interrupts import ICR, InterruptModerator, ModerationConfig
+from repro.net.link import Link, LinkPort
+from repro.net.nic import NIC
+from repro.net.packet import (
+    HEADER_BYTES,
+    MSS,
+    MTU,
+    Frame,
+    make_http_request,
+    make_memcached_request,
+    make_response,
+    segments_for,
+    wire_bytes_for,
+)
+from repro.net.switch import Switch
+
+__all__ = [
+    "NICDriver",
+    "ICR",
+    "InterruptModerator",
+    "ModerationConfig",
+    "Link",
+    "LinkPort",
+    "NIC",
+    "HEADER_BYTES",
+    "MSS",
+    "MTU",
+    "Frame",
+    "make_http_request",
+    "make_memcached_request",
+    "make_response",
+    "segments_for",
+    "wire_bytes_for",
+    "Switch",
+]

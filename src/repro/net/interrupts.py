@@ -1,0 +1,110 @@
+"""NIC interrupt plumbing: the ICR register and interrupt-throttling timers.
+
+Section 4.2 of the paper: GbE controllers moderate their interrupt rate
+with five timers — two Absolute ITTs, two Packet ITTs, and one Master ITT.
+We model the externally visible behaviour:
+
+- **PITT** — a short coalescing window after a packet event before an
+  interrupt is posted (lets a burst share one interrupt);
+- **MITT** — a minimum gap between consecutive interrupts, bounding the
+  total interrupt rate (expires every 40–100 µs in the paper);
+- **AITT** — an absolute bound on how long the earliest pending event may
+  wait, capping the delay PITT+MITT can impose.
+
+The **ICR** (Interrupt Cause Read) register accumulates cause bits until
+the driver's top half reads (and clears) it over PCIe.  NCAP adds two new
+cause bits to the unused bits of the ICR: ``IT_HIGH`` and ``IT_LOW``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.units import US
+
+
+class ICR:
+    """Interrupt Cause Read register (read-to-clear)."""
+
+    IT_RX = 0x01
+    IT_TX = 0x02
+    IT_HIGH = 0x04   # NCAP: burst of latency-critical requests detected
+    IT_LOW = 0x08    # NCAP: sustained low activity detected
+
+    def __init__(self) -> None:
+        self._bits = 0
+
+    def set(self, bits: int) -> None:
+        self._bits |= bits
+
+    def peek(self) -> int:
+        return self._bits
+
+    def read_and_clear(self) -> int:
+        bits, self._bits = self._bits, 0
+        return bits
+
+    @staticmethod
+    def describe(bits: int) -> str:
+        names = []
+        for name in ("IT_RX", "IT_TX", "IT_HIGH", "IT_LOW"):
+            if bits & getattr(ICR, name):
+                names.append(name)
+        return "|".join(names) if names else "0"
+
+
+@dataclass(frozen=True)
+class ModerationConfig:
+    """Interrupt-throttling timer settings."""
+
+    pitt_ns: int = 25 * US    # packet coalescing window
+    mitt_ns: int = 100 * US   # minimum inter-interrupt gap (master timer)
+    aitt_ns: int = 200 * US   # absolute cap on the earliest event's wait
+
+
+class InterruptModerator:
+    """Schedules interrupt postings subject to PITT/MITT/AITT."""
+
+    def __init__(self, sim: Simulator, config: ModerationConfig, fire: Callable[[], None]):
+        self._sim = sim
+        self.config = config
+        self._fire_cb = fire
+        self._scheduled: Optional[Event] = None
+        self._first_pending_ns: Optional[int] = None
+        self.last_fire_ns: int = -(10**18)
+        self.interrupts_posted: int = 0
+
+    @property
+    def pending(self) -> bool:
+        return self._scheduled is not None
+
+    def notify_event(self) -> None:
+        """A packet event occurred (frame ready in the rx ring)."""
+        now = self._sim.now
+        if self._first_pending_ns is None:
+            self._first_pending_ns = now
+        if self._scheduled is not None:
+            return  # coalesced into the already-scheduled interrupt
+        target = max(now + self.config.pitt_ns, self.last_fire_ns + self.config.mitt_ns)
+        target = min(target, self._first_pending_ns + self.config.aitt_ns)
+        target = max(target, now)
+        self._scheduled = self._sim.schedule_at(target, self._fire)
+
+    def force_fire_now(self) -> None:
+        """Post an interrupt immediately, bypassing moderation (NCAP)."""
+        if self._scheduled is not None:
+            self._scheduled.cancel()
+            self._scheduled = None
+        self._fire()
+
+    def _fire(self) -> None:
+        self._scheduled = None
+        self._first_pending_ns = None
+        self.last_fire_ns = self._sim.now
+        self.interrupts_posted += 1
+        self._fire_cb()
+
+    def ns_since_last_interrupt(self) -> int:
+        return self._sim.now - self.last_fire_ns

@@ -1,0 +1,125 @@
+"""Full-duplex point-to-point Ethernet links.
+
+Table 1: 10 Gb/s links with 1 µs latency.  Each direction serializes frames
+FIFO at the link bandwidth, then delivers after the propagation latency.
+Endpoints implement ``receive_frame(frame)`` (see :class:`NetDevice`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Protocol
+
+from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.sim.units import US, gbps, transmission_delay_ns
+
+
+class NetDevice(Protocol):
+    """Anything that terminates a link."""
+
+    name: str
+
+    def receive_frame(self, frame: Frame) -> None:  # pragma: no cover
+        ...
+
+
+class _Direction:
+    """One direction of a link: a serializing FIFO plus propagation delay."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float, latency_ns: int):
+        self._sim = sim
+        self._bandwidth = bandwidth_bps
+        self._latency = latency_ns
+        self._queue: Deque[Frame] = deque()
+        self._busy = False
+        self._sink: Optional[NetDevice] = None
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    def attach_sink(self, sink: NetDevice) -> None:
+        self._sink = sink
+
+    def send(self, frame: Frame) -> None:
+        self._queue.append(frame)
+        if not self._busy:
+            self._serialize_next()
+
+    def _serialize_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._queue.popleft()
+        delay = transmission_delay_ns(frame.wire_bytes, self._bandwidth)
+        self._sim.schedule(delay, self._serialized, frame)
+
+    def _serialized(self, frame: Frame) -> None:
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_bytes
+        self._sim.schedule(self._latency, self._deliver, frame)
+        self._serialize_next()
+
+    def _deliver(self, frame: Frame) -> None:
+        assert self._sink is not None, "link endpoint not attached"
+        self._sink.receive_frame(frame)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+
+class Link:
+    """A full-duplex link between two devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = gbps(10),
+        latency_ns: int = 1 * US,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        self._a_to_b = _Direction(sim, bandwidth_bps, latency_ns)
+        self._b_to_a = _Direction(sim, bandwidth_bps, latency_ns)
+        self._a: Optional[NetDevice] = None
+        self._b: Optional[NetDevice] = None
+
+    def attach(self, a: NetDevice, b: NetDevice) -> None:
+        """Connect endpoints ``a`` and ``b``."""
+        self._a, self._b = a, b
+        self._a_to_b.attach_sink(b)
+        self._b_to_a.attach_sink(a)
+
+    def endpoint_port(self, device: NetDevice) -> "LinkPort":
+        """The transmit port ``device`` should use on this link."""
+        if device is self._a:
+            return LinkPort(self._a_to_b, self._b)
+        if device is self._b:
+            return LinkPort(self._b_to_a, self._a)
+        raise ValueError(f"{device!r} is not attached to this link")
+
+
+class LinkPort:
+    """A device's handle for transmitting onto one link direction."""
+
+    def __init__(self, direction: _Direction, peer: Optional[NetDevice]):
+        self._direction = direction
+        self.peer = peer
+
+    def send(self, frame: Frame) -> None:
+        self._direction.send(frame)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._direction.queue_depth
+
+    @property
+    def bytes_carried(self) -> int:
+        return self._direction.bytes_carried
+
+    @property
+    def frames_carried(self) -> int:
+        return self._direction.frames_carried

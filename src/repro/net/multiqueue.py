@@ -1,0 +1,165 @@
+"""Multi-queue NIC (Section 7 of the paper).
+
+A receive-side-scaling NIC: frames are steered to one of N rx queues by a
+stable hash of their source (flow affinity), and each queue has its own
+ring, interrupt moderator, and ICR, delivering interrupts to *its* core.
+Because the target core of every packet is known, the per-queue NCAP
+hardware can retune that core's V/F domain independently — the paper's
+per-core versus chip-wide argument.
+
+Each :class:`NICQueue` exposes the same driver-facing surface as the
+single-queue :class:`repro.net.nic.NIC` (``read_icr``, ``take_rx``,
+``rx_pending``, ``moderator``, ``transmit``, hardware taps), so the
+standard :class:`NICDriver` and :class:`NCAPHardware` bind to a queue
+unchanged.  Transmit is a shared path through the parent NIC.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.net.interrupts import ICR, InterruptModerator, ModerationConfig
+from repro.net.link import LinkPort
+from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import US
+
+
+class NICQueue:
+    """One rx queue of a multi-queue NIC (driver-compatible surface)."""
+
+    def __init__(self, parent: "MultiQueueNIC", queue_id: int, moderation: ModerationConfig):
+        self._parent = parent
+        self.queue_id = queue_id
+        self.name = f"{parent.name}.q{queue_id}"
+        self.icr = ICR()
+        self.moderator = InterruptModerator(
+            parent.sim, moderation, self._post_interrupt
+        )
+        self._ring: Deque[Frame] = deque()
+        self.rx_hw_taps: List[Callable[[Frame], None]] = []
+        self.on_interrupt: Optional[Callable[[], None]] = None
+        self.rx_frames = 0
+        self.rx_dropped = 0
+
+    # -- rx path (parent-driven) ------------------------------------------
+
+    def _accept(self, frame: Frame) -> None:
+        self.rx_frames += 1
+        for tap in self.rx_hw_taps:
+            tap(frame)
+        self._parent.sim.schedule(
+            self._parent.dma_latency_ns, self._dma_complete, frame
+        )
+
+    def _dma_complete(self, frame: Frame) -> None:
+        if len(self._ring) >= self._parent.ring_size_per_queue:
+            self.rx_dropped += 1
+            return
+        self._ring.append(frame)
+        self.icr.set(ICR.IT_RX)
+        self.moderator.notify_event()
+
+    def _post_interrupt(self) -> None:
+        if self.on_interrupt is not None:
+            self.on_interrupt()
+
+    # -- driver surface -------------------------------------------------------
+
+    def read_icr(self) -> int:
+        return self.icr.read_and_clear()
+
+    def take_rx(self, budget: int) -> List[Frame]:
+        batch: List[Frame] = []
+        while self._ring and len(batch) < budget:
+            batch.append(self._ring.popleft())
+        return batch
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self._ring)
+
+    def post_interrupt_now(self, bits: int) -> None:
+        self.icr.set(bits)
+        self.moderator.force_fire_now()
+
+    # Tx is shared hardware: delegate to the parent.
+    @property
+    def tx_hw_taps(self) -> List[Callable[[Frame], None]]:
+        return self._parent.tx_hw_taps
+
+    def transmit(self, frame: Frame) -> None:
+        self._parent.transmit(frame)
+
+
+class MultiQueueNIC:
+    """An RSS NIC with one rx queue (and interrupt vector) per core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "eth0",
+        n_queues: int = 4,
+        dma_latency_ns: int = 10 * US,
+        tx_dma_latency_ns: int = 5 * US,
+        ring_size_per_queue: int = 1024,
+        moderation: ModerationConfig = ModerationConfig(),
+        trace: Optional[TraceRecorder] = None,
+    ):
+        if n_queues < 1:
+            raise ValueError("need at least one queue")
+        self.sim = sim
+        self.name = name
+        self.dma_latency_ns = dma_latency_ns
+        self.tx_dma_latency_ns = tx_dma_latency_ns
+        self.ring_size_per_queue = ring_size_per_queue
+        self.queues: List[NICQueue] = [
+            NICQueue(self, i, moderation) for i in range(n_queues)
+        ]
+        self.tx_hw_taps: List[Callable[[Frame], None]] = []
+        self._port: Optional[LinkPort] = None
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self._rx_counter = (
+            trace.counter_channel(f"{name}.rx_bytes") if trace is not None else None
+        )
+        self._tx_counter = (
+            trace.counter_channel(f"{name}.tx_bytes") if trace is not None else None
+        )
+
+    def attach_port(self, port: LinkPort) -> None:
+        self._port = port
+
+    def queue_for(self, frame: Frame) -> NICQueue:
+        """RSS steering: stable hash of the flow's source."""
+        digest = zlib.crc32(frame.src.encode("utf-8"))
+        return self.queues[digest % len(self.queues)]
+
+    def receive_frame(self, frame: Frame) -> None:
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_bytes
+        if self._rx_counter is not None:
+            self._rx_counter.add(self.sim.now, frame.wire_bytes)
+        self.queue_for(frame)._accept(frame)
+
+    def transmit(self, frame: Frame) -> None:
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_bytes
+        if self._tx_counter is not None:
+            self._tx_counter.add(self.sim.now, frame.wire_bytes)
+        for tap in self.tx_hw_taps:
+            tap(frame)
+        self.sim.schedule(self.tx_dma_latency_ns, self._tx_to_wire, frame)
+
+    def _tx_to_wire(self, frame: Frame) -> None:
+        assert self._port is not None, "NIC has no attached link port"
+        self._port.send(frame)
+
+    @property
+    def rx_dropped(self) -> int:
+        return sum(q.rx_dropped for q in self.queues)

@@ -1,0 +1,131 @@
+"""Network frames and protocol helpers.
+
+A :class:`Frame` is the unit carried by links: either a single packet (all
+client requests fit one MTU — the paper notes latency-critical requests are
+short) or a multi-segment message (most responses exceed the Ethernet MTU
+and are sent as a train of TCP segments; the paper's TxBytesCounter counts
+their bytes without inspecting them).
+
+Framing constants follow the paper: the TCP payload of a received packet
+starts at byte 66 (14 B Ethernet + 20 B IP + 32 B TCP with options), and
+ReqMonitor inspects the first bytes of that payload against programmable
+templates such as ``GET``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Ethernet maximum transmission unit (bytes of L3 payload).
+MTU = 1500
+#: Header bytes before the TCP payload (Ethernet+IP+TCP, paper Section 4.1).
+HEADER_BYTES = 66
+#: Maximum TCP payload per segment.
+MSS = MTU - (HEADER_BYTES - 14)  # IP+TCP headers count against the MTU
+
+_frame_ids = itertools.count(1)
+
+
+def segments_for(payload_bytes: int) -> int:
+    """Number of TCP segments needed for ``payload_bytes`` of payload."""
+    if payload_bytes <= 0:
+        return 1
+    return (payload_bytes + MSS - 1) // MSS
+
+
+def wire_bytes_for(payload_bytes: int) -> int:
+    """Total bytes on the wire for a message, headers included."""
+    return payload_bytes + segments_for(payload_bytes) * HEADER_BYTES
+
+
+@dataclass
+class Frame:
+    """One unit of link transfer (a packet or a segment train)."""
+
+    src: str
+    dst: str
+    payload_bytes: int
+    kind: str = "data"            # "request" | "response" | "data"
+    payload_prefix: bytes = b""   # first bytes of the TCP payload (ReqMonitor)
+    req_id: Optional[int] = None
+    created_ns: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    @property
+    def n_segments(self) -> int:
+        return segments_for(self.payload_bytes)
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_bytes_for(self.payload_bytes)
+
+    @property
+    def is_single_packet(self) -> bool:
+        return self.n_segments == 1
+
+
+def make_http_request(
+    src: str,
+    dst: str,
+    method: str = "GET",
+    url: str = "/index.html",
+    req_id: Optional[int] = None,
+    created_ns: int = 0,
+) -> Frame:
+    """An HTTP request packet (e.g. ``GET /index.html HTTP/1.1``)."""
+    line = f"{method} {url} HTTP/1.1\r\nHost: {dst}\r\n\r\n".encode("ascii")
+    return Frame(
+        src=src,
+        dst=dst,
+        payload_bytes=len(line),
+        kind="request",
+        payload_prefix=line[:8],
+        req_id=req_id,
+        created_ns=created_ns,
+    )
+
+
+def make_memcached_request(
+    src: str,
+    dst: str,
+    command: str = "get",
+    key: str = "key:0",
+    req_id: Optional[int] = None,
+    created_ns: int = 0,
+) -> Frame:
+    """A Memcached ASCII-protocol request packet (e.g. ``get key:0``)."""
+    line = f"{command} {key}\r\n".encode("ascii")
+    return Frame(
+        src=src,
+        dst=dst,
+        payload_bytes=len(line),
+        kind="request",
+        payload_prefix=line[:8],
+        req_id=req_id,
+        created_ns=created_ns,
+    )
+
+
+def make_response(
+    src: str,
+    dst: str,
+    payload_bytes: int,
+    req_id: Optional[int] = None,
+    created_ns: int = 0,
+) -> Frame:
+    """A response message of ``payload_bytes`` (possibly multi-segment)."""
+    return Frame(
+        src=src,
+        dst=dst,
+        payload_bytes=payload_bytes,
+        kind="response",
+        payload_prefix=b"HTTP/1.1",
+        req_id=req_id,
+        created_ns=created_ns,
+    )

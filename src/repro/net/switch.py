@@ -1,0 +1,51 @@
+"""A store-and-forward Ethernet switch.
+
+Routes frames between attached links by destination name.  Forwarding adds
+a fixed per-frame latency; output contention is handled by the outgoing
+link's serialization FIFO.  Frames for unknown destinations are dropped
+(and counted), like a real switch with no matching CAM entry and flooding
+disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.link import Link, LinkPort
+from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.sim.units import US
+
+
+class Switch:
+    """A named multi-port switch."""
+
+    def __init__(self, sim: Simulator, name: str = "switch", forward_latency_ns: int = 1 * US):
+        self._sim = sim
+        self.name = name
+        self.forward_latency_ns = forward_latency_ns
+        self._ports: Dict[str, LinkPort] = {}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+
+    def attach_link(self, link: Link, peer_name: str) -> None:
+        """Register ``link`` as the route to destination ``peer_name``.
+
+        Call after ``link.attach(switch, peer_device)``.
+        """
+        self._ports[peer_name] = link.endpoint_port(self)
+
+    def receive_frame(self, frame: Frame) -> None:
+        port = self._ports.get(frame.dst)
+        if port is None:
+            self.frames_dropped += 1
+            return
+        self._sim.schedule(self.forward_latency_ns, self._forward, frame, port)
+
+    def _forward(self, frame: Frame, port: LinkPort) -> None:
+        self.frames_forwarded += 1
+        port.send(frame)
+
+    @property
+    def known_destinations(self):
+        return sorted(self._ports)

@@ -1,0 +1,33 @@
+"""OS-kernel substrate: scheduler, IRQs, timers, cpufreq/cpuidle, sysfs."""
+
+from repro.oskernel.cpufreq import (
+    CpufreqDriver,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.oskernel.cpuidle import CpuidleDriver, LadderGovernor, MenuGovernor
+from repro.oskernel.irq import IRQController
+from repro.oskernel.netstack import NetStackCosts
+from repro.oskernel.scheduler import Scheduler
+from repro.oskernel.sysfs import SysFS, SysfsError
+from repro.oskernel.timers import OneShotKernelTask, PeriodicKernelTask
+
+__all__ = [
+    "CpufreqDriver",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "CpuidleDriver",
+    "LadderGovernor",
+    "MenuGovernor",
+    "IRQController",
+    "NetStackCosts",
+    "Scheduler",
+    "SysFS",
+    "SysfsError",
+    "OneShotKernelTask",
+    "PeriodicKernelTask",
+]

@@ -1,0 +1,212 @@
+"""cpufreq driver and P-state governors (Section 2.1 of the paper).
+
+The Linux kernel's static policies — ``performance`` (always P0),
+``powersave`` (always the deepest P-state), ``userspace`` (pinned by the
+user) — and the dynamic ``ondemand`` governor, which samples core
+utilization every invocation period (10 ms by default; the paper recompiles
+the kernel to allow 1 ms for Figure 2) and retunes the shared P-state.
+
+Every ondemand invocation executes real kernel cycles on its housekeeping
+core, and every P-state change stalls all cores for the PLL relock — the
+two overheads that make short invocation periods counterproductive
+(Figure 2) and late reactions unavoidable (Figure 4).
+
+NCAP hooks: :meth:`CpufreqDriver.boost_to_max` is the fast path called from
+the NIC interrupt handler, and :meth:`OndemandGovernor.hold` suppresses the
+governor for one invocation period after an NCAP decision (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.package import ClockDomain
+from repro.oskernel.irq import IRQController
+from repro.oskernel.timers import PeriodicKernelTask
+from repro.sim.kernel import Simulator
+from repro.sim.units import MS
+
+
+class CpufreqDriver:
+    """Kernel interface for requesting P-state changes on one package.
+
+    Supports a *performance cap* (``scaling_max_freq`` in Linux terms): a
+    shallowest-allowed P-state index.  Requests for faster states are
+    clamped to the cap — the hook Pegasus/TimeTrader-style latency-slack
+    controllers use (the paper's Section 7 pointer to [12, 34]).
+    """
+
+    def __init__(self, sim: Simulator, package: ClockDomain):
+        self._sim = sim
+        self.package = package
+        self.requests: int = 0
+        self._cap_index: int = 0  # 0 = no cap (P0 allowed)
+
+    @property
+    def cap_index(self) -> int:
+        return self._cap_index
+
+    def set_cap(self, index: int) -> None:
+        """Disallow P-states shallower (faster) than ``index``."""
+        self._cap_index = self.package.pstates.clamp_index(index)
+        if self.package.effective_target_index < self._cap_index:
+            self.set_pstate(self._cap_index)
+
+    def set_pstate(self, index: int) -> None:
+        self.requests += 1
+        self.package.set_pstate(max(index, self._cap_index))
+
+    def set_frequency(self, freq_hz: float) -> None:
+        self.set_pstate(self.package.pstates.index_for_frequency(freq_hz))
+
+    def boost_to_max(self) -> None:
+        """Fast path to P0 (called from NCAP's interrupt handler)."""
+        self.set_pstate(0)
+
+    def step_down(self, steps_remaining: int) -> None:
+        """Lower frequency toward the deepest P-state over ``steps_remaining``
+        equal strides (NCAP's FCONS mechanism, Section 4.3)."""
+        if steps_remaining < 1:
+            steps_remaining = 1
+        current = self.package.effective_target_index
+        deepest = self.package.pstates.max_index
+        gap = deepest - current
+        if gap <= 0:
+            return
+        stride = max(1, round(gap / steps_remaining))
+        self.set_pstate(current + stride)
+
+
+class PerformanceGovernor:
+    """Pins the package at P0."""
+
+    name = "performance"
+
+    def __init__(self, driver: CpufreqDriver):
+        self._driver = driver
+
+    def start(self) -> None:
+        self._driver.set_pstate(0)
+
+    def stop(self) -> None:
+        pass
+
+
+class PowersaveGovernor:
+    """Pins the package at the deepest P-state."""
+
+    name = "powersave"
+
+    def __init__(self, driver: CpufreqDriver):
+        self._driver = driver
+
+    def start(self) -> None:
+        self._driver.set_pstate(self._driver.package.pstates.max_index)
+
+    def stop(self) -> None:
+        pass
+
+
+class UserspaceGovernor:
+    """Lets the user pin an arbitrary P-state (sysfs ``scaling_setspeed``)."""
+
+    name = "userspace"
+
+    def __init__(self, driver: CpufreqDriver, initial_index: int = 0):
+        self._driver = driver
+        self._index = initial_index
+
+    def start(self) -> None:
+        self._driver.set_pstate(self._index)
+
+    def stop(self) -> None:
+        pass
+
+    def set_speed(self, index: int) -> None:
+        self._index = index
+        self._driver.set_pstate(index)
+
+
+class OndemandGovernor:
+    """Utilization-sampling dynamic governor.
+
+    Every ``period_ns`` the governor runs ``overhead_cycles`` of kernel work
+    on its housekeeping core, computes the maximum per-core utilization over
+    the elapsed window, and retunes:
+
+    - utilization >= ``up_threshold``  -> P0;
+    - otherwise a frequency proportional to utilization/up_threshold
+      (Linux's non-powersave-bias formula), mapped to the covering P-state.
+    """
+
+    name = "ondemand"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        driver: CpufreqDriver,
+        irq: IRQController,
+        period_ns: int = 10 * MS,
+        up_threshold: float = 0.80,
+        overhead_cycles: float = 15_000.0,
+        core_id: int = 0,
+    ):
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        self._sim = sim
+        self._driver = driver
+        self._irq = irq
+        self.period_ns = period_ns
+        self.up_threshold = up_threshold
+        self._task = PeriodicKernelTask(
+            sim, irq, period_ns, overhead_cycles, self._sample,
+            core_id=core_id, name="ondemand",
+        )
+        self._last_busy: Optional[List[int]] = None
+        self._last_time: int = 0
+        self._hold_until: int = -1
+        self.samples: int = 0
+        self.last_utilization: float = 0.0
+
+    def start(self) -> None:
+        self._reset_baseline()
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def hold(self, duration_ns: Optional[int] = None) -> None:
+        """Suppress governor decisions until ``duration_ns`` from now
+        (defaults to one invocation period) — used by NCAP to avoid fighting
+        its own boost decision."""
+        if duration_ns is None:
+            duration_ns = self.period_ns
+        self._hold_until = max(self._hold_until, self._sim.now + duration_ns)
+
+    def _reset_baseline(self) -> None:
+        self._last_busy = [c.busy_ns_total() for c in self._driver.package.cores]
+        self._last_time = self._sim.now
+
+    def _sample(self) -> None:
+        now = self._sim.now
+        elapsed = now - self._last_time
+        if elapsed <= 0:
+            return
+        busy = [c.busy_ns_total() for c in self._driver.package.cores]
+        assert self._last_busy is not None
+        utilization = max(
+            (b - last) / elapsed for b, last in zip(busy, self._last_busy)
+        )
+        utilization = min(1.0, utilization)
+        self._last_busy = busy
+        self._last_time = now
+        self.samples += 1
+        self.last_utilization = utilization
+        if now < self._hold_until:
+            return
+        if utilization >= self.up_threshold:
+            self._driver.set_pstate(0)
+        else:
+            table = self._driver.package.pstates
+            target_freq = table.p0.freq_hz * utilization / self.up_threshold
+            self._driver.set_pstate(table.index_for_frequency(target_freq))

@@ -1,0 +1,239 @@
+"""cpuidle driver and C-state governors (Section 2.1 of the paper).
+
+Two governors, matching Linux:
+
+- :class:`MenuGovernor` (the default) — records how long each core's recent
+  idle periods lasted, predicts the next one with Linux's
+  ``get_typical_interval``-style outlier rejection, and picks the deepest
+  C-state whose target residency fits the prediction and whose exit latency
+  respects the latency limit.
+- :class:`LadderGovernor` — starts shallow and promotes to a deeper state
+  when the last residency was long enough, demotes on early wake-ups.
+
+The driver re-evaluates while a core stays idle, as the Linux idle loop
+does: a core parked in C0 (prediction too short for any state) is
+re-examined every ``repoll_ns``, and a core sleeping shallow is promoted
+to a deeper state once it has out-slept the prediction — modelling the
+tick-driven re-entry of the real idle loop.  Without this, one burst of
+short idle periods would poison the history and keep cores polling through
+multi-millisecond gaps, which is not what the paper observes (cores reach
+C6 between bursts, Figure 4(b)).
+
+NCAP hooks: :meth:`CpuidleDriver.disable` stops *new* C-state entries
+during a detected request burst (IT_HIGH); :meth:`CpuidleDriver.enable`
+re-arms the governor on the first IT_LOW (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.cpu.core import Core, CoreState
+from repro.cpu.cstates import CState, CStateTable
+from repro.sim.kernel import Simulator
+from repro.sim.units import MS, US
+
+
+class _HistoryGovernorBase:
+    """Shared idle-duration observation machinery."""
+
+    def __init__(self, cstates: CStateTable, history_len: int = 8):
+        self.cstates = cstates
+        self._history: Dict[int, Deque[int]] = {}
+        self._seen_periods: Dict[int, int] = {}
+        self._history_len = history_len
+
+    def _observe(self, core: Core) -> Deque[int]:
+        history = self._history.get(core.core_id)
+        if history is None:
+            history = deque(maxlen=self._history_len)
+            self._history[core.core_id] = history
+            self._seen_periods[core.core_id] = 0
+        completed = core.idle_periods_completed
+        if completed > self._seen_periods[core.core_id]:
+            # Only the most recent period is new information (select() is
+            # invoked on every idle entry, so at most one period elapsed).
+            history.append(core.last_idle_duration_ns)
+            self._seen_periods[core.core_id] = completed
+        return history
+
+
+class MenuGovernor(_HistoryGovernorBase):
+    """Linux menu governor, simplified to its history predictor."""
+
+    name = "menu"
+
+    def __init__(
+        self,
+        cstates: CStateTable,
+        latency_limit_ns: int = 10**12,
+        history_len: int = 8,
+        initial_prediction_ns: int = 1 * MS,
+    ):
+        super().__init__(cstates, history_len)
+        self.latency_limit_ns = latency_limit_ns
+        self.initial_prediction_ns = initial_prediction_ns
+        self.selections: int = 0
+
+    def predict_idle_ns(self, core: Core, already_idle_ns: int = 0) -> int:
+        """Predicted remaining length of the idle period starting now.
+
+        ``already_idle_ns`` — how long the core has been idle so far; a core
+        that has out-slept its history is predicted to keep idling (idle
+        periods are heavy-tailed).
+        """
+        history = self._observe(core)
+        if not history:
+            predicted = self.initial_prediction_ns
+        else:
+            predicted = self._typical_interval(history)
+        return max(predicted, already_idle_ns)
+
+    @staticmethod
+    def _typical_interval(samples) -> int:
+        """Average with iterative rejection of >2x-average outliers, after
+        Linux's ``get_typical_interval``."""
+        values = list(samples)
+        for _ in range(3):
+            if not values:
+                return 0
+            avg = sum(values) / len(values)
+            kept = [v for v in values if v <= 2 * avg]
+            if len(kept) == len(values):
+                return int(avg)
+            values = kept
+        return int(sum(values) / len(values)) if values else 0
+
+    def select(self, core: Core, already_idle_ns: int = 0) -> Optional[CState]:
+        """Pick a C-state for an idle core (None = stay polling in C0)."""
+        self.selections += 1
+        predicted = self.predict_idle_ns(core, already_idle_ns)
+        return self.cstates.deepest_allowed(predicted, self.latency_limit_ns)
+
+
+class LadderGovernor(_HistoryGovernorBase):
+    """Step-wise promotion/demotion governor (Linux ladder)."""
+
+    name = "ladder"
+
+    def __init__(self, cstates: CStateTable, history_len: int = 1):
+        super().__init__(cstates, history_len)
+        self._depth: Dict[int, int] = {}
+        self.selections: int = 0
+
+    def select(self, core: Core, already_idle_ns: int = 0) -> Optional[CState]:
+        self.selections += 1
+        history = self._observe(core)
+        depth = self._depth.get(core.core_id, 0)
+        if history:
+            last = history[-1]
+            current = self.cstates[min(depth, len(self.cstates) - 1)]
+            if last >= current.target_residency_ns:
+                depth = min(depth + 1, len(self.cstates) - 1)
+            elif last < current.exit_latency_ns * 2:
+                depth = max(depth - 1, 0)
+        self._depth[core.core_id] = depth
+        return self.cstates[depth]
+
+
+class CpuidleDriver:
+    """Applies a governor's choice whenever a core goes idle, and keeps
+    re-evaluating while the core stays idle.
+
+    Wire :meth:`on_core_idle` into ``Scheduler.idle_hook``.
+    """
+
+    def __init__(
+        self,
+        governor,
+        repoll_ns: int = 30 * US,
+        promotion: bool = True,
+    ):
+        self.governor = governor
+        self.enabled = True
+        self.repoll_ns = repoll_ns
+        self.promotion = promotion
+        self.entries: int = 0
+        self.promotions: int = 0
+        self.suppressed: int = 0
+
+    def on_core_idle(self, core: Core) -> None:
+        if not self.enabled:
+            self.suppressed += 1
+            return
+        self._consider(core)
+
+    # -- internals ----------------------------------------------------------
+
+    def _consider(self, core: Core) -> None:
+        sim = core.sim
+        token = core.idle_since
+        already = sim.now - token
+        choice = self.governor.select(core, already_idle_ns=already)
+        if choice is None:
+            # Stay polling in C0 and re-examine shortly (idle-loop
+            # re-entry) — but only while a longer elapsed idle could still
+            # change the verdict.  Once the core has out-idled the deepest
+            # state's residency and the governor still declines (e.g. a
+            # tight latency limit), nothing will ever qualify: stop.
+            if already <= self.governor.cstates.deepest.target_residency_ns:
+                sim.schedule(self.repoll_ns, self._recheck_idle, core, token)
+            return
+        self.entries += 1
+        core.enter_sleep(choice)
+        self._arm_promotion(core, token, choice)
+
+    def _recheck_idle(self, core: Core, token: int) -> None:
+        if not self.enabled:
+            return
+        if core.state is not CoreState.IDLE or core.idle_since != token:
+            return  # the idle period we were watching ended
+        self._consider(core)
+
+    def _arm_promotion(self, core: Core, token: int, current: CState) -> None:
+        """Schedule exactly one promotion check per deeper level, at the
+        moment the elapsed idle time alone would justify that level."""
+        if not self.promotion:
+            return
+        deeper = self._next_deeper(current)
+        if deeper is None:
+            return
+        check_at = token + deeper.target_residency_ns + 1
+        sim = core.sim
+        if check_at <= sim.now:
+            check_at = sim.now
+        sim.schedule_at(check_at, self._promotion_check, core, token)
+
+    def _promotion_check(self, core: Core, token: int) -> None:
+        if not self.enabled:
+            return
+        if core.state is not CoreState.SLEEP or core.idle_since != token:
+            return
+        already = core.sim.now - token
+        choice = self.governor.select(core, already_idle_ns=already)
+        current = core.current_cstate
+        assert current is not None
+        if choice is not None and choice.index > current.index:
+            self.promotions += 1
+            core.promote_sleep(choice)
+            self._arm_promotion(core, token, choice)
+        # Otherwise the governor declined (latency limit): give up on this
+        # idle period — elapsed time can only grow, but the limit is fixed.
+
+    def _next_deeper(self, state: CState) -> Optional[CState]:
+        states = list(self.governor.cstates)
+        for i, s in enumerate(states):
+            if s.index == state.index:
+                return states[i + 1] if i + 1 < len(states) else None
+        return None
+
+    # -- NCAP hooks ------------------------------------------------------------
+
+    def disable(self) -> None:
+        """Stop entering C-states (NCAP IT_HIGH action)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Re-arm C-state entry (NCAP first IT_LOW action)."""
+        self.enabled = True

@@ -1,0 +1,80 @@
+"""Hardware interrupt delivery and SoftIRQ deferral.
+
+A hardware interrupt preempts whatever its target core is running (or wakes
+it from a C-state, paying the exit latency) and executes a short handler.
+Handlers typically schedule a SoftIRQ — a longer, still kernel-priority job
+that runs on the same core before the preempted task resumes, mirroring
+Linux's ``do_softirq`` on hardirq exit.
+
+The paper's NCAP driver enhancement lives in this layer: its enhanced
+handler (``repro.core.ncap_driver``) is just another hardirq handler with
+extra work in it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cpu.core import Core, Job
+from repro.cpu.package import ClockDomain
+from repro.sim.kernel import Simulator
+
+
+class IRQController:
+    """Delivers interrupts to cores as preempting kernel jobs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        package: ClockDomain,
+        default_core: int = 0,
+    ):
+        self._sim = sim
+        self._package = package
+        self.default_core = default_core
+        self.interrupts_delivered: int = 0
+        self.softirqs_scheduled: int = 0
+
+    def core_for(self, core_id: Optional[int]) -> Core:
+        if core_id is None:
+            core_id = self.default_core
+        return self._package.cores[core_id]
+
+    def raise_irq(
+        self,
+        handler: Callable[[], None],
+        handler_cycles: float,
+        core_id: Optional[int] = None,
+        name: str = "hardirq",
+    ) -> None:
+        """Deliver a hardirq: preempt/wake the target core, run the handler
+        for ``handler_cycles``, then call ``handler()`` (top-half body)."""
+        core = self.core_for(core_id)
+        self.interrupts_delivered += 1
+        core.dispatch(
+            Job(handler_cycles, on_complete=handler, name=name, kernel=True),
+            preempt=True,
+        )
+
+    def raise_softirq(
+        self,
+        body: Callable[[], None],
+        cycles: float,
+        core_id: Optional[int] = None,
+        name: str = "softirq",
+    ) -> None:
+        """Queue a SoftIRQ on the target core.
+
+        SoftIRQs run at kernel priority: they preempt user jobs, but they do
+        not preempt kernel work already in flight — raised while another
+        kernel job runs, they queue behind it and drain FIFO before the
+        preempted user job resumes (as on hardirq exit in Linux).
+        """
+        core = self.core_for(core_id)
+        self.softirqs_scheduled += 1
+        job = Job(cycles, on_complete=body, name=name, kernel=True)
+        current = core.current_job
+        if current is not None and current.kernel:
+            core.enqueue_pending(job)
+        else:
+            core.dispatch(job, preempt=True)

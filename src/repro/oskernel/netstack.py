@@ -1,0 +1,46 @@
+"""Network-stack CPU cost model.
+
+The paper attributes a large share of server utilization to executing the
+kernel network software layers for received and transmitted packets
+(Section 3).  This module centralizes those per-packet/per-segment cycle
+costs; the NIC driver charges them to cores as hardirq/SoftIRQ jobs.
+
+Defaults are calibrated (together with the application service costs in
+``repro.apps``) so a 4-core 3.1 GHz server saturates near the paper's
+maximum sustained loads: ~68 K RPS for Apache and ~143 K RPS for Memcached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetStackCosts:
+    """Cycle costs of kernel network processing."""
+
+    # Top half: interrupt dispatch + ICR read over PCIe + IRQ housekeeping.
+    hardirq_cycles: float = 5_000.0
+    # Per NAPI poll invocation (softirq entry, ring scan, re-arm).
+    softirq_poll_cycles: float = 3_000.0
+    # Per received packet: skb handling, IP/TCP layers, socket demux,
+    # copy to the user buffer.
+    rx_per_packet_cycles: float = 8_000.0
+    # Per transmitted segment: TCP segmentation, IP/Ethernet encapsulation,
+    # descriptor setup.
+    tx_per_segment_cycles: float = 9_000.0
+    # Per transmitted message: syscall entry, socket bookkeeping.
+    tx_send_cycles: float = 4_000.0
+    # Per reclaimed tx descriptor (only when the NIC posts tx-complete
+    # interrupts; otherwise reclamation piggybacks on the send path).
+    tx_reclaim_cycles: float = 800.0
+
+    def rx_batch_cycles(self, n_packets: int) -> float:
+        """SoftIRQ cost of delivering a batch of ``n_packets``."""
+        if n_packets <= 0:
+            return self.softirq_poll_cycles
+        return self.softirq_poll_cycles + n_packets * self.rx_per_packet_cycles
+
+    def tx_message_cycles(self, n_segments: int) -> float:
+        """Kernel cost of transmitting one message of ``n_segments``."""
+        return self.tx_send_cycles + max(1, n_segments) * self.tx_per_segment_cycles

@@ -1,0 +1,81 @@
+"""A sysfs-like configuration surface.
+
+The paper programs NCAP's ReqMonitor template registers "through the
+operating system's sysfs interface" during NIC driver initialization
+(Section 4.1).  This module provides that administrative surface: a
+hierarchical attribute tree with read/write handlers, so examples and tests
+can configure the NIC the way an operator would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class SysfsError(KeyError):
+    """Raised for reads/writes of unknown attributes."""
+
+
+class SysFS:
+    """A registry of attribute paths with optional read/write handlers."""
+
+    def __init__(self) -> None:
+        self._readers: Dict[str, Callable[[], str]] = {}
+        self._writers: Dict[str, Callable[[str], None]] = {}
+        self._values: Dict[str, str] = {}
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return "/" + path.strip("/")
+
+    def register(
+        self,
+        path: str,
+        read: Optional[Callable[[], str]] = None,
+        write: Optional[Callable[[str], None]] = None,
+        initial: Optional[str] = None,
+    ) -> None:
+        """Expose an attribute at ``path``.
+
+        With no handlers the attribute is a plain stored value.
+        """
+        path = self._normalize(path)
+        if read is not None:
+            self._readers[path] = read
+        if write is not None:
+            self._writers[path] = write
+        if initial is not None:
+            self._values[path] = initial
+        elif read is None and write is None and path not in self._values:
+            self._values[path] = ""
+
+    def read(self, path: str) -> str:
+        path = self._normalize(path)
+        if path in self._readers:
+            return self._readers[path]()
+        if path in self._values:
+            return self._values[path]
+        raise SysfsError(path)
+
+    def write(self, path: str, value: str) -> None:
+        path = self._normalize(path)
+        if path in self._writers:
+            self._writers[path](value)
+            self._values[path] = value
+            return
+        if path in self._values or path in self._readers:
+            self._values[path] = value
+            return
+        raise SysfsError(path)
+
+    def exists(self, path: str) -> bool:
+        path = self._normalize(path)
+        return path in self._readers or path in self._values
+
+    def ls(self, prefix: str = "/") -> list:
+        """All attribute paths under ``prefix``."""
+        prefix = self._normalize(prefix)
+        names = set(self._readers) | set(self._values) | set(self._writers)
+        if prefix == "/":
+            return sorted(names)
+        return sorted(n for n in names if n.startswith(prefix + "/") or n == prefix)

@@ -1,0 +1,104 @@
+"""Kernel timers: periodic work executed as (preempting) kernel jobs.
+
+Used by the ondemand governor's sampling tick and by the software NCAP
+variant's 1 ms high-resolution timer.  Each expiry costs real cycles on its
+target core — this overhead is load-bearing: it is why short ondemand
+periods hurt (Figure 2) and why ``ncap.sw`` cannot keep up at high load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cpu.core import Job
+from repro.oskernel.irq import IRQController
+from repro.sim.kernel import Event, Simulator
+
+
+class PeriodicKernelTask:
+    """A repeating kernel job: every ``period_ns``, run ``cycles`` of kernel
+    work on ``core_id`` and then invoke ``body``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        irq: IRQController,
+        period_ns: int,
+        cycles: float,
+        body: Callable[[], None],
+        core_id: Optional[int] = None,
+        name: str = "ktimer",
+    ):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self._irq = irq
+        self.period_ns = period_ns
+        self.cycles = cycles
+        self._body = body
+        self._core_id = core_id
+        self.name = name
+        self._next: Optional[Event] = None
+        self.expirations: int = 0
+        self._running = False
+
+    def start(self, initial_delay_ns: Optional[int] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = self.period_ns if initial_delay_ns is None else initial_delay_ns
+        self._next = self._sim.schedule(delay, self._expire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _expire(self) -> None:
+        if not self._running:
+            return
+        self.expirations += 1
+        # Re-arm first so the period is stable even if the body is delayed
+        # by queueing on a busy core.
+        self._next = self._sim.schedule(self.period_ns, self._expire)
+        self._irq.raise_softirq(
+            self._body, self.cycles, core_id=self._core_id, name=self.name
+        )
+
+
+class OneShotKernelTask:
+    """A single deferred kernel job (delay, then cycles on a core, then body)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        irq: IRQController,
+        delay_ns: int,
+        cycles: float,
+        body: Callable[[], None],
+        core_id: Optional[int] = None,
+        name: str = "ktimer-once",
+    ):
+        self._sim = sim
+        self._irq = irq
+        self._cycles = cycles
+        self._body = body
+        self._core_id = core_id
+        self.name = name
+        self._event: Optional[Event] = sim.schedule(delay_ns, self._expire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _expire(self) -> None:
+        self._event = None
+        self._irq.raise_softirq(
+            self._body, self._cycles, core_id=self._core_id, name=self.name
+        )

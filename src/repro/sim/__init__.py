@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate: kernel, units, RNG, tracing."""
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import (
+    CounterChannel,
+    EventChannel,
+    NullTraceRecorder,
+    TraceRecorder,
+)
+from repro.sim import units
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "RngRegistry",
+    "derive_seed",
+    "CounterChannel",
+    "EventChannel",
+    "NullTraceRecorder",
+    "TraceRecorder",
+    "units",
+]

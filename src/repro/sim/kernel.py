@@ -1,0 +1,144 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a classic event-heap design:
+
+- :class:`Event` — a scheduled callback, cancellable in O(1) (lazy deletion).
+- :class:`Simulator` — owns the clock (integer nanoseconds) and the heap.
+
+Determinism guarantees:
+
+- Time is an integer; no float drift can reorder events.
+- Ties at the same timestamp fire in scheduling order (a monotonically
+  increasing sequence number breaks ties).
+- Callbacks scheduled *during* an event at the current time run after all
+  previously scheduled events at that time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events are created via :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; users only hold them to :meth:`cancel`
+    them or to inspect :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state}, fn={self.fn!r})"
+
+
+class Simulator:
+    """Event-driven simulator with an integer-nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed: int = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.schedule_at(self._now + int(delay), fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time`` ns."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} ns; now is t={self._now} ns"
+            )
+        self._seq += 1
+        event = Event(int(time), self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_now(self, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    # -- execution -------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the currently running :meth:`run` after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run events until the heap empties or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given, the
+        clock is advanced to exactly ``until`` even if the last event fired
+        earlier (so rate/energy integrations over the window are exact).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            heap = self._heap
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                self._now = event.time
+                self.events_executed += 1
+                event.fn(*event.args)
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled events still queued (O(n))."""
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,39 @@
+"""Seeded random-number streams.
+
+Every stochastic component of an experiment (burst jitter, response sizes,
+disk latency, key popularity, ...) draws from its own named child stream of
+a single experiment seed.  This keeps runs reproducible *and* keeps streams
+independent: adding a draw to one component never perturbs another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from ``root_seed`` and ``name``."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """A factory of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the stream called ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def names(self):
+        """Names of the streams created so far, in creation order."""
+        return list(self._streams)

@@ -1,0 +1,171 @@
+"""Trace recording: named time-series channels sampled during a run.
+
+Two channel flavours:
+
+- :class:`EventChannel` — append ``(time, value)`` points (e.g. frequency
+  changes, C-state transitions).
+- :class:`CounterChannel` — accumulate a quantity (e.g. received bytes) and
+  later bin it into fixed-width rate buckets for bandwidth plots.
+
+Used by the Figure 4 / Figure 8-9 snapshot reproductions and by tests that
+assert on temporal behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class EventChannel:
+    """Append-only ``(time_ns, value)`` series."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        """Append a sample.  Times must be non-decreasing."""
+        if self.times and time_ns < self.times[-1]:
+            raise ValueError(
+                f"channel {self.name!r}: time {time_ns} < last {self.times[-1]}"
+            )
+        self.times.append(time_ns)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time_ns: int, default: float = 0.0) -> float:
+        """Value of the most recent sample at or before ``time_ns``."""
+        idx = bisect_right(self.times, time_ns) - 1
+        if idx < 0:
+            return default
+        return self.values[idx]
+
+    def step_series(
+        self, start_ns: int, end_ns: int, step_ns: int, default: float = 0.0
+    ) -> List[Tuple[int, float]]:
+        """Sample the channel as a step function on a regular grid."""
+        if step_ns <= 0:
+            raise ValueError("step_ns must be positive")
+        out = []
+        t = start_ns
+        while t <= end_ns:
+            out.append((t, self.value_at(t, default)))
+            t += step_ns
+        return out
+
+    def time_weighted_mean(self, start_ns: int, end_ns: int, default: float = 0.0) -> float:
+        """Time-weighted average of the step function over [start, end)."""
+        if end_ns <= start_ns:
+            return self.value_at(start_ns, default)
+        total = 0.0
+        t = start_ns
+        value = self.value_at(start_ns, default)
+        idx = bisect_right(self.times, start_ns)
+        while idx < len(self.times) and self.times[idx] < end_ns:
+            total += value * (self.times[idx] - t)
+            t = self.times[idx]
+            value = self.values[idx]
+            idx += 1
+        total += value * (end_ns - t)
+        return total / (end_ns - start_ns)
+
+
+class CounterChannel:
+    """Accumulates point increments; supports binning into rates."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[int] = []
+        self.amounts: List[float] = []
+        self.total: float = 0.0
+
+    def add(self, time_ns: int, amount: float) -> None:
+        """Record an increment of ``amount`` at ``time_ns``."""
+        if self.times and time_ns < self.times[-1]:
+            raise ValueError(
+                f"channel {self.name!r}: time {time_ns} < last {self.times[-1]}"
+            )
+        self.times.append(time_ns)
+        self.amounts.append(amount)
+        self.total += amount
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def binned(self, start_ns: int, end_ns: int, bin_ns: int) -> List[float]:
+        """Sum of increments per ``bin_ns``-wide bucket over [start, end)."""
+        if bin_ns <= 0:
+            raise ValueError("bin_ns must be positive")
+        n_bins = max(1, (end_ns - start_ns + bin_ns - 1) // bin_ns)
+        bins = [0.0] * n_bins
+        for time_ns, amount in zip(self.times, self.amounts):
+            if time_ns < start_ns or time_ns >= end_ns:
+                continue
+            bins[(time_ns - start_ns) // bin_ns] += amount
+        return bins
+
+    def rate_series(
+        self, start_ns: int, end_ns: int, bin_ns: int
+    ) -> List[Tuple[int, float]]:
+        """Per-bin rate (amount per second) series, labelled by bin start."""
+        bins = self.binned(start_ns, end_ns, bin_ns)
+        scale = 1e9 / bin_ns
+        return [(start_ns + i * bin_ns, b * scale) for i, b in enumerate(bins)]
+
+
+class TraceRecorder:
+    """A registry of named channels attached to one simulation run."""
+
+    def __init__(self) -> None:
+        self._events: Dict[str, EventChannel] = {}
+        self._counters: Dict[str, CounterChannel] = {}
+
+    def event_channel(self, name: str) -> EventChannel:
+        channel = self._events.get(name)
+        if channel is None:
+            channel = EventChannel(name)
+            self._events[name] = channel
+        return channel
+
+    def counter_channel(self, name: str) -> CounterChannel:
+        channel = self._counters.get(name)
+        if channel is None:
+            channel = CounterChannel(name)
+            self._counters[name] = channel
+        return channel
+
+    def has_channel(self, name: str) -> bool:
+        return name in self._events or name in self._counters
+
+    def channel_names(self) -> List[str]:
+        return sorted(list(self._events) + list(self._counters))
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything — used for speed in large sweeps."""
+
+    class _NullEvent(EventChannel):
+        def record(self, time_ns: int, value: float) -> None:  # noqa: D102
+            pass
+
+    class _NullCounter(CounterChannel):
+        def add(self, time_ns: int, amount: float) -> None:  # noqa: D102
+            self.total += amount
+
+    def event_channel(self, name: str) -> EventChannel:
+        channel = self._events.get(name)
+        if channel is None:
+            channel = self._NullEvent(name)
+            self._events[name] = channel
+        return channel
+
+    def counter_channel(self, name: str) -> CounterChannel:
+        channel = self._counters.get(name)
+        if channel is None:
+            channel = self._NullCounter(name)
+            self._counters[name] = channel
+        return channel

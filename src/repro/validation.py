@@ -1,0 +1,78 @@
+"""Configuration validation against Table 1 of the paper.
+
+``validate_table1`` checks that a :class:`ProcessorConfig` (and the power
+model built from it) still matches the paper's published platform — the
+anchors every calibrated number in EXPERIMENTS.md rests on.  Returns a
+list of human-readable violations (empty = conformant); used by the test
+suite and available to downstream users who tweak configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.power import PowerMode, PowerModel
+from repro.sim.units import US, ghz
+
+
+def validate_table1(config: ProcessorConfig = ProcessorConfig()) -> List[str]:
+    """Check ``config`` against the paper's Table 1.  Empty list = OK."""
+    problems: List[str] = []
+
+    if config.n_cores != 4:
+        problems.append(f"Table 1 has 4 cores; config has {config.n_cores}")
+    if config.n_pstates != 15:
+        problems.append(f"Table 1 has 15 P-states; config has {config.n_pstates}")
+
+    table = config.pstate_table()
+    if abs(table.p0.freq_hz - ghz(3.1)) > 1e6:
+        problems.append(f"P0 frequency {table.p0.freq_hz/1e9:.2f} GHz != 3.1 GHz")
+    if abs(table.deepest.freq_hz - ghz(0.8)) > 1e6:
+        problems.append(
+            f"deepest frequency {table.deepest.freq_hz/1e9:.2f} GHz != 0.8 GHz"
+        )
+    if abs(table.p0.voltage - 1.2) > 1e-6 or abs(table.deepest.voltage - 0.65) > 1e-6:
+        problems.append("voltage range is not 0.65-1.2 V")
+
+    cstates = config.cstate_table()
+    expected_exit = {"C1": 2 * US, "C3": 10 * US, "C6": 22 * US}
+    for name, exit_ns in expected_exit.items():
+        try:
+            state = cstates.by_name(name)
+        except KeyError:
+            problems.append(f"missing C-state {name}")
+            continue
+        if state.exit_latency_ns != exit_ns:
+            problems.append(
+                f"{name} exit latency {state.exit_latency_ns/1000:.0f} us "
+                f"!= {exit_ns/1000:.0f} us"
+            )
+
+    model = PowerModel(config.power)
+    package_max = config.n_cores * model.core_power_w(
+        PowerMode.RUN, table.p0.voltage, table.p0.freq_hz
+    )
+    if not 70.0 <= package_max <= 90.0:
+        problems.append(
+            f"package max power {package_max:.1f} W outside Table 1's ~80 W"
+        )
+    package_min = config.n_cores * model.core_power_w(
+        PowerMode.RUN, table.deepest.voltage, table.deepest.freq_hz
+    )
+    if not 9.0 <= package_min <= 15.0:
+        problems.append(
+            f"package min power {package_min:.1f} W outside Table 1's ~12 W"
+        )
+    static_low = model.static_power_w(0.65)
+    static_high = model.static_power_w(1.2)
+    if abs(static_low - 1.92) > 0.05 or abs(static_high - 7.11) > 0.05:
+        problems.append(
+            f"C1 static anchors ({static_low:.2f}, {static_high:.2f}) W "
+            "!= (1.92, 7.11) W"
+        )
+    c3 = model.core_power_w(PowerMode.C3, 1.0, ghz(1))
+    if abs(c3 - 1.64) > 0.05:
+        problems.append(f"C3 power {c3:.2f} W != 1.64 W")
+
+    return problems

@@ -1,0 +1,92 @@
+"""Tests for the Apache and Memcached workload models."""
+
+import random
+
+from repro.apps.apache import ApacheApp, ApacheProfile
+from repro.apps.memcached import MemcachedApp, MemcachedProfile
+from repro.net import make_http_request, make_memcached_request
+from repro.net.packet import MSS
+
+
+def make_apache(profile=None, seed=0):
+    # The app only needs sim/scheduler/driver for the pipeline; cost
+    # methods are pure given the RNG, so stub those dependencies.
+    return ApacheApp(
+        None, None, None, None, random.Random(seed), name="server",
+        profile=profile or ApacheProfile(),
+    )
+
+
+def make_memcached(profile=None, seed=0):
+    return MemcachedApp(
+        None, None, None, None, random.Random(seed), name="server",
+        profile=profile or MemcachedProfile(),
+    )
+
+
+class TestApacheModel:
+    def test_io_latency_mixes_hits_and_misses(self):
+        app = make_apache()
+        frame = make_http_request("c", "s")
+        samples = [app.io_latency_ns(frame) for _ in range(2000)]
+        hits = [s for s in samples if s == app.profile.cache_hit_latency_ns]
+        misses = [s for s in samples if s != app.profile.cache_hit_latency_ns]
+        assert 0.6 < len(hits) / len(samples) < 0.8  # ~70% hit ratio
+        assert misses and max(misses) > app.profile.cache_hit_latency_ns
+        assert app.cache_hits + app.cache_misses == 2000
+
+    def test_disk_latency_mean_near_profile(self):
+        app = make_apache()
+        frame = make_http_request("c", "s")
+        misses = []
+        for _ in range(5000):
+            latency = app.io_latency_ns(frame)
+            if latency != app.profile.cache_hit_latency_ns:
+                misses.append(latency)
+        mean = sum(misses) / len(misses)
+        assert 0.8 * app.profile.disk_latency_mean_ns < mean < 1.2 * app.profile.disk_latency_mean_ns
+
+    def test_response_sizes_clamped_and_multi_segment(self):
+        app = make_apache()
+        frame = make_http_request("c", "s")
+        sizes = [app.response_bytes(frame) for _ in range(2000)]
+        assert min(sizes) >= app.profile.response_size_min
+        assert max(sizes) <= app.profile.response_size_max
+        # Most Apache responses exceed one MTU (the paper's TxBytesCounter
+        # rationale: responses are multi-segment trains).
+        multi = sum(1 for s in sizes if s > MSS)
+        assert multi / len(sizes) > 0.9
+
+    def test_response_cycles_grow_with_size(self):
+        app = make_apache()
+        frame = make_http_request("c", "s")
+        assert app.response_cycles(frame, 50_000) > app.response_cycles(frame, 1_000)
+
+    def test_service_cycles_constant(self):
+        app = make_apache()
+        frame = make_http_request("c", "s")
+        assert app.service_cycles(frame) == app.profile.service_cycles
+
+
+class TestMemcachedModel:
+    def test_no_io_phase(self):
+        app = make_memcached()
+        frame = make_memcached_request("c", "s")
+        assert app.io_latency_ns(frame) == 0
+
+    def test_values_are_small(self):
+        # Atikoglu-style small values: the vast majority fit one packet.
+        app = make_memcached()
+        frame = make_memcached_request("c", "s")
+        sizes = [app.response_bytes(frame) for _ in range(2000)]
+        assert min(sizes) >= app.profile.value_size_min
+        assert max(sizes) <= app.profile.value_size_max
+        single = sum(1 for s in sizes if s <= MSS)
+        assert single / len(sizes) > 0.95
+
+    def test_per_request_cpu_less_than_apache(self):
+        # The paper: Memcached sustains 2.1x Apache's load on the same box.
+        apache, memcached = ApacheProfile(), MemcachedProfile()
+        apache_total = apache.service_cycles + apache.response_base_cycles
+        mem_total = memcached.service_cycles + memcached.response_base_cycles
+        assert mem_total < apache_total

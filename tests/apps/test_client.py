@@ -1,0 +1,160 @@
+"""Tests for the open-loop bursty client."""
+
+import random
+
+import pytest
+
+from repro.apps.client import (
+    OpenLoopClient,
+    http_request_factory,
+    memcached_request_factory,
+)
+from repro.net import make_response
+from repro.sim import Simulator
+from repro.sim.units import MS, US
+
+
+class CapturePort:
+    queue_depth = 0
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, frame):
+        self.sent.append(frame)
+
+
+def make_client(burst_size=10, period=MS, gap=1_000, jitter=0.0, seed=None):
+    sim = Simulator()
+    client = OpenLoopClient(
+        sim, "client0", http_request_factory("client0", "server"),
+        burst_size=burst_size, burst_period_ns=period, intra_burst_gap_ns=gap,
+        jitter_rng=random.Random(seed) if seed is not None else None,
+        jitter_fraction=jitter,
+    )
+    port = CapturePort()
+    client.attach_port(port)
+    return sim, client, port
+
+
+class TestTrafficGeneration:
+    def test_burst_size_and_cadence(self):
+        sim, client, port = make_client(burst_size=10, period=MS)
+        client.start()
+        sim.run(until=3 * MS - 1)
+        assert client.requests_sent == 30  # bursts at t=0, 1ms, 2ms
+
+    def test_open_loop_ignores_responses(self):
+        # Requests keep flowing even though nothing ever answers.
+        sim, client, port = make_client(burst_size=5, period=MS)
+        client.start()
+        sim.run(until=5 * MS - 1)
+        assert client.requests_sent == 25
+        assert client.responses_received == 0
+
+    def test_intra_burst_gap(self):
+        sim, client, port = make_client(burst_size=3, gap=2_000)
+        client.start()
+        sim.run(until=MS - 1)
+        times = [f.created_ns for f in port.sent]
+        assert times == [0, 2_000, 4_000]
+
+    def test_stop_halts_traffic(self):
+        sim, client, port = make_client(burst_size=5, period=MS)
+        client.start()
+        sim.schedule_at(int(2.5 * MS), client.stop)
+        sim.run(until=10 * MS)
+        assert client.requests_sent == 15
+
+    def test_initial_delay(self):
+        sim, client, port = make_client()
+        client.start(initial_delay_ns=500 * US)
+        sim.run(until=600 * US)
+        assert port.sent[0].created_ns == 500 * US
+
+    def test_jitter_perturbs_periods(self):
+        sim, client, port = make_client(burst_size=1, period=MS, jitter=0.3, seed=7)
+        client.start()
+        sim.run(until=20 * MS)
+        times = [f.created_ns for f in port.sent]
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1  # not perfectly periodic
+        assert all(0.7 * MS <= g <= 1.3 * MS for g in gaps)
+
+    def test_start_idempotent(self):
+        sim, client, port = make_client(burst_size=2, period=MS)
+        client.start()
+        client.start()
+        sim.run(until=MS - 1)
+        assert client.requests_sent == 2
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OpenLoopClient(sim, "c", lambda t: None, burst_size=0)
+        with pytest.raises(ValueError):
+            OpenLoopClient(sim, "c", lambda t: None, burst_period_ns=0)
+
+
+class TestRttRecording:
+    def test_rtt_computed_from_send_time(self):
+        sim, client, port = make_client(burst_size=1, period=10 * MS)
+        client.start()
+        sim.run(until=1)
+        req = port.sent[0]
+        sim.schedule_at(700 * US, client.receive_frame,
+                        make_response("server", "client0", 500, req_id=req.req_id))
+        sim.run(until=MS)
+        assert client.rtts == [(0, 700 * US)]
+
+    def test_unmatched_response_ignored(self):
+        sim, client, port = make_client()
+        client.receive_frame(make_response("server", "client0", 100, req_id=99_999))
+        assert client.responses_received == 0
+
+    def test_duplicate_response_ignored(self):
+        sim, client, port = make_client(burst_size=1, period=10 * MS)
+        client.start()
+        sim.run(until=1)
+        req = port.sent[0]
+        resp = make_response("server", "client0", 100, req_id=req.req_id)
+        client.receive_frame(resp)
+        client.receive_frame(resp)
+        assert client.responses_received == 1
+
+    def test_window_filters_by_send_time(self):
+        sim, client, port = make_client(burst_size=1, period=MS)
+        client.start()
+        sim.run(until=int(3.5 * MS))
+        for frame in port.sent:
+            client.receive_frame(
+                make_response("server", "client0", 100, req_id=frame.req_id)
+            )
+        assert len(client.rtts_in_window(MS, 3 * MS)) == 2
+        assert client.sent_in_window(0, 4 * MS) == 4
+
+    def test_outstanding_counts_unanswered(self):
+        sim, client, port = make_client(burst_size=4, period=10 * MS)
+        client.start()
+        sim.run(until=MS)
+        assert client.outstanding == 4
+
+
+class TestFactories:
+    def test_http_factory_produces_gets(self):
+        factory = http_request_factory("c", "s")
+        frame = factory(123)
+        assert frame.payload_prefix.startswith(b"GET ")
+        assert frame.created_ns == 123
+        assert frame.req_id is not None
+
+    def test_memcached_factory_varies_keys(self):
+        factory = memcached_request_factory("c", "s", rng=random.Random(1))
+        frames = [factory(0) for _ in range(10)]
+        assert all(f.payload_prefix.startswith(b"get ") for f in frames)
+        assert len({f.req_id for f in frames}) == 10
+
+    def test_req_ids_globally_unique(self):
+        a = http_request_factory("a", "s")(0)
+        b = memcached_request_factory("b", "s")(0)
+        assert a.req_id != b.req_id

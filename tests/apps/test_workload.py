@@ -1,0 +1,74 @@
+"""Tests for load-level presets."""
+
+import pytest
+
+from repro.apps.workload import (
+    APACHE_SLA_NS,
+    LOAD_LEVELS,
+    MEMCACHED_SLA_NS,
+    PAPER_APACHE_SLA_NS,
+    PAPER_MEMCACHED_SLA_NS,
+    burst_period_ns,
+    default_burst_size,
+    load_level,
+    sla_for,
+)
+from repro.sim.units import MS
+
+
+class TestPresets:
+    def test_paper_load_levels(self):
+        assert load_level("apache", "low").target_rps == 24_000
+        assert load_level("apache", "medium").target_rps == 45_000
+        assert load_level("apache", "high").target_rps == 66_000
+        assert load_level("memcached", "low").target_rps == 35_000
+        assert load_level("memcached", "medium").target_rps == 127_000
+        assert load_level("memcached", "high").target_rps == 138_000
+
+    def test_paper_slas_recorded(self):
+        assert PAPER_APACHE_SLA_NS == 41 * MS
+        assert PAPER_MEMCACHED_SLA_NS == 3 * MS
+
+    def test_repro_memcached_sla_matches_paper(self):
+        assert MEMCACHED_SLA_NS == PAPER_MEMCACHED_SLA_NS
+
+    def test_sla_for(self):
+        assert sla_for("apache") == APACHE_SLA_NS
+        assert sla_for("memcached") == MEMCACHED_SLA_NS
+        with pytest.raises(KeyError):
+            sla_for("redis")
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            load_level("apache", "extreme")
+        with pytest.raises(KeyError):
+            load_level("nginx", "low")
+
+    def test_all_levels_carry_their_sla(self):
+        for app, levels in LOAD_LEVELS.items():
+            for level in levels.values():
+                assert level.sla_ns == sla_for(app)
+
+
+class TestBurstMath:
+    def test_period_formula(self):
+        # 3 clients x 100 per burst at 30K RPS -> one burst per 10 ms each.
+        assert burst_period_ns(30_000, 3, 100) == 10 * MS
+
+    def test_aggregate_rate_preserved(self):
+        for rps in (24_000, 45_000, 138_000):
+            period = burst_period_ns(rps, 3, 200)
+            achieved = 3 * 200 / (period / 1e9)
+            assert achieved == pytest.approx(rps, rel=0.001)
+
+    def test_default_burst_sizes(self):
+        assert default_burst_size("apache") == 200
+        assert default_burst_size("memcached") == 75
+        with pytest.raises(KeyError):
+            default_burst_size("nginx")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_period_ns(0, 3, 100)
+        with pytest.raises(ValueError):
+            burst_period_ns(1000, 0, 100)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_policies_command(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("perf", "ond.idle", "ncap.cons", "ncap.aggr"):
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "turbo"])
+
+    def test_fig_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "3"])  # not a repro target
+
+
+class TestRunCommand:
+    def test_run_prints_metrics(self, capsys):
+        # Tiny but real end-to-end run through the CLI path.
+        code = main([
+            "--settings", "quick", "--seed", "2",
+            "run", "--app", "memcached", "--policy", "ncap.aggr", "--rps", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ncap.aggr" in out
+        assert "p95 (ms)" in out
+        assert "NCAP posts" in out
+
+    def test_load_presets_resolve(self, capsys):
+        code = main([
+            "run", "--app", "apache", "--policy", "perf", "--load", "low",
+        ])
+        assert code == 0
+        assert "24K" in capsys.readouterr().out
+
+    def test_fig1_fast_path(self, capsys):
+        assert main(["fig", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_export_trace(self, capsys, tmp_path):
+        import os
+
+        out = os.path.join(str(tmp_path), "series")
+        code = main([
+            "--settings", "quick",
+            "export-trace", "--app", "apache", "--policy", "ond.idle",
+            "--out", out,
+        ])
+        assert code == 0
+        assert os.path.isdir(out)
+        files = os.listdir(out)
+        assert any("freq" in f for f in files)
+        assert any("rx_bytes" in f for f in files)

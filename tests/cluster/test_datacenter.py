@@ -1,0 +1,79 @@
+"""Tests for the multi-server (datacenter) cluster builder."""
+
+import pytest
+
+from repro.cluster.datacenter import (
+    DatacenterCluster,
+    DatacenterConfig,
+    run_datacenter,
+)
+from repro.sim.units import MS
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        app="apache",
+        policy="perf",
+        n_servers=2,
+        load_shares=(0.7, 0.3),
+        total_rps=40_000,
+        clients_per_server=2,
+        warmup_ns=5 * MS,
+        measure_ns=40 * MS,
+        drain_ns=40 * MS,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return DatacenterConfig(**defaults)
+
+
+class TestValidation:
+    def test_share_count_must_match_servers(self):
+        with pytest.raises(ValueError):
+            tiny_config(n_servers=3)
+
+    def test_shares_must_be_positive(self):
+        with pytest.raises(ValueError):
+            tiny_config(load_shares=(1.0, 0.0))
+
+
+class TestTopology:
+    def test_all_nodes_routable(self):
+        cluster = DatacenterCluster(tiny_config())
+        expected = {"server0", "server1", "client0_0", "client0_1",
+                    "client1_0", "client1_1"}
+        assert set(cluster.switch.known_destinations) == expected
+
+    def test_load_split_by_share(self):
+        cluster = DatacenterCluster(tiny_config())
+        p0 = cluster.clients["server0"][0].burst_period_ns
+        p1 = cluster.clients["server1"][0].burst_period_ns
+        # 70/30 split: server1's clients burst ~2.33x less often.
+        assert p1 / p0 == pytest.approx(7 / 3, rel=0.01)
+
+
+class TestRun:
+    def test_per_server_outcomes(self):
+        result = run_datacenter(tiny_config())
+        assert len(result.servers) == 2
+        hot, cold = result.servers
+        assert hot.target_rps > cold.target_rps
+        assert hot.utilization > cold.utilization
+        assert hot.latency.count > 0 and cold.latency.count > 0
+        assert result.total_energy_j == pytest.approx(
+            sum(s.energy.energy_j for s in result.servers)
+        )
+
+    def test_servers_isolated(self):
+        # Traffic for one server never shows up at the other.
+        cluster = DatacenterCluster(tiny_config())
+        result = cluster.run()
+        s0, s1 = cluster.servers
+        sent0 = sum(c.requests_sent for c in cluster.clients["server0"])
+        sent1 = sum(c.requests_sent for c in cluster.clients["server1"])
+        assert abs(s0.app.requests_received - sent0) < 30
+        assert abs(s1.app.requests_received - sent1) < 30
+
+    def test_ncap_policy_runs_fleetwide(self):
+        result = run_datacenter(tiny_config(policy="ncap.cons"))
+        assert all(s.latency.count > 0 for s in result.servers)

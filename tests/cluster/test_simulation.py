@@ -1,0 +1,100 @@
+"""Tests for the cluster experiment runner."""
+
+import pytest
+
+from repro.cluster.simulation import Cluster, ExperimentConfig, run_experiment
+from repro.sim.units import MS
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        app="apache",
+        policy="perf",
+        target_rps=24_000,
+        warmup_ns=10 * MS,
+        measure_ns=50 * MS,
+        drain_ns=40 * MS,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestClusterBuild:
+    def test_star_topology(self):
+        cluster = Cluster(quick_config())
+        assert len(cluster.clients) == 3
+        assert sorted(cluster.switch.known_destinations) == [
+            "client0", "client1", "client2", "server",
+        ]
+
+    def test_burst_size_defaults_per_app(self):
+        assert Cluster(quick_config(app="apache")).burst_size == 200
+        assert Cluster(quick_config(app="memcached")).burst_size == 75
+        assert Cluster(quick_config(burst_size=42)).burst_size == 42
+
+
+class TestRun:
+    def test_measure_window_accounting(self):
+        result = run_experiment(quick_config())
+        assert result.responses_received > 0
+        assert result.incomplete == 0  # drain long enough at this load
+        assert result.achieved_rps == pytest.approx(24_000, rel=0.2)
+        assert result.meets_sla
+
+    def test_energy_positive_and_power_sane(self):
+        result = run_experiment(quick_config())
+        assert result.energy.energy_j > 0
+        # A 4-core package tops out at ~80 W busy; idle-at-P0 floor ~44 W.
+        assert 10 < result.avg_power_w < 85
+
+    def test_ncap_stats_populated_for_ncap_policy(self):
+        result = run_experiment(quick_config(policy="ncap.cons"))
+        assert "it_high_posts" in result.ncap_stats
+
+    def test_ncap_stats_empty_for_conventional(self):
+        result = run_experiment(quick_config(policy="perf"))
+        assert result.ncap_stats == {}
+
+    def test_cstate_entries_only_with_cstates(self):
+        with_idle = run_experiment(quick_config(policy="perf.idle"))
+        without = run_experiment(quick_config(policy="perf"))
+        assert sum(with_idle.cstate_entries.values()) > 0
+        assert sum(without.cstate_entries.values()) == 0
+
+    def test_traces_only_when_requested(self):
+        plain = run_experiment(quick_config())
+        traced = run_experiment(quick_config(collect_traces=True))
+        assert plain.trace is None
+        assert traced.trace is not None
+        assert traced.trace.counter_channel("server.rx_bytes").total > 0
+        assert len(traced.trace.event_channel("server.cpu.util")) > 0
+
+    def test_determinism_same_seed(self):
+        a = run_experiment(quick_config(policy="ncap.cons", seed=11))
+        b = run_experiment(quick_config(policy="ncap.cons", seed=11))
+        assert a.latency.p95_ns == b.latency.p95_ns
+        assert a.energy.energy_j == pytest.approx(b.energy.energy_j, rel=1e-12)
+        assert a.ncap_stats == b.ncap_stats
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(quick_config(seed=1))
+        b = run_experiment(quick_config(seed=2))
+        assert a.latency.p95_ns != b.latency.p95_ns
+
+    def test_normalized_latency_uses_app_sla(self):
+        result = run_experiment(quick_config())
+        norm = result.normalized_latency
+        assert norm["p95"] == pytest.approx(
+            result.latency.p95_ns / result.sla_ns
+        )
+
+    def test_clients_stop_at_window_end(self):
+        config = quick_config()
+        cluster = Cluster(config)
+        result = cluster.run()
+        sent_after = sum(
+            1 for c in cluster.clients for s, _ in c.rtts
+            if s >= config.warmup_ns + config.measure_ns
+        )
+        assert sent_after == 0

@@ -1,0 +1,116 @@
+"""Property-based tests for DecisionEngine invariants.
+
+Whatever the traffic pattern, the engine must respect:
+
+- IT_LOW is only posted while a boost episode is active, and at most
+  FCONS times per episode;
+- consecutive IT_LOWs are separated by at least the low window;
+- IT_HIGH is never posted while the CPU reports it is already at max.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NCAPConfig
+from repro.core.decision_engine import DecisionEngine
+from repro.net.interrupts import ICR
+from repro.sim import Simulator
+from repro.sim.units import US
+
+
+traffic = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),      # new requests per tick
+        st.integers(min_value=0, max_value=200_000), # new tx bytes per tick
+    ),
+    min_size=5,
+    max_size=120,
+)
+
+
+@given(pattern=traffic, fcons=st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants_under_arbitrary_traffic(pattern, fcons):
+    sim = Simulator()
+    config = NCAPConfig(fcons=fcons)
+    state = {"req": 0, "tx": 0}
+    posts = []
+    engine = DecisionEngine(
+        sim,
+        config,
+        req_count=lambda: state["req"],
+        tx_bytes=lambda: state["tx"],
+        post=lambda bits: posts.append((sim.now, bits)),
+        last_interrupt_ns=lambda: -(10**18),
+        cpu_at_max=lambda: False,
+        enable_cit=False,
+    )
+    engine.start()
+
+    def drive(step):
+        if step >= len(pattern):
+            return
+        req, tx = pattern[step]
+        state["req"] += req
+        state["tx"] += tx
+        engine.tick()
+        sim.schedule(100 * US, drive, step + 1)
+
+    sim.schedule(100 * US, drive, 0)
+    sim.run()
+
+    lows = [t for t, bits in posts if bits & ICR.IT_LOW]
+    highs = [(t, bits) for t, bits in posts if bits & ICR.IT_HIGH]
+
+    # Every IT_HIGH also carries IT_RX (Section 4.3).
+    assert all(bits & ICR.IT_RX for _, bits in highs)
+
+    # IT_LOWs come in episodes bounded by FCONS between IT_HIGH episodes.
+    high_times = [t for t, _ in highs]
+    boundaries = high_times + [float("inf")]
+    episode_start = -1
+    for boundary in boundaries:
+        episode_lows = [t for t in lows if episode_start < t < boundary]
+        assert len(episode_lows) <= fcons
+        episode_start = boundary if boundary != float("inf") else episode_start
+
+    # Back-to-back IT_LOWs are paced by the low window.
+    for a, b in zip(lows, lows[1:]):
+        assert b - a >= config.low_window_ns
+
+    # No IT_LOW before any burst was ever seen.
+    if lows and not highs:
+        # boost_active can only have been set by a >RHT window.
+        assert engine.it_high_posts == 0  # consistent bookkeeping
+
+
+@given(pattern=traffic)
+@settings(max_examples=40, deadline=None)
+def test_no_it_high_when_cpu_already_at_max(pattern):
+    sim = Simulator()
+    state = {"req": 0, "tx": 0}
+    posts = []
+    engine = DecisionEngine(
+        sim,
+        NCAPConfig(),
+        req_count=lambda: state["req"],
+        tx_bytes=lambda: state["tx"],
+        post=lambda bits: posts.append(bits),
+        last_interrupt_ns=lambda: -(10**18),
+        cpu_at_max=lambda: True,
+        enable_cit=False,
+    )
+    engine.start()
+
+    def drive(step):
+        if step >= len(pattern):
+            return
+        req, tx = pattern[step]
+        state["req"] += req
+        state["tx"] += tx
+        engine.tick()
+        sim.schedule(100 * US, drive, step + 1)
+
+    sim.schedule(100 * US, drive, 0)
+    sim.run()
+    assert not any(bits & ICR.IT_HIGH for bits in posts)

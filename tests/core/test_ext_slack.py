@@ -1,0 +1,121 @@
+"""Tests for the latency-slack controller extension."""
+
+import pytest
+
+from repro.cpu import ProcessorConfig
+from repro.ext.slack import SlackController
+from repro.oskernel import CpufreqDriver, IRQController
+from repro.sim import Simulator
+from repro.sim.units import MS
+
+
+def make(sla_ms=10.0, target=0.65, guard=0.90, period_ms=10):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=2).build_package(sim)
+    cpufreq = CpufreqDriver(sim, package)
+    irq = IRQController(sim, package)
+    controller = SlackController(
+        sim, cpufreq, irq, sla_ns=round(sla_ms * MS),
+        target=target, guard=guard, period_ns=period_ms * MS, min_samples=5,
+    )
+    controller.start()
+    return sim, package, cpufreq, controller
+
+
+def feed(controller, latency_ms, n=20):
+    for _ in range(n):
+        controller.observe(round(latency_ms * MS))
+
+
+class TestControlLaw:
+    def test_large_slack_deepens_cap(self):
+        sim, package, cpufreq, controller = make()
+        feed(controller, 2.0)  # p95 = 2 ms << 0.65 * 10 ms
+        sim.run(until=11 * MS)
+        assert cpufreq.cap_index == 1
+        assert controller.steps_down == 1
+
+    def test_cap_steps_accumulate(self):
+        sim, package, cpufreq, controller = make()
+        for window in range(4):
+            feed(controller, 2.0)
+            sim.run(until=(window + 1) * 10 * MS + MS)
+        assert cpufreq.cap_index == 4
+
+    def test_panic_lifts_cap(self):
+        sim, package, cpufreq, controller = make()
+        feed(controller, 2.0)
+        sim.run(until=11 * MS)
+        assert cpufreq.cap_index == 1
+        feed(controller, 9.5)  # p95 above guard (9 ms)
+        sim.run(until=21 * MS)
+        assert cpufreq.cap_index == 0
+        assert controller.panics == 1
+        assert package.effective_target_index == 0
+
+    def test_comfortable_zone_holds_cap(self):
+        sim, package, cpufreq, controller = make()
+        feed(controller, 8.0)  # between target (6.5) and guard (9.0)
+        sim.run(until=11 * MS)
+        assert cpufreq.cap_index == 0
+        assert controller.steps_down == 0
+
+    def test_too_few_samples_skipped(self):
+        sim, package, cpufreq, controller = make()
+        controller.observe(1 * MS)  # below min_samples
+        sim.run(until=11 * MS)
+        assert controller.last_p95_ns is None
+
+    def test_cap_bounded_by_table(self):
+        sim, package, cpufreq, controller = make()
+        for window in range(30):
+            feed(controller, 0.5)
+            sim.run(until=(window + 1) * 10 * MS + MS)
+        assert cpufreq.cap_index == package.pstates.max_index
+
+    def test_validation(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        cpufreq = CpufreqDriver(sim, package)
+        irq = IRQController(sim, package)
+        with pytest.raises(ValueError):
+            SlackController(sim, cpufreq, irq, sla_ns=MS, target=0.9, guard=0.5)
+
+
+class TestCpufreqCap:
+    def test_cap_clamps_boosts(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1, initial_pstate=14).build_package(sim)
+        cpufreq = CpufreqDriver(sim, package)
+        cpufreq.set_cap(5)
+        cpufreq.boost_to_max()
+        sim.run()
+        assert package.pstate_index == 5
+
+    def test_raising_cap_pushes_current_down(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1, initial_pstate=0).build_package(sim)
+        cpufreq = CpufreqDriver(sim, package)
+        cpufreq.set_cap(7)
+        sim.run()
+        assert package.pstate_index == 7
+
+    def test_deeper_requests_unaffected_by_cap(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        cpufreq = CpufreqDriver(sim, package)
+        cpufreq.set_cap(5)
+        cpufreq.set_pstate(12)
+        sim.run()
+        assert package.pstate_index == 12
+
+    def test_set_frequency_respects_cap(self):
+        from repro.sim.units import ghz
+
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1, initial_pstate=14).build_package(sim)
+        cpufreq = CpufreqDriver(sim, package)
+        cpufreq.set_cap(5)
+        cpufreq.set_frequency(ghz(3.1))
+        sim.run()
+        assert package.pstate_index == 5

@@ -1,0 +1,68 @@
+"""Tests for ReqMonitor template matching (paper Section 4.1)."""
+
+import pytest
+
+from repro.core import ReqMonitor
+from repro.net import make_http_request, make_memcached_request, make_response
+
+
+class TestMatching:
+    def setup_method(self):
+        self.monitor = ReqMonitor((b"GET", b"get"))
+
+    def test_http_get_counts(self):
+        assert self.monitor.inspect(make_http_request("c", "s", method="GET"))
+        assert self.monitor.req_cnt == 1
+
+    def test_memcached_get_counts(self):
+        assert self.monitor.inspect(make_memcached_request("c", "s", command="get"))
+        assert self.monitor.req_cnt == 1
+
+    def test_http_put_ignored(self):
+        # PUT updates page content: explicitly not latency-critical (S4.1).
+        assert not self.monitor.inspect(make_http_request("c", "s", method="PUT"))
+        assert self.monitor.req_cnt == 0
+
+    def test_memcached_set_ignored(self):
+        assert not self.monitor.inspect(make_memcached_request("c", "s", command="set"))
+
+    def test_bulk_response_traffic_ignored(self):
+        # Off-line analytics style traffic: high bandwidth, no template match.
+        assert not self.monitor.inspect(make_response("s", "c", payload_bytes=64_000))
+        assert self.monitor.req_cnt == 0
+
+    def test_counts_accumulate(self):
+        for _ in range(5):
+            self.monitor.inspect(make_http_request("c", "s"))
+        assert self.monitor.req_cnt == 5
+        assert self.monitor.packets_inspected == 5
+
+    def test_count_listeners_fire_on_match_only(self):
+        events = []
+        self.monitor.count_listeners.append(lambda: events.append(1))
+        self.monitor.inspect(make_http_request("c", "s", method="GET"))
+        self.monitor.inspect(make_http_request("c", "s", method="PUT"))
+        assert len(events) == 1
+
+
+class TestProgramming:
+    def test_reprogramming_changes_matches(self):
+        monitor = ReqMonitor((b"GET",))
+        assert not monitor.matches(b"HEAD /x ")
+        monitor.program_templates([b"GET", b"HEAD"])
+        assert monitor.matches(b"HEAD /x ")
+
+    def test_templates_truncated_to_register_width(self):
+        monitor = ReqMonitor((b"A" * 20,))
+        assert len(monitor.templates[0]) == ReqMonitor.TEMPLATE_REGISTER_BYTES
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError):
+            ReqMonitor(())
+        with pytest.raises(ValueError):
+            ReqMonitor((b"",))
+
+    def test_two_byte_template_like_paper(self):
+        # The paper compares "the first two bytes of the payload".
+        monitor = ReqMonitor((b"GE",))
+        assert monitor.inspect(make_http_request("c", "s", method="GET"))

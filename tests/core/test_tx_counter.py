@@ -1,0 +1,23 @@
+"""Tests for TxBytesCounter."""
+
+from repro.core import TxBytesCounter
+from repro.net import make_response
+
+
+class TestTxBytesCounter:
+    def test_counts_wire_bytes(self):
+        counter = TxBytesCounter()
+        frame = make_response("s", "c", payload_bytes=8_000)
+        counter.observe(frame)
+        assert counter.tx_bytes == frame.wire_bytes
+        assert counter.frames_observed == 1
+
+    def test_accumulates_without_context(self):
+        # TxBytesCounter is deliberately context-free (counts any frame).
+        counter = TxBytesCounter()
+        a = make_response("s", "c", payload_bytes=100)
+        b = make_response("s", "c", payload_bytes=50_000)
+        counter.observe(a)
+        counter.observe(b)
+        assert counter.tx_bytes == a.wire_bytes + b.wire_bytes
+        assert counter.frames_observed == 2

@@ -1,0 +1,89 @@
+"""Property-based tests: work conservation on the core engine.
+
+Whatever mixture of preemptions, frequency changes, and stalls happens,
+the total cycles retired must equal the cycles submitted, and busy time
+must equal the per-segment cycles/frequency integral.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Job, ProcessorConfig
+from repro.sim import Simulator
+
+
+@given(
+    job_cycles=st.lists(
+        st.floats(min_value=1_000, max_value=5e6, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    ),
+    preempt_times=st.lists(
+        st.integers(min_value=1, max_value=2_000_000), max_size=5
+    ),
+    pstate_changes=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2_000_000),
+            st.integers(min_value=0, max_value=14),
+        ),
+        max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_submitted_work_completes(job_cycles, preempt_times, pstate_changes):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=1).build_package(sim)
+    core = package.cores[0]
+    completed = []
+
+    # Chain the jobs: each dispatches the next on completion.
+    def submit(index):
+        if index >= len(job_cycles):
+            return
+        core.dispatch(
+            Job(job_cycles[index], on_complete=lambda: (completed.append(index), submit(index + 1))),
+        )
+
+    submit(0)
+    for t in preempt_times:
+        sim.schedule_at(
+            t, lambda: core.dispatch(Job(10_000, on_complete=lambda: completed.append("irq")), preempt=True)
+        )
+    for t, index in pstate_changes:
+        sim.schedule_at(t, package.set_pstate, index)
+    sim.run()
+    app_completed = [c for c in completed if c != "irq"]
+    assert app_completed == list(range(len(job_cycles)))
+    assert completed.count("irq") == len(preempt_times)
+
+
+@given(
+    cycles=st.floats(min_value=1_000, max_value=1e7, allow_nan=False),
+    pstate=st.integers(min_value=0, max_value=14),
+)
+@settings(max_examples=40, deadline=None)
+def test_busy_time_matches_cycles_over_frequency(cycles, pstate):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=1, initial_pstate=pstate).build_package(sim)
+    core = package.cores[0]
+    core.dispatch(Job(cycles))
+    sim.run()
+    expected_ns = cycles / package.frequency_hz * 1e9
+    assert abs(core.busy_ns_total() - expected_ns) <= 1
+
+
+@given(
+    sleep_state=st.sampled_from(["C1", "C3", "C6"]),
+    idle_ns=st.integers(min_value=1, max_value=10_000_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_wake_latency_is_exactly_exit_latency(sleep_state, idle_ns):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=1).build_package(sim)
+    core = package.cores[0]
+    cstate = package.cstates.by_name(sleep_state)
+    core.enter_sleep(cstate)
+    done = []
+    sim.schedule_at(idle_ns, core.dispatch, Job(0, on_complete=lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [idle_ns + cstate.exit_latency_ns]

@@ -1,0 +1,76 @@
+"""Tests for C-state definitions and selection (paper Table 1 / Section 5)."""
+
+import pytest
+
+from repro.cpu import CState, CStateTable, default_cstates
+from repro.sim.units import US
+
+
+class TestDefaults:
+    def test_paper_ladder(self):
+        table = CStateTable()
+        c1, c3, c6 = table
+        assert (c1.name, c3.name, c6.name) == ("C1", "C3", "C6")
+        assert [s.exit_latency_ns for s in table] == [2 * US, 10 * US, 22 * US]
+        assert [s.target_residency_ns for s in table] == [10 * US, 40 * US, 150 * US]
+
+    def test_by_name(self):
+        table = CStateTable()
+        assert table.by_name("C3").exit_latency_ns == 10 * US
+        with pytest.raises(KeyError):
+            table.by_name("C9")
+
+    def test_shallowest_deepest(self):
+        table = CStateTable()
+        assert table.shallowest.name == "C1"
+        assert table.deepest.name == "C6"
+
+
+class TestDeepestAllowed:
+    def setup_method(self):
+        self.table = CStateTable()
+
+    def test_long_idle_picks_c6(self):
+        state = self.table.deepest_allowed(1_000 * US, latency_limit_ns=10**9)
+        assert state is not None and state.name == "C6"
+
+    def test_medium_idle_picks_c3(self):
+        state = self.table.deepest_allowed(100 * US, latency_limit_ns=10**9)
+        assert state is not None and state.name == "C3"
+
+    def test_short_idle_picks_c1(self):
+        state = self.table.deepest_allowed(15 * US, latency_limit_ns=10**9)
+        assert state is not None and state.name == "C1"
+
+    def test_tiny_idle_picks_nothing(self):
+        assert self.table.deepest_allowed(5 * US, latency_limit_ns=10**9) is None
+
+    def test_latency_limit_caps_depth(self):
+        state = self.table.deepest_allowed(1_000 * US, latency_limit_ns=12 * US)
+        assert state is not None and state.name == "C3"
+
+    def test_boundary_residency_is_allowed(self):
+        state = self.table.deepest_allowed(150 * US, latency_limit_ns=10**9)
+        assert state is not None and state.name == "C6"
+
+
+class TestValidation:
+    def test_rejects_decreasing_exit_latency(self):
+        bad = [
+            CState("A", 1, exit_latency_ns=10, target_residency_ns=10),
+            CState("B", 2, exit_latency_ns=5, target_residency_ns=20),
+        ]
+        with pytest.raises(ValueError):
+            CStateTable(bad)
+
+    def test_rejects_decreasing_residency(self):
+        bad = [
+            CState("A", 1, exit_latency_ns=5, target_residency_ns=20),
+            CState("B", 2, exit_latency_ns=10, target_residency_ns=10),
+        ]
+        with pytest.raises(ValueError):
+            CStateTable(bad)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            CState("A", 1, exit_latency_ns=-1, target_residency_ns=0)

@@ -1,0 +1,98 @@
+"""Tests for the per-core energy meter."""
+
+import pytest
+
+from repro.cpu import PowerMeter, PowerMode, PowerModel
+from repro.sim import Simulator
+from repro.sim.units import MS, ghz
+
+
+def make_meter():
+    sim = Simulator()
+    meter = PowerMeter(sim, PowerModel())
+    return sim, meter
+
+
+def advance(sim, ns):
+    sim.schedule(ns, lambda: None)
+    sim.run()
+
+
+class TestIntegration:
+    def test_constant_power_segment(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.RUN, 1.2, ghz(3.1))
+        advance(sim, MS)  # 1 ms at 20 W -> 20 mJ
+        report = meter.report()
+        assert report.energy_j == pytest.approx(20.0 * 1e-3, rel=1e-6)
+
+    def test_two_segments_sum(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.RUN, 1.2, ghz(3.1))
+        advance(sim, MS)
+        meter.set_mode(PowerMode.C6)
+        advance(sim, 9 * MS)
+        report = meter.report()
+        assert report.energy_j == pytest.approx(20e-3, rel=1e-6)  # C6 is free
+
+    def test_residency_tracked_per_mode(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.IDLE_POLL, 1.2, ghz(3.1))
+        advance(sim, 2 * MS)
+        meter.set_mode(PowerMode.C3)
+        advance(sim, 3 * MS)
+        report = meter.report()
+        assert report.residency_ns["idle"] == 2 * MS
+        assert report.residency_ns["C3"] == 3 * MS
+
+    def test_energy_by_mode(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.C3, 1.2, ghz(3.1))
+        advance(sim, MS)
+        report = meter.report()
+        assert report.energy_by_mode_j["C3"] == pytest.approx(1.64e-3, rel=1e-6)
+
+    def test_voltage_change_mid_stream(self):
+        sim, meter = make_meter()
+        model = PowerModel()
+        meter.start(PowerMode.C1, 1.2, ghz(3.1))
+        advance(sim, MS)
+        meter.set_mode(PowerMode.C1, voltage=0.65)
+        advance(sim, MS)
+        report = meter.report()
+        expected = (model.static_power_w(1.2) + model.static_power_w(0.65)) * 1e-3
+        assert report.energy_j == pytest.approx(expected, rel=1e-6)
+
+    def test_report_is_idempotent_snapshot(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.RUN, 1.2, ghz(3.1))
+        advance(sim, MS)
+        first = meter.report()
+        second = meter.report()
+        assert second.energy_j == pytest.approx(first.energy_j)
+
+    def test_unstarted_meter_rejects_set_mode(self):
+        _, meter = make_meter()
+        with pytest.raises(RuntimeError):
+            meter.set_mode(PowerMode.RUN)
+
+    def test_zero_length_segments_free(self):
+        sim, meter = make_meter()
+        meter.start(PowerMode.RUN, 1.2, ghz(3.1))
+        meter.set_mode(PowerMode.C1)
+        meter.set_mode(PowerMode.RUN)
+        assert meter.report().energy_j == 0.0
+
+
+class TestEnergyReportMerge:
+    def test_merge_sums_everything(self):
+        sim, meter_a = make_meter()
+        meter_a.start(PowerMode.RUN, 1.2, ghz(3.1))
+        advance(sim, MS)
+        sim2, meter_b = make_meter()
+        meter_b.start(PowerMode.C3, 1.2, ghz(3.1))
+        advance(sim2, MS)
+        merged = meter_a.report().merge(meter_b.report())
+        assert merged.energy_j == pytest.approx(20e-3 + 1.64e-3, rel=1e-6)
+        assert merged.residency_ns == {"run": MS, "C3": MS}
+        assert set(merged.energy_by_mode_j) == {"run", "C3"}

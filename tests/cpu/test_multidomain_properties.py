@@ -1,0 +1,76 @@
+"""Property-based tests for per-core clock domains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Job, ProcessorConfig
+from repro.cpu.multidomain import MultiDomainProcessor
+from repro.sim import Simulator
+
+
+@given(
+    targets=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # domain
+            st.integers(min_value=0, max_value=14),  # p-state
+            st.integers(min_value=0, max_value=500_000),  # time
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_domains_settle_independently(targets):
+    sim = Simulator()
+    proc = MultiDomainProcessor(sim, ProcessorConfig(n_cores=4))
+    last_target = {i: 0 for i in range(4)}
+    by_time = sorted(targets, key=lambda t: t[2])
+    for domain_id, index, t in by_time:
+        sim.schedule_at(t, proc.domain_of(domain_id).set_pstate, index)
+        last_target[domain_id] = index
+    sim.run()
+    for domain_id, expected in last_target.items():
+        assert proc.domain_of(domain_id).pstate_index == expected
+
+
+@given(
+    work=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.floats(min_value=1_000, max_value=1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=16,
+    ),
+    retune=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=14),
+            st.integers(min_value=0, max_value=200_000),
+        ),
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_work_conserved_across_domains(work, retune):
+    """Every job completes exactly once, whatever each domain's V/F does."""
+    sim = Simulator()
+    proc = MultiDomainProcessor(sim, ProcessorConfig(n_cores=4))
+    done = []
+    pending = {i: [] for i in range(4)}
+    for core_id, cycles in work:
+        pending[core_id].append(cycles)
+
+    def submit(core_id):
+        if not pending[core_id]:
+            return
+        cycles = pending[core_id].pop()
+        proc.cores[core_id].dispatch(
+            Job(cycles, on_complete=lambda c=core_id: (done.append(c), submit(c)))
+        )
+
+    for core_id in range(4):
+        submit(core_id)
+    for domain_id, index, t in retune:
+        sim.schedule_at(t, proc.domain_of(domain_id).set_pstate, index)
+    sim.run()
+    assert len(done) == len(work)

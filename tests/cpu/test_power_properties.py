@@ -1,0 +1,61 @@
+"""Property-based tests on the power model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import PowerMode, PowerModel, PStateTable
+
+voltages = st.floats(min_value=0.65, max_value=1.2, allow_nan=False)
+freqs = st.floats(min_value=0.8e9, max_value=3.1e9, allow_nan=False)
+
+
+@given(v=voltages, f=freqs)
+@settings(max_examples=100, deadline=None)
+def test_power_mode_ladder_monotone(v, f):
+    model = PowerModel()
+    run = model.core_power_w(PowerMode.RUN, v, f)
+    idle = model.core_power_w(PowerMode.IDLE_POLL, v, f)
+    stall = model.core_power_w(PowerMode.STALL, v, f)
+    c1 = model.core_power_w(PowerMode.C1, v, f)
+    c6 = model.core_power_w(PowerMode.C6, v, f)
+    assert run > idle > stall >= c1 > c6 >= 0.0
+
+
+@given(v=voltages, f=freqs)
+@settings(max_examples=100, deadline=None)
+def test_all_powers_finite_nonnegative(v, f):
+    model = PowerModel()
+    for mode in PowerMode:
+        p = model.core_power_w(mode, v, f)
+        assert p >= 0.0
+        assert p < 1_000.0
+
+
+def test_deeper_pstates_use_less_power_when_busy():
+    model = PowerModel()
+    table = PStateTable.linear()
+    powers = [
+        model.core_power_w(PowerMode.RUN, s.voltage, s.freq_hz) for s in table
+    ]
+    assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+def test_deeper_pstates_use_less_energy_per_cycle():
+    """Energy per cycle decreases with depth (crawling is cheaper per unit
+    of work in a V^2*F model with these Table 1 anchors) — the physical
+    reason NCAP's race-to-halt costs some energy versus DVFS crawling."""
+    model = PowerModel()
+    table = PStateTable.linear()
+    energy_per_cycle = [
+        model.core_power_w(PowerMode.RUN, s.voltage, s.freq_hz) / s.freq_hz
+        for s in table
+    ]
+    assert all(a > b for a, b in zip(energy_per_cycle, energy_per_cycle[1:]))
+
+
+@given(v=voltages)
+@settings(max_examples=50, deadline=None)
+def test_static_power_within_anchor_band(v):
+    model = PowerModel()
+    static = model.static_power_w(v)
+    assert 1.92 - 1e-9 <= static <= 7.11 + 1e-9

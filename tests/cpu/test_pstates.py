@@ -1,0 +1,100 @@
+"""Tests for P-state tables and DVFS transition timing (paper Fig. 1, Table 1)."""
+
+import pytest
+
+from repro.cpu import DVFSTimingModel, PState, PStateTable
+from repro.sim.units import US, ghz
+
+
+class TestPStateTable:
+    def test_table_matches_table1(self):
+        table = PStateTable.linear()
+        assert len(table) == 15
+        assert table.p0.freq_hz == pytest.approx(ghz(3.1))
+        assert table.p0.voltage == pytest.approx(1.2)
+        assert table.deepest.freq_hz == pytest.approx(ghz(0.8))
+        assert table.deepest.voltage == pytest.approx(0.65)
+
+    def test_frequencies_strictly_decreasing(self):
+        table = PStateTable.linear()
+        freqs = [s.freq_hz for s in table]
+        assert all(a > b for a, b in zip(freqs, freqs[1:]))
+
+    def test_voltage_decreases_with_depth(self):
+        table = PStateTable.linear()
+        volts = [s.voltage for s in table]
+        assert all(a > b for a, b in zip(volts, volts[1:]))
+
+    def test_index_for_frequency_exact(self):
+        table = PStateTable.linear()
+        for state in table:
+            assert table.index_for_frequency(state.freq_hz) == state.index
+
+    def test_index_for_frequency_picks_covering_state(self):
+        table = PStateTable.linear()
+        # Slightly above P14's frequency must map to P13 (>= target).
+        target = table[14].freq_hz + 1e6
+        assert table.index_for_frequency(target) == 13
+
+    def test_index_for_frequency_clamps(self):
+        table = PStateTable.linear()
+        assert table.index_for_frequency(ghz(99)) == 0
+        assert table.index_for_frequency(ghz(0.1)) == table.max_index
+
+    def test_clamp_index(self):
+        table = PStateTable.linear()
+        assert table.clamp_index(-3) == 0
+        assert table.clamp_index(99) == 14
+        assert table.clamp_index(7) == 7
+
+    def test_rejects_wrong_index_order(self):
+        with pytest.raises(ValueError):
+            PStateTable([PState(1, ghz(3), 1.2)])
+
+    def test_rejects_nonmonotone_frequency(self):
+        with pytest.raises(ValueError):
+            PStateTable([PState(0, ghz(1), 1.0), PState(1, ghz(2), 1.2)])
+
+    def test_rejects_tiny_table(self):
+        with pytest.raises(ValueError):
+            PStateTable.linear(count=1)
+
+    def test_pstate_validation(self):
+        with pytest.raises(ValueError):
+            PState(0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            PState(0, ghz(1), 0.0)
+
+
+class TestDVFSTimingModel:
+    def setup_method(self):
+        self.table = PStateTable.linear()
+        self.model = DVFSTimingModel()
+
+    def test_raise_has_voltage_ramp_then_halt(self):
+        ramp, halt = self.model.plan(self.table.deepest, self.table.p0)
+        # dV = 550 mV at 6.25 mV/us = 88 us ramp.
+        assert ramp == 88 * US
+        assert halt == 5 * US
+
+    def test_lower_has_no_ramp(self):
+        ramp, halt = self.model.plan(self.table.p0, self.table.deepest)
+        assert ramp == 0
+        assert halt == 5 * US
+
+    def test_lowering_is_much_faster_than_raising(self):
+        # Matches the paper: highest->lowest ~5 us, lowest->highest ~50-90 us.
+        up = self.model.total_latency_ns(self.table.deepest, self.table.p0)
+        down = self.model.total_latency_ns(self.table.p0, self.table.deepest)
+        assert down == 5 * US
+        assert up > 10 * down
+
+    def test_same_state_only_pll(self):
+        ramp, halt = self.model.plan(self.table.p0, self.table.p0)
+        assert ramp == 0
+        assert halt == 5 * US
+
+    def test_small_step_ramp_proportional_to_dv(self):
+        one_step = self.model.plan(self.table[1], self.table[0])[0]
+        two_step = self.model.plan(self.table[2], self.table[0])[0]
+        assert two_step == pytest.approx(2 * one_step, abs=2)

@@ -1,0 +1,42 @@
+"""Tests for Table 1 configuration validation."""
+
+from dataclasses import replace
+
+from repro.cpu import PowerModelConfig, ProcessorConfig
+from repro.sim.units import ghz
+from repro.validation import validate_table1
+
+
+class TestValidateTable1:
+    def test_default_config_conforms(self):
+        assert validate_table1(ProcessorConfig()) == []
+
+    def test_wrong_core_count_flagged(self):
+        problems = validate_table1(ProcessorConfig(n_cores=8))
+        assert any("4 cores" in p for p in problems)
+
+    def test_wrong_frequency_range_flagged(self):
+        problems = validate_table1(ProcessorConfig(f_max_hz=ghz(4.0)))
+        assert any("3.1 GHz" in p for p in problems)
+
+    def test_wrong_pstate_count_flagged(self):
+        problems = validate_table1(ProcessorConfig(n_pstates=10))
+        assert any("15 P-states" in p for p in problems)
+
+    def test_power_anchor_drift_flagged(self):
+        config = ProcessorConfig(
+            power=PowerModelConfig(core_max_power_w=40.0)
+        )
+        problems = validate_table1(config)
+        assert any("80 W" in p for p in problems)
+
+    def test_static_anchor_drift_flagged(self):
+        config = ProcessorConfig(
+            power=PowerModelConfig(static_w_at_v_high=9.0)
+        )
+        problems = validate_table1(config)
+        assert any("static anchors" in p for p in problems)
+
+    def test_voltage_range_flagged(self):
+        problems = validate_table1(ProcessorConfig(v_min=0.8))
+        assert any("0.65-1.2 V" in p for p in problems)

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["processor energy", "NCAP activity"]),
+    ("memcached_burst_tolerance.py", ["NCAP woke the processor", "IT_HIGH"]),
+    ("custom_protocol_monitor.py", ["boost triggered", "bulk traffic ignored"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in expected:
+        assert needle in result.stdout
+
+
+def test_policy_comparison_example_help():
+    # The argparse-driven example exposes its load knob.
+    path = os.path.join(EXAMPLES_DIR, "apache_policy_comparison.py")
+    result = subprocess.run(
+        [sys.executable, path, "--help"], capture_output=True, text=True, timeout=60
+    )
+    assert result.returncode == 0
+    assert "--load" in result.stdout

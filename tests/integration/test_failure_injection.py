@@ -1,0 +1,124 @@
+"""Failure-injection tests: the system degrades, it does not wedge."""
+
+import pytest
+
+from repro.cluster.simulation import Cluster, ExperimentConfig, run_experiment
+from repro.net import NIC, NICDriver, make_http_request
+from repro.cpu import ProcessorConfig
+from repro.oskernel import IRQController, NetStackCosts
+from repro.sim import Simulator
+from repro.sim.units import MS
+
+
+class TestOverload:
+    def test_past_saturation_requests_go_incomplete_not_lost(self):
+        # Offer 150% of Apache capacity: the run must complete, with the
+        # backlog visible as incomplete requests, not a hang or a crash.
+        result = run_experiment(
+            ExperimentConfig(
+                app="apache",
+                policy="perf",
+                target_rps=100_000,
+                warmup_ns=10 * MS,
+                measure_ns=60 * MS,
+                drain_ns=20 * MS,  # deliberately too short to drain
+            )
+        )
+        assert result.incomplete > 0
+        assert result.responses_received > 0
+        assert result.requests_sent == result.responses_received + result.incomplete
+
+    def test_tiny_rx_ring_drops_but_keeps_serving(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1, initial_pstate=14).build_package(sim)
+        irq = IRQController(sim, package)
+        nic = NIC(sim, rx_ring_size=8)
+        driver = NICDriver(sim, nic, irq, NetStackCosts())
+        delivered = []
+        driver.packet_sink = delivered.append
+        # Flood far faster than a 0.8 GHz core can drain.
+        for i in range(500):
+            sim.schedule_at(i * 200, nic.receive_frame,
+                            make_http_request("c", "s", req_id=i))
+        sim.run()
+        assert nic.rx_dropped > 0
+        assert len(delivered) > 0
+        assert len(delivered) + nic.rx_dropped == 500
+
+
+class TestMisaddressedTraffic:
+    def test_switch_drops_unknown_destination_silently(self):
+        cluster = Cluster(
+            ExperimentConfig(app="apache", policy="perf", target_rps=24_000,
+                             warmup_ns=5 * MS, measure_ns=20 * MS, drain_ns=20 * MS)
+        )
+        # Inject a frame for a node that does not exist.
+        cluster.sim.schedule_at(
+            0, cluster.switch.receive_frame, make_http_request("ghost", "nowhere")
+        )
+        result = cluster.run()
+        assert cluster.switch.frames_dropped == 1
+        assert result.responses_received > 0
+
+    def test_server_ignores_non_request_frames(self):
+        from repro.net import make_response
+
+        cluster = Cluster(
+            ExperimentConfig(app="apache", policy="perf", target_rps=24_000,
+                             warmup_ns=5 * MS, measure_ns=20 * MS, drain_ns=20 * MS)
+        )
+        for i in range(20):
+            cluster.sim.schedule_at(
+                i * 100_000, cluster.server.nic.receive_frame,
+                make_response("attacker", "server", payload_bytes=5_000),
+            )
+        result = cluster.run()
+        assert cluster.server.app.non_requests_ignored == 20
+        assert result.responses_received > 0
+
+
+class TestPathologicalConfigs:
+    def test_ncap_with_zero_matching_templates_never_boosts(self):
+        from repro.core import NCAPConfig
+
+        result = run_experiment(
+            ExperimentConfig(
+                app="apache",
+                policy="ncap.cons",
+                target_rps=24_000,
+                ncap_base_config=NCAPConfig(templates=(b"ZZZZ",)),
+                warmup_ns=5 * MS,
+                measure_ns=40 * MS,
+                drain_ns=30 * MS,
+            )
+        )
+        assert result.ncap_stats["it_high_posts"] == 0
+        assert result.responses_received > 0  # still serves, just reactively
+
+    def test_one_core_server_survives(self):
+        result = run_experiment(
+            ExperimentConfig(
+                app="memcached",
+                policy="ncap.cons",
+                target_rps=20_000,
+                processor=ProcessorConfig(n_cores=1),
+                warmup_ns=5 * MS,
+                measure_ns=40 * MS,
+                drain_ns=40 * MS,
+            )
+        )
+        assert result.responses_received > 0
+
+    def test_huge_dma_latency_slows_but_completes(self):
+        result = run_experiment(
+            ExperimentConfig(
+                app="apache",
+                policy="ncap.cons",
+                target_rps=24_000,
+                nic_dma_latency_ns=200_000,  # 200 us per frame
+                warmup_ns=5 * MS,
+                measure_ns=40 * MS,
+                drain_ns=40 * MS,
+            )
+        )
+        assert result.responses_received > 0

@@ -1,0 +1,40 @@
+"""Seed robustness: the paper-level orderings must not be seed artifacts."""
+
+import pytest
+
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.sim.units import MS
+
+SEEDS = (11, 23, 47)
+
+
+def run(policy, seed, app="apache", rps=24_000):
+    return run_experiment(
+        ExperimentConfig(
+            app=app, policy=policy, target_rps=rps,
+            warmup_ns=10 * MS, measure_ns=80 * MS, drain_ns=50 * MS, seed=seed,
+        )
+    )
+
+
+class TestOrderingsAcrossSeeds:
+    def test_energy_ordering_stable(self):
+        for seed in SEEDS:
+            perf = run("perf", seed)
+            perf_idle = run("perf.idle", seed)
+            ncap = run("ncap.cons", seed)
+            assert perf_idle.energy.energy_j < perf.energy.energy_j
+            assert ncap.energy.energy_j < perf.energy.energy_j
+
+    def test_latency_ordering_stable(self):
+        for seed in SEEDS:
+            perf = run("perf", seed)
+            ond_idle = run("ond.idle", seed)
+            ncap = run("ncap.cons", seed)
+            assert ncap.latency.p95_ns < ond_idle.latency.p95_ns
+            assert ncap.latency.p95_ns < 1.4 * perf.latency.p95_ns
+
+    def test_percentiles_vary_but_modestly(self):
+        p95s = [run("perf", seed).latency.p95_ns for seed in SEEDS]
+        spread = (max(p95s) - min(p95s)) / min(p95s)
+        assert 0 < spread < 0.8  # seeds matter, but not qualitatively

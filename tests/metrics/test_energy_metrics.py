@@ -1,0 +1,42 @@
+"""Tests for energy windowing."""
+
+import pytest
+
+from repro.cpu import EnergyReport
+from repro.metrics import average_power_w, energy_delta
+
+
+class TestEnergyDelta:
+    def test_window_subtraction(self):
+        start = EnergyReport(
+            energy_j=1.0,
+            residency_ns={"run": 100, "C6": 50},
+            energy_by_mode_j={"run": 0.9, "C6": 0.1},
+        )
+        end = EnergyReport(
+            energy_j=3.5,
+            residency_ns={"run": 400, "C6": 50, "C1": 25},
+            energy_by_mode_j={"run": 3.2, "C6": 0.1, "C1": 0.2},
+        )
+        delta = energy_delta(start, end)
+        assert delta.energy_j == pytest.approx(2.5)
+        assert delta.residency_ns == {"run": 300, "C1": 25}
+        assert delta.energy_by_mode_j == {
+            "run": pytest.approx(2.3), "C1": pytest.approx(0.2)
+        }
+
+    def test_zero_window(self):
+        report = EnergyReport(energy_j=2.0, residency_ns={"run": 10})
+        delta = energy_delta(report, report)
+        assert delta.energy_j == 0.0
+        assert delta.residency_ns == {}
+
+
+class TestAveragePower:
+    def test_average(self):
+        report = EnergyReport(energy_j=5.0)
+        assert average_power_w(report, 100_000_000) == pytest.approx(50.0)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            average_power_w(EnergyReport(), 0)

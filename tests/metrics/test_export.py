@@ -1,0 +1,74 @@
+"""Tests for CSV trace export."""
+
+import csv
+import os
+
+from repro.metrics.export import (
+    export_counter_channel,
+    export_event_channel,
+    export_figure4_bundle,
+)
+from repro.sim import TraceRecorder
+from repro.sim.units import MS
+
+
+class TestEventExport:
+    def test_roundtrip(self, tmp_path):
+        trace = TraceRecorder()
+        ch = trace.event_channel("cpu.freq_ghz")
+        ch.record(0, 3.1)
+        ch.record(5 * MS, 0.8)
+        path = os.path.join(tmp_path, "freq.csv")
+        rows = export_event_channel(trace, "cpu.freq_ghz", path)
+        assert rows == 2
+        with open(path) as fh:
+            data = list(csv.reader(fh))
+        assert data[0] == ["time_ns", "value"]
+        assert data[1] == ["0", "3.1"]
+        assert data[2] == [str(5 * MS), "0.8"]
+
+    def test_empty_channel(self, tmp_path):
+        trace = TraceRecorder()
+        path = os.path.join(tmp_path, "empty.csv")
+        assert export_event_channel(trace, "nothing", path) == 0
+        with open(path) as fh:
+            assert len(list(csv.reader(fh))) == 1  # header only
+
+
+class TestCounterExport:
+    def test_binned_rows(self, tmp_path):
+        trace = TraceRecorder()
+        ch = trace.counter_channel("rx")
+        ch.add(100, 1000.0)
+        ch.add(MS + 5, 500.0)
+        path = os.path.join(tmp_path, "rx.csv")
+        rows = export_counter_channel(trace, "rx", path, 0, 2 * MS, MS)
+        assert rows == 2
+        with open(path) as fh:
+            data = list(csv.reader(fh))
+        assert float(data[1][1]) == 1000.0
+        assert float(data[2][1]) == 500.0
+
+
+class TestBundle:
+    def test_figure4_bundle_from_real_run(self, tmp_path):
+        from repro import ExperimentConfig, run_experiment
+
+        result = run_experiment(
+            ExperimentConfig(
+                app="apache", policy="ond.idle", target_rps=24_000,
+                collect_traces=True,
+                warmup_ns=5 * MS, measure_ns=30 * MS, drain_ns=20 * MS,
+            )
+        )
+        paths = export_figure4_bundle(
+            result.trace, str(tmp_path), 5 * MS, 35 * MS, MS
+        )
+        assert len(paths) >= 4 + 4  # 4 series + 4 core channels
+        for path in paths:
+            assert os.path.exists(path)
+        # The rx series carries real traffic.
+        rx_path = next(p for p in paths if "rx_bytes" in p)
+        with open(rx_path) as fh:
+            total = sum(float(row[1]) for row in list(csv.reader(fh))[1:])
+        assert total > 0

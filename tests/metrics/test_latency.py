@@ -1,0 +1,60 @@
+"""Tests for latency statistics."""
+
+import math
+
+import pytest
+
+from repro.metrics import LatencyStats
+
+
+class TestLatencyStats:
+    def test_percentiles_of_uniform_ramp(self):
+        values = list(range(1, 101))  # 1..100
+        stats = LatencyStats.from_values(values)
+        assert stats.count == 100
+        assert stats.p50_ns == pytest.approx(50.5)
+        assert stats.p95_ns == pytest.approx(95.05)
+        assert stats.max_ns == 100
+        assert stats.mean_ns == pytest.approx(50.5)
+
+    def test_percentile_accessor(self):
+        stats = LatencyStats.from_values([1, 2, 3, 4])
+        assert stats.percentile(50) == stats.p50_ns
+        with pytest.raises(KeyError):
+            stats.percentile(42)
+
+    def test_empty_input_yields_nans(self):
+        stats = LatencyStats.from_values([])
+        assert stats.count == 0
+        assert math.isnan(stats.p95_ns)
+        assert not stats.meets_sla(10**9)
+
+    def test_single_value(self):
+        stats = LatencyStats.from_values([7_000_000])
+        assert stats.p50_ns == stats.p99_ns == 7_000_000
+
+    def test_normalized_to_sla(self):
+        stats = LatencyStats.from_values([10_000_000] * 10)
+        norm = stats.normalized_to(20_000_000)
+        assert norm == {"p50": 0.5, "p90": 0.5, "p95": 0.5, "p99": 0.5}
+
+    def test_normalized_rejects_bad_sla(self):
+        stats = LatencyStats.from_values([1])
+        with pytest.raises(ValueError):
+            stats.normalized_to(0)
+
+    def test_meets_sla_on_p95(self):
+        # 95 values at 1 ms, 5 at 100 ms: p95 sits at the boundary.
+        values = [1_000_000] * 95 + [100_000_000] * 5
+        stats = LatencyStats.from_values(values)
+        assert stats.meets_sla(50_000_000)
+        assert not stats.meets_sla(1_000_000)
+
+    def test_order_insensitive(self):
+        import random
+
+        values = list(range(1000))
+        random.Random(0).shuffle(values)
+        a = LatencyStats.from_values(values)
+        b = LatencyStats.from_values(sorted(values))
+        assert a.p95_ns == b.p95_ns

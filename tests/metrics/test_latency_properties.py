@@ -1,0 +1,46 @@
+"""Property-based tests for latency statistics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import LatencyStats
+
+samples = st.lists(
+    st.floats(min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=500,
+)
+
+
+@given(values=samples)
+@settings(max_examples=100, deadline=None)
+def test_percentiles_ordered(values):
+    stats = LatencyStats.from_values(values)
+    assert stats.p50_ns <= stats.p90_ns <= stats.p95_ns <= stats.p99_ns <= stats.max_ns
+
+
+@given(values=samples)
+@settings(max_examples=100, deadline=None)
+def test_percentiles_bounded_by_data(values):
+    stats = LatencyStats.from_values(values)
+    # A few ulps of slack: float summation can land the mean (and the
+    # interpolated percentiles) infinitesimally outside [min, max].
+    slack = max(1e-9, abs(max(values)) * 1e-12)
+    assert min(values) - slack <= stats.p50_ns
+    assert stats.max_ns == max(values)
+    assert min(values) - slack <= stats.mean_ns <= max(values) + slack
+
+
+@given(values=samples, scale=st.floats(min_value=0.1, max_value=100, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_percentiles_scale_linearly(values, scale):
+    a = LatencyStats.from_values(values)
+    b = LatencyStats.from_values([v * scale for v in values])
+    assert abs(b.p95_ns - a.p95_ns * scale) <= max(1e-6, abs(a.p95_ns * scale)) * 1e-9 + 1e-6
+
+
+@given(values=samples, sla=st.integers(min_value=1, max_value=10**12))
+@settings(max_examples=50, deadline=None)
+def test_meets_sla_consistent_with_p95(values, sla):
+    stats = LatencyStats.from_values(values)
+    assert stats.meets_sla(sla) == (stats.p95_ns <= sla)

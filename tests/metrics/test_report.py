@@ -1,0 +1,52 @@
+"""Tests for text report rendering."""
+
+from repro.metrics import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # fixed width
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [float("nan")], [12345.6]])
+        assert "0.123" in text
+        assert "nan" in text
+        assert "1.23e+04" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_resampling_to_width(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+
+class TestFormatSeries:
+    def test_includes_range(self):
+        text = format_series("BW(Rx)", [(0, 1.0), (1, 3.0)])
+        assert "BW(Rx)" in text
+        assert "max=3" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series("x", [])

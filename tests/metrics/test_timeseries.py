@@ -1,0 +1,65 @@
+"""Tests for time-series sampling helpers."""
+
+import pytest
+
+from repro.cpu import Job, ProcessorConfig
+from repro.metrics import UtilizationSampler, bandwidth_series_mbps, normalized_series
+from repro.sim import Simulator, TraceRecorder
+from repro.sim.units import MS
+
+
+class TestUtilizationSampler:
+    def test_samples_busy_fraction(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=2).build_package(sim)
+        trace = TraceRecorder()
+        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler.start()
+        # Core 0 busy for exactly half of the first bin.
+        package.cores[0].dispatch(Job(3.1e9 * 500e-6))
+        sim.run(until=2 * MS)
+        channel = trace.event_channel("cpu.util")
+        # Mean across 2 cores: core0 50%, core1 0% -> 25%.
+        assert channel.values[0] == pytest.approx(0.25, abs=0.01)
+        assert channel.values[1] == pytest.approx(0.0, abs=0.01)
+
+    def test_stop(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        trace = TraceRecorder()
+        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler.start()
+        sim.schedule_at(int(2.5 * MS), sampler.stop)
+        sim.run(until=10 * MS)
+        assert len(trace.event_channel("cpu.util")) == 2
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        trace = TraceRecorder()
+        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler.start()
+        sampler.start()
+        sim.run(until=MS)
+        assert len(trace.event_channel("cpu.util")) == 1
+
+
+class TestBandwidthSeries:
+    def test_bytes_to_mbps(self):
+        trace = TraceRecorder()
+        counter = trace.counter_channel("rx")
+        counter.add(100, 125_000.0)  # 125 KB in a 1 ms bin = 1 Gb/s
+        series = bandwidth_series_mbps(trace, "rx", 0, MS, MS)
+        assert series == [(0, pytest.approx(1000.0))]
+
+
+class TestNormalizedSeries:
+    def test_normalizes_to_peak(self):
+        series = [(0, 2.0), (1, 8.0), (2, 4.0)]
+        assert normalized_series(series) == [(0, 0.25), (1, 1.0), (2, 0.5)]
+
+    def test_all_zero_series(self):
+        assert normalized_series([(0, 0.0), (1, 0.0)]) == [(0, 0.0), (1, 0.0)]
+
+    def test_empty(self):
+        assert normalized_series([]) == []

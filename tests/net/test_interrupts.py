@@ -1,0 +1,101 @@
+"""Tests for the ICR register and interrupt moderation timers."""
+
+from repro.net import ICR, InterruptModerator, ModerationConfig
+from repro.sim import Simulator
+from repro.sim.units import US
+
+
+class TestICR:
+    def test_set_and_read_clear(self):
+        icr = ICR()
+        icr.set(ICR.IT_RX)
+        icr.set(ICR.IT_HIGH)
+        assert icr.peek() == ICR.IT_RX | ICR.IT_HIGH
+        assert icr.read_and_clear() == ICR.IT_RX | ICR.IT_HIGH
+        assert icr.peek() == 0
+
+    def test_bits_distinct(self):
+        bits = [ICR.IT_RX, ICR.IT_TX, ICR.IT_HIGH, ICR.IT_LOW]
+        assert len(set(bits)) == 4
+        for a in bits:
+            for b in bits:
+                if a is not b:
+                    assert a & b == 0
+
+    def test_describe(self):
+        assert ICR.describe(ICR.IT_RX | ICR.IT_HIGH) == "IT_RX|IT_HIGH"
+        assert ICR.describe(0) == "0"
+
+
+def make_moderator(pitt=25 * US, mitt=100 * US, aitt=200 * US):
+    sim = Simulator()
+    fires = []
+    mod = InterruptModerator(
+        sim, ModerationConfig(pitt_ns=pitt, mitt_ns=mitt, aitt_ns=aitt),
+        lambda: fires.append(sim.now),
+    )
+    return sim, mod, fires
+
+
+class TestInterruptModerator:
+    def test_lone_packet_fires_after_pitt(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.run()
+        assert fires == [25 * US]
+
+    def test_burst_coalesces_into_one_interrupt(self):
+        sim, mod, fires = make_moderator()
+        for t in range(0, 20_000, 2_000):  # 10 packets over 20 us
+            sim.schedule_at(t, mod.notify_event)
+        sim.run()
+        assert fires == [25 * US]
+
+    def test_mitt_enforces_minimum_gap(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.schedule_at(30 * US, mod.notify_event)  # just after first fire
+        sim.run()
+        assert fires[0] == 25 * US
+        assert fires[1] == 125 * US  # last_fire + mitt
+
+    def test_sparse_traffic_not_penalized_by_mitt(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.schedule_at(1_000 * US, mod.notify_event)
+        sim.run()
+        assert fires == [25 * US, 1_025 * US]
+
+    def test_aitt_caps_total_wait(self):
+        # With a huge MITT, the earliest pending event still fires by AITT.
+        sim, mod, fires = make_moderator(mitt=10_000 * US, aitt=200 * US)
+        mod.notify_event()
+        sim.run()
+        assert fires == [25 * US]  # first fire unconstrained
+        sim2, mod2, fires2 = make_moderator(mitt=10_000 * US, aitt=200 * US)
+        mod2.notify_event()
+        sim2.schedule_at(50 * US, mod2.notify_event)
+        sim2.run()
+        # Second event would wait until 10_025 us under MITT alone; AITT
+        # caps it at first_pending (50us) + 200us.
+        assert fires2[1] == 250 * US
+
+    def test_force_fire_now_bypasses_moderation(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.schedule_at(5 * US, mod.force_fire_now)
+        sim.run()
+        assert fires[0] == 5 * US
+        assert len(fires) == 1  # the scheduled PITT fire was cancelled
+
+    def test_interrupts_posted_counter(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.run()
+        assert mod.interrupts_posted == 1
+
+    def test_ns_since_last_interrupt(self):
+        sim, mod, fires = make_moderator()
+        mod.notify_event()
+        sim.run()
+        assert mod.ns_since_last_interrupt() == sim.now - 25 * US

@@ -1,0 +1,132 @@
+"""Tests for link serialization and delivery."""
+
+import pytest
+
+from repro.net import Frame, Link
+from repro.sim import Simulator
+from repro.sim.units import US, gbps
+
+
+class Sink:
+    def __init__(self, name, sim=None):
+        self.name = name
+        self.sim = sim
+        self.received = []
+
+    def receive_frame(self, frame):
+        self.received.append((self.sim.now if self.sim else None, frame))
+
+
+def make_link(bandwidth=gbps(10), latency=1 * US):
+    sim = Simulator()
+    link = Link(sim, bandwidth_bps=bandwidth, latency_ns=latency)
+    a, b = Sink("a", sim), Sink("b", sim)
+    link.attach(a, b)
+    return sim, link, a, b
+
+
+class TestLink:
+    def test_delivery_time_serialization_plus_latency(self):
+        sim, link, a, b = make_link()
+        # 1250 wire bytes = 1 us at 10 Gb/s, +1 us propagation.
+        frame = Frame("a", "b", payload_bytes=1250 - 66)
+        link.endpoint_port(a).send(frame)
+        sim.run()
+        assert b.received[0][0] == 2 * US
+
+    def test_fifo_serialization_of_queued_frames(self):
+        sim, link, a, b = make_link()
+        port = link.endpoint_port(a)
+        f1 = Frame("a", "b", payload_bytes=1250 - 66)
+        f2 = Frame("a", "b", payload_bytes=1250 - 66)
+        port.send(f1)
+        port.send(f2)
+        sim.run()
+        times = [t for t, _ in b.received]
+        assert times == [2 * US, 3 * US]  # second waits for the wire
+        assert [f.frame_id for _, f in b.received] == [f1.frame_id, f2.frame_id]
+
+    def test_full_duplex_directions_independent(self):
+        sim, link, a, b = make_link()
+        link.endpoint_port(a).send(Frame("a", "b", payload_bytes=1250 - 66))
+        link.endpoint_port(b).send(Frame("b", "a", payload_bytes=1250 - 66))
+        sim.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+        assert a.received[0][0] == b.received[0][0] == 2 * US
+
+    def test_big_message_occupies_wire_longer(self):
+        sim, link, a, b = make_link()
+        small = Frame("a", "b", payload_bytes=500)
+        big = Frame("a", "b", payload_bytes=100_000)
+        link.endpoint_port(a).send(big)
+        link.endpoint_port(a).send(small)
+        sim.run()
+        # Small frame waits behind the ~80 us serialization of the big one.
+        assert b.received[1][0] > 80 * US
+
+    def test_port_statistics(self):
+        sim, link, a, b = make_link()
+        port = link.endpoint_port(a)
+        frame = Frame("a", "b", payload_bytes=1000)
+        port.send(frame)
+        sim.run()
+        assert port.frames_carried == 1
+        assert port.bytes_carried == frame.wire_bytes
+
+    def test_unattached_device_rejected(self):
+        sim, link, a, b = make_link()
+        with pytest.raises(ValueError):
+            link.endpoint_port(Sink("stranger"))
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(sim, latency_ns=-1)
+
+
+class TestSwitchIntegration:
+    def test_two_hop_forwarding(self):
+        from repro.net import Switch
+
+        sim = Simulator()
+        switch = Switch(sim)
+        client, server = Sink("client", sim), Sink("server", sim)
+        l1 = Link(sim)
+        l2 = Link(sim)
+        l1.attach(client, switch)
+        l2.attach(switch, server)
+        switch.attach_link(l1, "client")
+        switch.attach_link(l2, "server")
+
+        l1.endpoint_port(client).send(Frame("client", "server", payload_bytes=1250 - 66))
+        sim.run()
+        # 1 us serialize + 1 us prop + 1 us forward + 1 us serialize + 1 us prop.
+        assert server.received[0][0] == 5 * US
+        assert switch.frames_forwarded == 1
+
+    def test_unknown_destination_dropped(self):
+        from repro.net import Switch
+
+        sim = Simulator()
+        switch = Switch(sim)
+        client = Sink("client", sim)
+        l1 = Link(sim)
+        l1.attach(client, switch)
+        switch.attach_link(l1, "client")
+        l1.endpoint_port(client).send(Frame("client", "nowhere", payload_bytes=100))
+        sim.run()
+        assert switch.frames_dropped == 1
+
+    def test_known_destinations(self):
+        from repro.net import Switch
+
+        sim = Simulator()
+        switch = Switch(sim)
+        client = Sink("client", sim)
+        l1 = Link(sim)
+        l1.attach(client, switch)
+        switch.attach_link(l1, "client")
+        assert switch.known_destinations == ["client"]

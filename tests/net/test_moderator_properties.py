@@ -1,0 +1,59 @@
+"""Property-based tests for interrupt-moderation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import InterruptModerator, ModerationConfig
+from repro.sim import Simulator
+from repro.sim.units import US
+
+event_times = st.lists(
+    st.integers(min_value=0, max_value=5_000_000), min_size=1, max_size=100
+).map(sorted)
+
+
+@given(times=event_times)
+@settings(max_examples=60, deadline=None)
+def test_mitt_gap_always_respected(times):
+    sim = Simulator()
+    config = ModerationConfig(pitt_ns=25 * US, mitt_ns=100 * US, aitt_ns=200 * US)
+    fires = []
+    mod = InterruptModerator(sim, config, lambda: fires.append(sim.now))
+    for t in times:
+        sim.schedule_at(t, mod.notify_event)
+    sim.run()
+    for a, b in zip(fires, fires[1:]):
+        assert b - a >= config.mitt_ns
+
+
+@given(times=event_times)
+@settings(max_examples=60, deadline=None)
+def test_every_event_is_eventually_covered_by_an_interrupt(times):
+    """No packet waits forever: after the last event there is at least one
+    interrupt at or after it."""
+    sim = Simulator()
+    config = ModerationConfig(pitt_ns=25 * US, mitt_ns=100 * US, aitt_ns=200 * US)
+    fires = []
+    mod = InterruptModerator(sim, config, lambda: fires.append(sim.now))
+    for t in times:
+        sim.schedule_at(t, mod.notify_event)
+    sim.run()
+    assert fires
+    assert fires[-1] >= times[-1]
+
+
+@given(times=event_times)
+@settings(max_examples=60, deadline=None)
+def test_wait_bounded_by_aitt_plus_mitt(times):
+    """The earliest pending event never waits longer than AITT after its
+    arrival plus one MITT gap (the absolute-timer guarantee)."""
+    sim = Simulator()
+    config = ModerationConfig(pitt_ns=25 * US, mitt_ns=100 * US, aitt_ns=200 * US)
+    fires = []
+    mod = InterruptModerator(sim, config, lambda: fires.append(sim.now))
+    for t in times:
+        sim.schedule_at(t, mod.notify_event)
+    sim.run()
+    for t in times:
+        covering = min(f for f in fires if f >= t)
+        assert covering - t <= config.aitt_ns + config.mitt_ns

@@ -1,0 +1,41 @@
+"""Property-based tests for framing arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import HEADER_BYTES, MSS, MTU, segments_for, wire_bytes_for
+
+payloads = st.integers(min_value=0, max_value=10_000_000)
+
+
+@given(payload=payloads)
+@settings(max_examples=200, deadline=None)
+def test_segments_cover_payload_exactly(payload):
+    n = segments_for(payload)
+    assert n >= 1
+    assert n * MSS >= payload
+    if payload > 0:
+        assert (n - 1) * MSS < payload
+
+
+@given(payload=payloads)
+@settings(max_examples=200, deadline=None)
+def test_wire_bytes_accounts_headers_per_segment(payload):
+    assert wire_bytes_for(payload) == payload + segments_for(payload) * HEADER_BYTES
+
+
+@given(a=payloads, b=payloads)
+@settings(max_examples=100, deadline=None)
+def test_segments_monotone_in_payload(a, b):
+    if a <= b:
+        assert segments_for(a) <= segments_for(b)
+    else:
+        assert segments_for(a) >= segments_for(b)
+
+
+@given(payload=st.integers(min_value=1, max_value=MSS))
+@settings(max_examples=50, deadline=None)
+def test_single_mss_payload_is_one_segment(payload):
+    assert segments_for(payload) == 1
+    # One full frame never exceeds MTU + Ethernet overhead.
+    assert wire_bytes_for(payload) <= MTU + 14

@@ -1,0 +1,75 @@
+"""Tests for optional tx-completion interrupts (the ICR's IT_TX cause)."""
+
+from repro.cpu import ProcessorConfig
+from repro.net import ICR, Frame, NIC, NICDriver
+from repro.oskernel import IRQController, NetStackCosts
+from repro.sim import Simulator
+from repro.sim.units import MS
+
+
+class WireStub:
+    name = "wire"
+    queue_depth = 0
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, frame):
+        self.sent.append(frame)
+
+
+def make(tx_complete=True):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=2).build_package(sim)
+    irq = IRQController(sim, package)
+    nic = NIC(sim, tx_complete_interrupts=tx_complete)
+    nic.attach_port(WireStub())  # type: ignore[arg-type]
+    driver = NICDriver(sim, nic, irq, NetStackCosts())
+    driver.packet_sink = lambda f: None
+    return sim, package, nic, driver
+
+
+def response(i=0):
+    return Frame("server", "client", payload_bytes=5_000, kind="response", req_id=i)
+
+
+class TestTxComplete:
+    def test_completion_sets_it_tx_and_interrupts(self):
+        sim, package, nic, driver = make()
+        seen = []
+        driver.icr_hooks.append(seen.append)
+        driver.transmit(response())
+        sim.run()
+        assert any(bits & ICR.IT_TX for bits in seen)
+        assert driver.tx_reclaimed == 1
+
+    def test_completions_coalesce(self):
+        sim, package, nic, driver = make()
+        for i in range(10):
+            sim.schedule_at(i * 1_000, driver.transmit, response(i))
+        sim.run()
+        assert driver.tx_reclaimed == 10
+        assert driver.hardirqs <= 2  # moderated into one or two interrupts
+
+    def test_disabled_by_default(self):
+        sim, package, nic, driver = make(tx_complete=False)
+        seen = []
+        driver.icr_hooks.append(seen.append)
+        driver.transmit(response())
+        sim.run()
+        assert not any(bits & ICR.IT_TX for bits in seen)
+        assert driver.tx_reclaimed == 0
+
+    def test_reclamation_burns_cycles(self):
+        sim, package, nic, driver = make()
+        for i in range(50):
+            sim.schedule_at(i * 1_000, driver.transmit, response(i))
+        sim.run()
+        # hardirq + reclamation softirq work landed on core 0.
+        assert package.cores[0].busy_ns_total() > 0
+
+    def test_take_tx_completions_resets(self):
+        sim, package, nic, driver = make()
+        driver.transmit(response())
+        sim.run()
+        assert nic.take_tx_completions() == 0  # driver already drained it

@@ -1,0 +1,164 @@
+"""Tests for the cpufreq driver and P-state governors."""
+
+import pytest
+
+from repro.cpu import Job, ProcessorConfig
+from repro.oskernel import (
+    CpufreqDriver,
+    IRQController,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    Scheduler,
+    UserspaceGovernor,
+)
+from repro.sim import Simulator
+from repro.sim.units import MS, ghz
+
+
+def make(initial_pstate=0):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=4, initial_pstate=initial_pstate).build_package(sim)
+    driver = CpufreqDriver(sim, package)
+    irq = IRQController(sim, package)
+    return sim, package, driver, irq
+
+
+class TestStaticGovernors:
+    def test_performance_pins_p0(self):
+        sim, package, driver, _ = make(initial_pstate=14)
+        PerformanceGovernor(driver).start()
+        sim.run()
+        assert package.pstate_index == 0
+
+    def test_powersave_pins_deepest(self):
+        sim, package, driver, _ = make(initial_pstate=0)
+        PowersaveGovernor(driver).start()
+        sim.run()
+        assert package.pstate_index == package.pstates.max_index
+
+    def test_userspace_pins_requested(self):
+        sim, package, driver, _ = make()
+        governor = UserspaceGovernor(driver, initial_index=7)
+        governor.start()
+        sim.run()
+        assert package.pstate_index == 7
+        governor.set_speed(3)
+        sim.run()
+        assert package.pstate_index == 3
+
+
+class TestDriver:
+    def test_request_counting(self):
+        sim, package, driver, _ = make()
+        driver.set_pstate(3)
+        driver.boost_to_max()
+        assert driver.requests == 2
+
+    def test_step_down_single_step_reaches_deepest(self):
+        sim, package, driver, _ = make(initial_pstate=0)
+        driver.step_down(steps_remaining=1)
+        sim.run()
+        assert package.pstate_index == package.pstates.max_index
+
+    def test_step_down_five_steps_descends_gradually(self):
+        sim, package, driver, _ = make(initial_pstate=0)
+        indices = []
+        for steps_left in range(5, 0, -1):
+            driver.step_down(steps_remaining=steps_left)
+            sim.run()
+            indices.append(package.pstate_index)
+        assert indices[-1] == package.pstates.max_index
+        assert indices == sorted(indices)
+        assert indices[0] < package.pstates.max_index  # first step partial
+
+    def test_step_down_at_deepest_is_noop(self):
+        sim, package, driver, _ = make(initial_pstate=14)
+        driver.step_down(steps_remaining=3)
+        sim.run()
+        assert package.pstate_index == 14
+
+
+class TestOndemand:
+    def run_with_load(self, busy_fraction, period_ns=10 * MS, n_periods=4, **kw):
+        """Drive a core with duty-cycled work and let ondemand react."""
+        sim, package, driver, irq = make(initial_pstate=7)
+        governor = OndemandGovernor(sim, driver, irq, period_ns=period_ns, **kw)
+        governor.start()
+
+        # Duty-cycled load on core 1 (core 0 is the governor's housekeeping
+        # core): in every 1 ms slot, busy for busy_fraction of the slot.
+        slot = MS
+
+        def emit_load():
+            cycles = package.frequency_hz * (slot * busy_fraction) / 1e9
+            if cycles > 0:
+                package.cores[1].dispatch(Job(cycles), preempt=True)
+            sim.schedule(slot, emit_load)
+
+        emit_load()
+        # Half a period of slack so the Nth sample's kernel job completes.
+        sim.run(until=n_periods * period_ns + period_ns // 2)
+        return sim, package, governor
+
+    def test_high_load_boosts_to_p0(self):
+        _, package, governor = self.run_with_load(0.95)
+        assert package.effective_target_index == 0
+        assert governor.last_utilization > 0.8
+
+    def test_idle_drops_to_deep_pstate(self):
+        _, package, governor = self.run_with_load(0.0)
+        assert package.effective_target_index == package.pstates.max_index
+
+    def test_moderate_load_proportional_frequency(self):
+        _, package, governor = self.run_with_load(0.4)
+        index = package.effective_target_index
+        assert 0 < index < package.pstates.max_index
+        # target ~ 3.1 GHz * 0.4/0.8 = 1.55 GHz -> covering state
+        assert package.pstates[index].freq_hz >= ghz(1.4)
+
+    def test_governor_runs_every_period(self):
+        sim, package, governor = self.run_with_load(0.2, n_periods=5)
+        assert governor.samples == 5
+
+    def test_hold_suppresses_decisions(self):
+        sim, package, driver, irq = make(initial_pstate=0)
+        governor = OndemandGovernor(sim, driver, irq)
+        governor.start()
+        governor.hold(100 * MS)
+        sim.run(until=50 * MS)
+        # Idle the whole time, but held: still at P0.
+        assert package.pstate_index == 0
+
+    def test_hold_expires(self):
+        sim, package, driver, irq = make(initial_pstate=0)
+        governor = OndemandGovernor(sim, driver, irq)
+        governor.start()
+        governor.hold()  # one period
+        sim.run(until=25 * MS)
+        assert package.effective_target_index == package.pstates.max_index
+
+    def test_governor_overhead_consumes_cycles(self):
+        sim, package, driver, irq = make()
+        governor = OndemandGovernor(
+            sim, driver, irq, period_ns=MS, overhead_cycles=31_000
+        )
+        governor.start()
+        sim.run(until=100 * MS)
+        # 100 invocations x 31K cycles at >=0.8 GHz: measurable busy time.
+        assert package.cores[0].busy_ns_total() > 0
+
+    def test_invalid_threshold_rejected(self):
+        sim, package, driver, irq = make()
+        with pytest.raises(ValueError):
+            OndemandGovernor(sim, driver, irq, up_threshold=0.0)
+
+    def test_stop_halts_sampling(self):
+        sim, package, driver, irq = make()
+        governor = OndemandGovernor(sim, driver, irq)
+        governor.start()
+        sim.run(until=15 * MS)
+        governor.stop()
+        samples = governor.samples
+        sim.run(until=60 * MS)
+        assert governor.samples == samples

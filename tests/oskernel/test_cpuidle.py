@@ -1,0 +1,149 @@
+"""Tests for the cpuidle driver and menu/ladder governors."""
+
+from repro.cpu import CoreState, Job, ProcessorConfig
+from repro.oskernel import CpuidleDriver, LadderGovernor, MenuGovernor, Scheduler
+from repro.sim import Simulator
+from repro.sim.units import MS, US
+
+
+def make(n_cores=1):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=n_cores).build_package(sim)
+    scheduler = Scheduler(sim, package)
+    return sim, package, scheduler
+
+
+def work_us(us_amount):
+    return 3.1e9 * us_amount * 1e-6
+
+
+class TestMenuGovernor:
+    def test_first_idle_goes_deep(self):
+        # Empty history: optimistic (long) prediction -> C6, as observed in
+        # the paper before a BW(Rx) surge.
+        sim, package, sched = make()
+        driver = CpuidleDriver(MenuGovernor(package.cstates))
+        sched.idle_hook = driver.on_core_idle
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        core = package.cores[0]
+        assert core.state is CoreState.SLEEP
+        assert core.current_cstate.name == "C6"
+
+    def test_short_idle_history_prevents_sleep(self):
+        sim, package, sched = make()
+        governor = MenuGovernor(package.cstates)
+        driver = CpuidleDriver(governor)
+        sched.idle_hook = driver.on_core_idle
+        # Back-to-back jobs with ~4 us gaps: history converges to short
+        # idles, for which no C-state's residency fits.
+        t = 0
+        for i in range(20):
+            sim.schedule_at(t, sched.enqueue, Job(work_us(10)))
+            t += 14 * US  # 10 us busy + 4 us idle
+        sim.run(until=t)
+        core = package.cores[0]
+        assert core.state in (CoreState.IDLE, CoreState.RUN)
+        assert governor.predict_idle_ns(core) < 10 * US
+
+    def test_medium_idle_history_picks_middle_state(self):
+        sim, package, sched = make()
+        governor = MenuGovernor(package.cstates)
+        driver = CpuidleDriver(governor)
+        sched.idle_hook = driver.on_core_idle
+        t = 0
+        for i in range(20):
+            sim.schedule_at(t, sched.enqueue, Job(work_us(10)))
+            t += 110 * US  # 10 us busy + ~100 us idle (fits C3, not C6)
+        sim.run(until=t - 90 * US)
+        core = package.cores[0]
+        assert core.state is CoreState.SLEEP
+        assert core.current_cstate.name == "C3"
+
+    def test_latency_limit_caps_depth(self):
+        sim, package, sched = make()
+        governor = MenuGovernor(package.cstates, latency_limit_ns=5 * US)
+        driver = CpuidleDriver(governor)
+        sched.idle_hook = driver.on_core_idle
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert package.cores[0].current_cstate.name == "C1"
+
+    def test_typical_interval_rejects_outliers(self):
+        samples = [30_000] * 7 + [5_000_000]
+        assert MenuGovernor._typical_interval(samples) < 50_000
+
+    def test_typical_interval_uniform(self):
+        assert MenuGovernor._typical_interval([40_000] * 8) == 40_000
+
+    def test_typical_interval_empty_after_rejection(self):
+        assert MenuGovernor._typical_interval([1]) == 1
+
+
+class TestLadderGovernor:
+    def test_promotes_with_long_residencies(self):
+        sim, package, sched = make()
+        governor = LadderGovernor(package.cstates)
+        driver = CpuidleDriver(governor)
+        sched.idle_hook = driver.on_core_idle
+        # Long idle gaps -> ladder should walk C1 -> C3 -> C6.
+        t = 0
+        names = []
+
+        def snapshot():
+            core = package.cores[0]
+            if core.current_cstate is not None:
+                names.append(core.current_cstate.name)
+
+        for i in range(4):
+            sim.schedule_at(t, sched.enqueue, Job(work_us(10)))
+            sim.schedule_at(t + 500 * US, snapshot)
+            t += MS
+        sim.run(until=t)
+        assert names[0] == "C1"
+        assert names[-1] == "C6"
+
+    def test_demotes_on_early_wake(self):
+        sim, package, sched = make()
+        governor = LadderGovernor(package.cstates)
+        driver = CpuidleDriver(governor)
+        sched.idle_hook = driver.on_core_idle
+        # First a long idle to promote, then rapid-fire jobs to demote.
+        sim.schedule_at(0, sched.enqueue, Job(work_us(1)))
+        t = 2 * MS
+        for i in range(6):
+            sim.schedule_at(t, sched.enqueue, Job(work_us(1)))
+            t += 3 * US
+        sim.run(until=t + 2 * US)
+        depth = governor._depth[0]
+        assert depth == 0
+
+
+class TestCpuidleDriver:
+    def test_disable_stops_new_entries(self):
+        sim, package, sched = make()
+        driver = CpuidleDriver(MenuGovernor(package.cstates))
+        sched.idle_hook = driver.on_core_idle
+        driver.disable()
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert package.cores[0].state is CoreState.IDLE
+        assert driver.suppressed >= 1
+
+    def test_reenable_allows_entries(self):
+        sim, package, sched = make()
+        driver = CpuidleDriver(MenuGovernor(package.cstates))
+        sched.idle_hook = driver.on_core_idle
+        driver.disable()
+        driver.enable()
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert package.cores[0].state is CoreState.SLEEP
+
+    def test_entry_counter(self):
+        sim, package, sched = make()
+        driver = CpuidleDriver(MenuGovernor(package.cstates))
+        sched.idle_hook = driver.on_core_idle
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert driver.entries == 1

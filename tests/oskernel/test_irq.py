@@ -1,0 +1,91 @@
+"""Tests for interrupt delivery."""
+
+from repro.cpu import Job, ProcessorConfig
+from repro.oskernel import IRQController
+from repro.sim import Simulator
+from repro.sim.units import US
+
+
+def make(n_cores=2):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=n_cores).build_package(sim)
+    return sim, package, IRQController(sim, package)
+
+
+def cycles_us(us_amount):
+    return 3.1e9 * us_amount * 1e-6
+
+
+class TestHardIRQ:
+    def test_handler_runs_after_handler_cycles(self):
+        sim, package, irq = make()
+        fired = []
+        irq.raise_irq(lambda: fired.append(sim.now), cycles_us(2))
+        sim.run()
+        assert fired == [2 * US]
+
+    def test_irq_preempts_running_job(self):
+        sim, package, irq = make()
+        order = []
+        package.cores[0].dispatch(
+            Job(cycles_us(100), on_complete=lambda: order.append(("app", sim.now)))
+        )
+        sim.schedule(
+            10 * US,
+            lambda: irq.raise_irq(lambda: order.append(("irq", sim.now)), cycles_us(2)),
+        )
+        sim.run()
+        assert order[0] == ("irq", 12 * US)
+        assert order[1] == ("app", 102 * US)
+
+    def test_irq_wakes_sleeping_core(self):
+        sim, package, irq = make()
+        core = package.cores[0]
+        c6 = package.cstates.by_name("C6")
+        core.enter_sleep(c6)
+        fired = []
+        irq.raise_irq(lambda: fired.append(sim.now), cycles_us(2))
+        sim.run()
+        assert fired == [c6.exit_latency_ns + 2 * US]
+
+    def test_irq_targets_default_core(self):
+        sim, package, irq = make(n_cores=2)
+        irq.raise_irq(lambda: None, cycles_us(50))
+        assert package.cores[0].state.value == "run"
+        assert package.cores[1].state.value == "idle"
+        sim.run()
+
+    def test_irq_core_override(self):
+        sim, package, irq = make(n_cores=2)
+        irq.raise_irq(lambda: None, cycles_us(50), core_id=1)
+        assert package.cores[1].state.value == "run"
+        sim.run()
+
+    def test_interrupt_counter(self):
+        sim, package, irq = make()
+        irq.raise_irq(lambda: None, 1)
+        irq.raise_irq(lambda: None, 1)
+        assert irq.interrupts_delivered == 2
+        sim.run()
+
+
+class TestSoftIRQ:
+    def test_softirqs_drain_fifo(self):
+        sim, package, irq = make()
+        order = []
+        irq.raise_softirq(lambda: order.append("a"), cycles_us(1))
+        irq.raise_softirq(lambda: order.append("b"), cycles_us(1))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_softirq_runs_before_preempted_app_job(self):
+        sim, package, irq = make()
+        order = []
+        package.cores[0].dispatch(
+            Job(cycles_us(100), on_complete=lambda: order.append("app"))
+        )
+        sim.schedule(
+            1 * US, lambda: irq.raise_softirq(lambda: order.append("softirq"), cycles_us(5))
+        )
+        sim.run()
+        assert order == ["softirq", "app"]

@@ -1,0 +1,33 @@
+"""Tests for network-stack cost accounting."""
+
+from repro.oskernel import NetStackCosts
+
+
+class TestNetStackCosts:
+    def test_rx_batch_scales_with_packets(self):
+        costs = NetStackCosts()
+        one = costs.rx_batch_cycles(1)
+        ten = costs.rx_batch_cycles(10)
+        assert ten - one == 9 * costs.rx_per_packet_cycles
+
+    def test_rx_empty_batch_is_poll_overhead_only(self):
+        costs = NetStackCosts()
+        assert costs.rx_batch_cycles(0) == costs.softirq_poll_cycles
+
+    def test_tx_message_has_minimum_one_segment(self):
+        costs = NetStackCosts()
+        assert costs.tx_message_cycles(0) == costs.tx_message_cycles(1)
+
+    def test_tx_message_scales_with_segments(self):
+        costs = NetStackCosts()
+        d = costs.tx_message_cycles(6) - costs.tx_message_cycles(1)
+        assert d == 5 * costs.tx_per_segment_cycles
+
+    def test_costs_are_immutable(self):
+        costs = NetStackCosts()
+        try:
+            costs.hardirq_cycles = 0  # type: ignore[misc]
+            mutated = True
+        except Exception:
+            mutated = False
+        assert not mutated

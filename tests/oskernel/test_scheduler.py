@@ -1,0 +1,141 @@
+"""Tests for the run queue / scheduler."""
+
+from repro.cpu import CoreState, Job, ProcessorConfig
+from repro.oskernel import Scheduler
+from repro.sim import Simulator
+from repro.sim.units import US
+
+
+def make(n_cores=2):
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=n_cores).build_package(sim)
+    return sim, package, Scheduler(sim, package)
+
+
+def work_us(us_amount, freq_ghz=3.1):
+    return freq_ghz * 1e9 * us_amount * 1e-6
+
+
+class TestDispatch:
+    def test_job_runs_on_idle_core(self):
+        sim, package, sched = make()
+        done = []
+        sched.enqueue(Job(work_us(10), on_complete=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [10 * US]
+
+    def test_jobs_spread_across_idle_cores(self):
+        sim, package, sched = make(n_cores=2)
+        done = []
+        sched.enqueue(Job(work_us(10), on_complete=lambda: done.append(sim.now)))
+        sched.enqueue(Job(work_us(10), on_complete=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [10 * US, 10 * US]  # parallel, not serial
+
+    def test_excess_jobs_queue_fifo(self):
+        sim, package, sched = make(n_cores=1)
+        order = []
+        for name in ("a", "b", "c"):
+            sched.enqueue(Job(work_us(10), on_complete=lambda n=name: order.append(n)))
+        assert sched.queue_depth == 2
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sched.queue_depth == 0
+
+    def test_sleeping_core_woken_for_work(self):
+        sim, package, sched = make(n_cores=1)
+        core = package.cores[0]
+        c6 = package.cstates.by_name("C6")
+        core.enter_sleep(c6)
+        done = []
+        sched.enqueue(Job(0, on_complete=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [c6.exit_latency_ns]
+
+    def test_idle_core_preferred_over_sleeping(self):
+        sim, package, sched = make(n_cores=2)
+        package.cores[0].enter_sleep(package.cstates.by_name("C6"))
+        done = []
+        sched.enqueue(Job(0, on_complete=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [0]  # ran on the idle core, no exit latency
+        assert package.cores[0].state is CoreState.SLEEP
+
+    def test_core_hint_targets_specific_core(self):
+        sim, package, sched = make(n_cores=2)
+        sched.enqueue(Job(work_us(10)), core_hint=1)
+        assert package.cores[1].state is CoreState.RUN
+        assert package.cores[0].state is CoreState.IDLE
+        sim.run()
+
+    def test_core_hint_is_soft_affinity(self):
+        # When the hinted core is busy, the job falls back to normal
+        # selection (here: the idle core 1) instead of waiting behind it.
+        sim, package, sched = make(n_cores=2)
+        order = []
+        sched.enqueue(Job(work_us(10), on_complete=lambda: order.append("first")), core_hint=0)
+        sched.enqueue(Job(work_us(1), on_complete=lambda: order.append("second")), core_hint=0)
+        sim.run()
+        assert order == ["second", "first"]
+        assert package.cores[1].busy_ns_total() > 0
+
+    def test_core_hint_queues_when_all_cores_busy(self):
+        sim, package, sched = make(n_cores=1)
+        order = []
+        sched.enqueue(Job(work_us(10), on_complete=lambda: order.append("first")), core_hint=0)
+        sched.enqueue(Job(work_us(1), on_complete=lambda: order.append("second")), core_hint=0)
+        assert sched.queue_depth == 1
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_waking_core_with_backlog_not_double_loaded(self):
+        sim, package, sched = make(n_cores=1)
+        core = package.cores[0]
+        core.enter_sleep(package.cstates.by_name("C6"))
+        sched.enqueue(Job(work_us(50)))   # wakes the core, rides the wake
+        sched.enqueue(Job(work_us(50)))   # must queue, not pile on pending
+        assert sched.queue_depth == 1
+        sim.run()
+
+
+class TestIdleHook:
+    def test_idle_hook_called_when_no_work(self):
+        sim, package, sched = make(n_cores=1)
+        idled = []
+        sched.idle_hook = idled.append
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert idled == [package.cores[0]]
+
+    def test_idle_hook_not_called_when_queue_nonempty(self):
+        sim, package, sched = make(n_cores=1)
+        idled = []
+        sched.idle_hook = idled.append
+        sched.enqueue(Job(work_us(5)))
+        sched.enqueue(Job(work_us(5)))
+        sim.run()
+        assert len(idled) == 1  # only after the queue drained
+
+
+class TestStats:
+    def test_max_queue_depth_tracked(self):
+        sim, package, sched = make(n_cores=1)
+        for _ in range(4):
+            sched.enqueue(Job(work_us(1)))
+        assert sched.max_queue_depth == 3
+        sim.run()
+
+    def test_jobs_enqueued_counted(self):
+        sim, package, sched = make(n_cores=2)
+        for _ in range(5):
+            sched.enqueue(Job(1))
+        assert sched.jobs_enqueued == 5
+        sim.run()
+
+    def test_wake_all(self):
+        sim, package, sched = make(n_cores=2)
+        for core in package.cores:
+            core.enter_sleep(package.cstates.by_name("C6"))
+        sched.wake_all()
+        sim.run()
+        assert all(core.state is CoreState.IDLE for core in package.cores)

@@ -1,0 +1,53 @@
+"""Tests for the sysfs-like configuration surface."""
+
+import pytest
+
+from repro.oskernel import SysFS, SysfsError
+
+
+class TestSysFS:
+    def test_plain_value_roundtrip(self):
+        fs = SysFS()
+        fs.register("sys/class/net/eth0/mtu", initial="1500")
+        assert fs.read("/sys/class/net/eth0/mtu") == "1500"
+        fs.write("sys/class/net/eth0/mtu", "9000")
+        assert fs.read("sys/class/net/eth0/mtu") == "9000"
+
+    def test_unknown_path_raises(self):
+        fs = SysFS()
+        with pytest.raises(SysfsError):
+            fs.read("/nope")
+        with pytest.raises(SysfsError):
+            fs.write("/nope", "1")
+
+    def test_write_handler_invoked(self):
+        fs = SysFS()
+        seen = []
+        fs.register("/dev/ncap/templates", write=seen.append)
+        fs.write("/dev/ncap/templates", "GET,POST")
+        assert seen == ["GET,POST"]
+        assert fs.read("/dev/ncap/templates") == "GET,POST"
+
+    def test_read_handler_invoked(self):
+        fs = SysFS()
+        fs.register("/stat/reqcnt", read=lambda: "42")
+        assert fs.read("/stat/reqcnt") == "42"
+
+    def test_exists(self):
+        fs = SysFS()
+        fs.register("/a/b", initial="x")
+        assert fs.exists("/a/b")
+        assert not fs.exists("/a/c")
+
+    def test_ls_prefix(self):
+        fs = SysFS()
+        fs.register("/net/eth0/rht", initial="35000")
+        fs.register("/net/eth0/rlt", initial="5000")
+        fs.register("/cpu/governor", initial="ondemand")
+        assert fs.ls("/net/eth0") == ["/net/eth0/rht", "/net/eth0/rlt"]
+        assert len(fs.ls()) == 3
+
+    def test_paths_normalized(self):
+        fs = SysFS()
+        fs.register("x/y", initial="1")
+        assert fs.read("/x/y/") == "1"

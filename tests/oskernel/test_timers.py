@@ -1,0 +1,97 @@
+"""Tests for periodic/one-shot kernel tasks."""
+
+from repro.cpu import ProcessorConfig
+from repro.oskernel import IRQController, OneShotKernelTask, PeriodicKernelTask
+from repro.sim import Simulator
+from repro.sim.units import MS
+
+import pytest
+
+
+def make():
+    sim = Simulator()
+    package = ProcessorConfig(n_cores=1).build_package(sim)
+    return sim, package, IRQController(sim, package)
+
+
+class TestPeriodicKernelTask:
+    def test_fires_every_period(self):
+        sim, package, irq = make()
+        fired = []
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        task.start()
+        sim.run(until=5 * MS + 1)
+        assert len(fired) == 5
+
+    def test_cycles_delay_body(self):
+        sim, package, irq = make()
+        fired = []
+        cycles = 3.1e9 * 10e-6  # 10 us of kernel work
+        task = PeriodicKernelTask(sim, irq, MS, cycles, lambda: fired.append(sim.now))
+        task.start()
+        sim.run(until=int(1.5 * MS))
+        assert fired == [MS + 10_000]
+
+    def test_stop_cancels_future_firings(self):
+        sim, package, irq = make()
+        fired = []
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        task.start()
+        sim.schedule(int(2.5 * MS), task.stop)
+        sim.run(until=10 * MS)
+        assert len(fired) == 2
+
+    def test_start_is_idempotent(self):
+        sim, package, irq = make()
+        fired = []
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=MS)
+        assert len(fired) == 1
+
+    def test_initial_delay_override(self):
+        sim, package, irq = make()
+        fired = []
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        task.start(initial_delay_ns=0)
+        sim.run(until=1)
+        assert fired == [0]
+
+    def test_consumes_cpu_time(self):
+        sim, package, irq = make()
+        cycles = 3.1e9 * 100e-6
+        task = PeriodicKernelTask(sim, irq, MS, cycles, lambda: None)
+        task.start()
+        sim.run(until=10 * MS + MS // 2)  # slack for the 10th body to finish
+        busy = package.cores[0].busy_ns_total()
+        assert busy == pytest.approx(10 * 100_000, rel=0.01)
+
+    def test_expiration_counter(self):
+        sim, package, irq = make()
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: None)
+        task.start()
+        sim.run(until=3 * MS)
+        assert task.expirations == 3
+
+    def test_rejects_nonpositive_period(self):
+        sim, package, irq = make()
+        with pytest.raises(ValueError):
+            PeriodicKernelTask(sim, irq, 0, 0, lambda: None)
+
+
+class TestOneShotKernelTask:
+    def test_fires_once(self):
+        sim, package, irq = make()
+        fired = []
+        OneShotKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        sim.run(until=10 * MS)
+        assert fired == [MS]
+
+    def test_cancel(self):
+        sim, package, irq = make()
+        fired = []
+        task = OneShotKernelTask(sim, irq, MS, 0, lambda: fired.append(sim.now))
+        sim.schedule(MS // 2, task.cancel)
+        sim.run(until=10 * MS)
+        assert fired == []

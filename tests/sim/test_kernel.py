@@ -1,0 +1,154 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5, fired.append, tag)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_event_scheduled_during_run_executes():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(7, fired.append, "inner")
+
+    sim.schedule(3, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 10
+
+
+def test_schedule_at_current_time_during_event_runs_after_ties():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.call_now(fired.append, "nested")
+
+    sim.schedule(5, outer)
+    sim.schedule(5, fired.append, "peer")
+    sim.run()
+    assert fired == ["outer", "peer", "nested"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50  # clock advanced to the window edge
+
+
+def test_run_until_can_be_resumed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(100, fired.append, "b")
+    sim.run(until=50)
+    sim.run(until=200)
+    assert fired == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    event.cancel()
+    assert sim.peek_next_time() == 9
+
+
+def test_pending_count():
+    sim = Simulator()
+    keep = sim.schedule(5, lambda: None)
+    drop = sim.schedule(6, lambda: None)
+    drop.cancel()
+    assert sim.pending_count() == 1
+    assert keep.time == 5
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda a, b: seen.append((a, b)), 1, "two")
+    sim.run()
+    assert seen == [(1, "two")]

@@ -1,0 +1,71 @@
+"""Property-based tests for the event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_equal_time_events_fire_in_submission_order(delays):
+    sim = Simulator()
+    order = []
+    common = max(delays)
+    for i, _ in enumerate(delays):
+        sim.schedule(common, order.append, i)
+    sim.run()
+    assert order == list(range(len(delays)))
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=100),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    expected = []
+    for i, event in enumerate(events):
+        if i < len(cancel_mask) and cancel_mask[i]:
+            event.cancel()
+        else:
+            expected.append(i)
+    sim.run()
+    assert sorted(fired) == expected
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60),
+    split=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=50, deadline=None)
+def test_run_until_is_equivalent_to_one_run(delays, split):
+    one = Simulator()
+    fired_one = []
+    for delay in delays:
+        one.schedule(delay, lambda d=delay: fired_one.append((one.now, d)))
+    one.run()
+
+    two = Simulator()
+    fired_two = []
+    for delay in delays:
+        two.schedule(delay, lambda d=delay: fired_two.append((two.now, d)))
+    two.run(until=split)
+    two.run()
+    assert fired_one == fired_two

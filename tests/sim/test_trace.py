@@ -1,0 +1,115 @@
+"""Tests for trace channels."""
+
+import pytest
+
+from repro.sim import NullTraceRecorder, TraceRecorder
+from repro.sim.trace import CounterChannel, EventChannel
+
+
+class TestEventChannel:
+    def test_value_at_steps(self):
+        ch = EventChannel("f")
+        ch.record(0, 0.8)
+        ch.record(100, 3.1)
+        assert ch.value_at(0) == 0.8
+        assert ch.value_at(99) == 0.8
+        assert ch.value_at(100) == 3.1
+        assert ch.value_at(500) == 3.1
+
+    def test_value_before_first_sample_is_default(self):
+        ch = EventChannel("f")
+        ch.record(50, 1.0)
+        assert ch.value_at(10, default=-1.0) == -1.0
+
+    def test_times_must_be_monotone(self):
+        ch = EventChannel("f")
+        ch.record(10, 1.0)
+        with pytest.raises(ValueError):
+            ch.record(5, 2.0)
+
+    def test_step_series_grid(self):
+        ch = EventChannel("f")
+        ch.record(0, 1.0)
+        ch.record(150, 2.0)
+        series = ch.step_series(0, 300, 100)
+        assert series == [(0, 1.0), (100, 1.0), (200, 2.0), (300, 2.0)]
+
+    def test_time_weighted_mean(self):
+        ch = EventChannel("u")
+        ch.record(0, 0.0)
+        ch.record(500, 1.0)
+        assert ch.time_weighted_mean(0, 1000) == pytest.approx(0.5)
+
+    def test_time_weighted_mean_constant(self):
+        ch = EventChannel("u")
+        ch.record(0, 2.5)
+        assert ch.time_weighted_mean(100, 400) == pytest.approx(2.5)
+
+
+class TestCounterChannel:
+    def test_total_accumulates(self):
+        ch = CounterChannel("rx")
+        ch.add(10, 100.0)
+        ch.add(20, 50.0)
+        assert ch.total == 150.0
+
+    def test_binned_buckets(self):
+        ch = CounterChannel("rx")
+        ch.add(0, 1.0)
+        ch.add(99, 2.0)
+        ch.add(100, 4.0)
+        ch.add(250, 8.0)
+        assert ch.binned(0, 300, 100) == [3.0, 4.0, 8.0]
+
+    def test_binned_excludes_outside_window(self):
+        ch = CounterChannel("rx")
+        ch.add(5, 1.0)
+        ch.add(150, 2.0)
+        assert ch.binned(100, 200, 100) == [2.0]
+
+    def test_rate_series_scaling(self):
+        ch = CounterChannel("rx")
+        ch.add(0, 1000.0)  # 1000 bytes in a 1 ms bin -> 1e6 bytes/s
+        series = ch.rate_series(0, 1_000_000, 1_000_000)
+        assert series == [(0, pytest.approx(1e6))]
+
+    def test_monotone_time_enforced(self):
+        ch = CounterChannel("rx")
+        ch.add(100, 1.0)
+        with pytest.raises(ValueError):
+            ch.add(99, 1.0)
+
+
+class TestTraceRecorder:
+    def test_channels_are_memoized(self):
+        tr = TraceRecorder()
+        assert tr.event_channel("a") is tr.event_channel("a")
+        assert tr.counter_channel("b") is tr.counter_channel("b")
+
+    def test_channel_names_sorted(self):
+        tr = TraceRecorder()
+        tr.event_channel("z")
+        tr.counter_channel("a")
+        assert tr.channel_names() == ["a", "z"]
+
+    def test_has_channel(self):
+        tr = TraceRecorder()
+        tr.event_channel("x")
+        assert tr.has_channel("x")
+        assert not tr.has_channel("y")
+
+
+class TestNullTraceRecorder:
+    def test_event_records_are_dropped(self):
+        tr = NullTraceRecorder()
+        ch = tr.event_channel("f")
+        ch.record(10, 1.0)
+        assert len(ch) == 0
+
+    def test_counter_total_still_tracked(self):
+        tr = NullTraceRecorder()
+        ch = tr.counter_channel("rx")
+        ch.add(10, 5.0)
+        ch.add(20, 7.0)
+        assert len(ch) == 0
+        assert ch.total == 12.0
