@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, ablations
 
 
-def test_ablation_rht(benchmark, save_report):
+def test_ablation_rht(benchmark, save_report, jobs):
     points = benchmark.pedantic(
-        lambda: ablations.sweep_rht(settings=RunSettings.quick()),
+        lambda: ablations.sweep_rht(settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -18,9 +18,9 @@ def test_ablation_rht(benchmark, save_report):
     assert by_value[0].it_high_posts >= by_value[-1].it_high_posts
 
 
-def test_ablation_cit(benchmark, save_report):
+def test_ablation_cit(benchmark, save_report, jobs):
     points = benchmark.pedantic(
-        lambda: ablations.sweep_cit(settings=RunSettings.quick()),
+        lambda: ablations.sweep_cit(settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -33,9 +33,9 @@ def test_ablation_cit(benchmark, save_report):
     assert by_value[0].immediate_rx_posts >= by_value[-1].immediate_rx_posts
 
 
-def test_ablation_fcons(benchmark, save_report):
+def test_ablation_fcons(benchmark, save_report, jobs):
     points = benchmark.pedantic(
-        lambda: ablations.sweep_fcons(settings=RunSettings.quick()),
+        lambda: ablations.sweep_fcons(settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -9,9 +9,9 @@ arrival, so its latency should grow more slowly.
 from repro.experiments import RunSettings, ablations
 
 
-def test_ablation_toe_slack(benchmark, save_report):
+def test_ablation_toe_slack(benchmark, save_report, jobs):
     points = benchmark.pedantic(
-        lambda: ablations.sweep_toe_slack(settings=RunSettings.quick()),
+        lambda: ablations.sweep_toe_slack(settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -5,7 +5,7 @@ from repro.experiments import datacenter
 from repro.sim.units import MS
 
 
-def test_datacenter_imbalance(benchmark, save_report):
+def test_datacenter_imbalance(benchmark, save_report, jobs):
     config = DatacenterConfig(
         app="apache",
         n_servers=4,
@@ -16,7 +16,7 @@ def test_datacenter_imbalance(benchmark, save_report):
         drain_ns=80 * MS,
     )
     rows = benchmark.pedantic(
-        lambda: datacenter.run(config), rounds=1, iterations=1
+        lambda: datacenter.run(config, jobs=jobs), rounds=1, iterations=1
     )
     save_report("datacenter_imbalance", datacenter.format_report(rows))
 

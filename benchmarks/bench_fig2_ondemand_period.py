@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, fig2_ondemand_period
 
 
-def test_fig2_ondemand_period(benchmark, save_report):
+def test_fig2_ondemand_period(benchmark, save_report, jobs):
     cells = benchmark.pedantic(
-        lambda: fig2_ondemand_period.run(settings=RunSettings.quick()),
+        lambda: fig2_ondemand_period.run(settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, fig7_latency_load
 
 
-def test_fig7_apache(benchmark, save_report):
+def test_fig7_apache(benchmark, save_report, jobs):
     result = benchmark.pedantic(
-        lambda: fig7_latency_load.run("apache", settings=RunSettings.quick()),
+        lambda: fig7_latency_load.run("apache", settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -20,9 +20,9 @@ def test_fig7_apache(benchmark, save_report):
     assert 60_000 <= result.knee_rps <= 80_000
 
 
-def test_fig7_memcached(benchmark, save_report):
+def test_fig7_memcached(benchmark, save_report, jobs):
     result = benchmark.pedantic(
-        lambda: fig7_latency_load.run("memcached", settings=RunSettings.quick()),
+        lambda: fig7_latency_load.run("memcached", settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, policy_comparison
 
 
-def test_fig8_apache(benchmark, save_report):
+def test_fig8_apache(benchmark, save_report, jobs):
     result = benchmark.pedantic(
-        lambda: policy_comparison.run("apache", settings=RunSettings.standard()),
+        lambda: policy_comparison.run("apache", settings=RunSettings.standard(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -3,7 +3,7 @@
 from repro.experiments import RunSettings, headline, policy_comparison
 
 
-def test_headline_savings(benchmark, save_report):
+def test_headline_savings(benchmark, save_report, jobs):
     def compute():
         results = [
             policy_comparison.run(
@@ -11,6 +11,7 @@ def test_headline_savings(benchmark, save_report):
                 loads=("low", "medium"),
                 settings=RunSettings.quick(),
                 snapshot_policies=(),
+                jobs=jobs,
             )
             for app in ("apache", "memcached")
         ]

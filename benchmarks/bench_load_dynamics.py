@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, dynamics
 
 
-def test_diurnal_swing(benchmark, save_report):
+def test_diurnal_swing(benchmark, save_report, jobs):
     rows = benchmark.pedantic(
-        lambda: dynamics.diurnal(settings=RunSettings.standard()),
+        lambda: dynamics.diurnal(settings=RunSettings.standard(), jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -19,9 +19,9 @@ def test_diurnal_swing(benchmark, save_report):
     assert ncap.meets_sla
 
 
-def test_flash_crowd(benchmark, save_report):
+def test_flash_crowd(benchmark, save_report, jobs):
     rows = benchmark.pedantic(
-        lambda: dynamics.flash_crowd(settings=RunSettings.standard()),
+        lambda: dynamics.flash_crowd(settings=RunSettings.standard(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -4,10 +4,10 @@ from repro.experiments import RunSettings
 from repro.experiments import percore
 
 
-def test_percore_vs_chipwide(benchmark, save_report):
+def test_percore_vs_chipwide(benchmark, save_report, jobs):
     def compute():
         return {
-            app: percore.run(app, "low", settings=RunSettings.quick())
+            app: percore.run(app, "low", settings=RunSettings.quick(), jobs=jobs)
             for app in ("memcached", "apache")
         }
 

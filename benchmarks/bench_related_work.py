@@ -3,9 +3,9 @@
 from repro.experiments import RunSettings, related_work
 
 
-def test_ncap_vs_adrenaline(benchmark, save_report):
+def test_ncap_vs_adrenaline(benchmark, save_report, jobs):
     rows = benchmark.pedantic(
-        lambda: related_work.run("memcached", "low", settings=RunSettings.quick()),
+        lambda: related_work.run("memcached", "low", settings=RunSettings.quick(), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -7,6 +7,14 @@ import pytest
 REPORTS_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
 
+@pytest.fixture(scope="session")
+def jobs():
+    """Worker processes for sweep-shaped benches (REPRO_JOBS or cpu count)."""
+    from repro.harness import resolve_jobs
+
+    return resolve_jobs()
+
+
 @pytest.fixture
 def save_report():
     """Persist a rendered experiment report and echo it to stdout."""

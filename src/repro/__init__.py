@@ -23,6 +23,7 @@ Subpackages:
 - ``repro.net``      — links, switch, NIC, interrupt moderation;
 - ``repro.apps``     — Apache/Memcached models, open-loop clients;
 - ``repro.cluster``  — node/cluster wiring and the experiment runner;
+- ``repro.harness``  — sweep specs, parallel runner, result records/cache;
 - ``repro.metrics``  — latency percentiles, energy windows, reports;
 - ``repro.experiments`` — one runner per paper table/figure.
 """
@@ -38,6 +39,14 @@ from repro.cluster import (
     run_experiment,
 )
 from repro.core import NCAPConfig
+from repro.harness import (
+    ResultCache,
+    ResultRecord,
+    Runner,
+    RunSpec,
+    SweepSpec,
+    run_sweep,
+)
 from repro.validation import validate_table1
 
 __version__ = "1.0.0"
@@ -52,6 +61,12 @@ __all__ = [
     "get_policy",
     "run_experiment",
     "NCAPConfig",
+    "ResultCache",
+    "ResultRecord",
+    "Runner",
+    "RunSpec",
+    "SweepSpec",
+    "run_sweep",
     "validate_table1",
     "__version__",
 ]

@@ -5,11 +5,14 @@ Commands:
 - ``run``      — one cluster experiment (app, policy, load or RPS);
 - ``compare``  — all seven policies at one load level;
 - ``fig``      — regenerate a paper figure report (1, 2, 4, 7, 8, 9);
+- ``sweep``    — declarative grid over apps × policies × loads × seeds;
 - ``headline`` — the abstract's savings table;
 - ``policies`` — list the policy registry.
 
 Every command prints the same plain-text reports the benchmark suite
-saves under ``benchmarks/reports/``.
+saves under ``benchmarks/reports/``.  Sweep-shaped commands honour
+``--jobs N`` (process-pool fan-out; also ``REPRO_JOBS``), ``--no-cache``
+and ``--cache-dir`` (on-disk result cache, default ``.repro-cache``).
 """
 
 from __future__ import annotations
@@ -30,6 +33,14 @@ from repro.experiments import (
     headline,
     policy_comparison,
 )
+from repro.harness import (
+    ResultCache,
+    RunProgress,
+    Runner,
+    SweepSpec,
+    default_cache_dir,
+    resolve_jobs,
+)
 from repro.metrics.report import format_table
 from repro.sim.units import MS
 
@@ -43,6 +54,12 @@ def _settings(args: argparse.Namespace) -> RunSettings:
     return preset(seed=args.seed)
 
 
+def _cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
 def _resolve_rps(app: str, load: Optional[str], rps: Optional[float]) -> float:
     if rps is not None:
         return rps
@@ -52,14 +69,11 @@ def _resolve_rps(app: str, load: Optional[str], rps: Optional[float]) -> float:
 def cmd_run(args: argparse.Namespace) -> int:
     settings = _settings(args)
     result = run_experiment(
-        ExperimentConfig(
+        ExperimentConfig.from_settings(
+            settings,
             app=args.app,
             policy=args.policy,
             target_rps=_resolve_rps(args.app, args.load, args.rps),
-            warmup_ns=settings.warmup_ns,
-            measure_ns=settings.measure_ns,
-            drain_ns=settings.drain_ns,
-            seed=settings.seed,
         )
     )
     rows = [
@@ -86,6 +100,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         loads=(args.load,),
         settings=settings,
         snapshot_policies=(),
+        jobs=args.jobs,
+        cache=_cache(args),
     )
     print(policy_comparison.format_report(result, figure_name="Policy comparison"))
     return 0
@@ -93,24 +109,28 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_fig(args: argparse.Namespace) -> int:
     settings = _settings(args)
+    jobs, cache = args.jobs, _cache(args)
     figure = args.number
     if figure == "1":
         print(fig1_dvfs_timing.format_report(fig1_dvfs_timing.run()))
     elif figure == "2":
         print(fig2_ondemand_period.format_report(
-            fig2_ondemand_period.run(settings=settings)))
+            fig2_ondemand_period.run(settings=settings, jobs=jobs, cache=cache)))
     elif figure == "4":
         print(fig4_correlation.format_report(fig4_correlation.run(settings=settings)))
     elif figure == "7":
         for app in ("apache", "memcached"):
             print(fig7_latency_load.format_report(
-                fig7_latency_load.run(app, settings=settings)))
+                fig7_latency_load.run(app, settings=settings, jobs=jobs,
+                                      cache=cache)))
     elif figure == "8":
         print(policy_comparison.format_report(
-            policy_comparison.run("apache", settings=settings), "Figure 8"))
+            policy_comparison.run("apache", settings=settings, jobs=jobs,
+                                  cache=cache), "Figure 8"))
     elif figure == "9":
         print(policy_comparison.format_report(
-            policy_comparison.run("memcached", settings=settings), "Figure 9"))
+            policy_comparison.run("memcached", settings=settings, jobs=jobs,
+                                  cache=cache), "Figure 9"))
     else:
         print(f"unknown figure {figure!r}; choose from 1, 2, 4, 7, 8, 9",
               file=sys.stderr)
@@ -120,9 +140,11 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 def cmd_headline(args: argparse.Namespace) -> int:
     settings = _settings(args)
+    cache = _cache(args)
     results = [
         policy_comparison.run(
-            app, loads=("low", "medium"), settings=settings, snapshot_policies=()
+            app, loads=("low", "medium"), settings=settings,
+            snapshot_policies=(), jobs=args.jobs, cache=cache,
         )
         for app in ("apache", "memcached")
     ]
@@ -130,19 +152,72 @@ def cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_load(raw: str):
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.metrics.export import export_result_records
+
+    settings = _settings(args)
+    sweep = SweepSpec(
+        apps=tuple(args.apps),
+        policies=tuple(args.policies),
+        loads=tuple(_parse_load(load) for load in args.loads),
+        seeds=tuple(args.seeds) if args.seeds else None,
+        settings=settings,
+    )
+    try:
+        specs = sweep.expand()
+    except KeyError as exc:  # unknown load-level name
+        print(f"repro sweep: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    def progress(update: RunProgress) -> None:
+        spec = update.spec
+        tag = " (cached)" if update.cached else ""
+        print(
+            f"[{update.index + 1}/{update.total}] {spec.app} "
+            f"{spec.policy_name} @ {spec.target_rps / 1000:.0f}K "
+            f"seed={spec.seed}{tag}",
+            file=sys.stderr,
+        )
+
+    runner = Runner(jobs=args.jobs, cache=_cache(args), progress=progress)
+    records = runner.run(specs)
+    rows = [
+        [r.app, r.policy, spec.load or f"{r.target_rps / 1000:.0f}K", r.seed,
+         round(r.p50_ns / 1e6, 3), round(r.p95_ns / 1e6, 3),
+         round(r.p99_ns / 1e6, 3), round(r.energy_j, 3),
+         round(r.avg_power_w, 2), "met" if r.meets_sla else "VIOLATED",
+         "hit" if r.from_cache else "run"]
+        for spec, r in zip(specs, records)
+    ]
+    print(format_table(
+        ["app", "policy", "load", "seed", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+         "energy (J)", "power (W)", "SLA", "cache"],
+        rows,
+        title=f"Sweep — {len(records)} runs",
+    ))
+    if args.out:
+        path = export_result_records(records, args.out)
+        print(f"wrote {len(records)} records to {path}")
+    return 0
+
+
 def cmd_export_trace(args: argparse.Namespace) -> int:
     from repro.metrics.export import export_figure4_bundle
 
     settings = _settings(args)
-    config = ExperimentConfig(
+    config = ExperimentConfig.from_settings(
+        settings,
         app=args.app,
         policy=args.policy,
         target_rps=_resolve_rps(args.app, args.load, None),
         collect_traces=True,
-        warmup_ns=settings.warmup_ns,
-        measure_ns=settings.measure_ns,
-        drain_ns=settings.drain_ns,
-        seed=settings.seed,
     )
     result = run_experiment(config)
     assert result.trace is not None
@@ -176,38 +251,80 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_common_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Accept the shared flags before or after the subcommand name.
+
+    The top-level parser carries the real defaults; subparsers use
+    ``SUPPRESS`` so a flag given after the subcommand overrides one given
+    before it, and an omitted flag falls through to the top-level default.
+    """
+
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parser.add_argument("--settings", choices=("quick", "standard", "full"),
+                        default=default("quick"), help="run-length preset")
+    parser.add_argument("--seed", type=int, default=default(1))
+    parser.add_argument("--jobs", type=int, default=default(None),
+                        help="parallel worker processes for sweep-shaped "
+                             "commands (default: REPRO_JOBS or cpu count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        default=default(False),
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=default(None),
+                        help="result cache directory (default: .repro-cache "
+                             "or REPRO_CACHE_DIR)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="NCAP (HPCA 2017) reproduction toolkit"
     )
-    parser.add_argument("--settings", choices=("quick", "standard", "full"),
-                        default="quick", help="run-length preset")
-    parser.add_argument("--seed", type=int, default=1)
+    _add_common_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one experiment")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        sub_parser = sub.add_parser(name, **kwargs)
+        _add_common_options(sub_parser, top_level=False)
+        return sub_parser
+
+    p_run = add_parser("run", help="run one experiment")
     p_run.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
     p_run.add_argument("--policy", choices=tuple(POLICIES), default="ncap.cons")
     p_run.add_argument("--load", choices=("low", "medium", "high"))
     p_run.add_argument("--rps", type=float, help="explicit offered load")
     p_run.set_defaults(fn=cmd_run)
 
-    p_cmp = sub.add_parser("compare", help="all seven policies at one load")
+    p_cmp = add_parser("compare", help="all seven policies at one load")
     p_cmp.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
     p_cmp.add_argument("--load", choices=("low", "medium", "high"), default="low")
     p_cmp.set_defaults(fn=cmd_compare)
 
-    p_fig = sub.add_parser("fig", help="regenerate a paper figure")
+    p_fig = add_parser("fig", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=("1", "2", "4", "7", "8", "9"))
     p_fig.set_defaults(fn=cmd_fig)
 
-    p_head = sub.add_parser("headline", help="abstract's savings table")
+    p_sweep = add_parser(
+        "sweep", help="run an app x policy x load x seed grid"
+    )
+    p_sweep.add_argument("--apps", nargs="+", choices=tuple(LOAD_LEVELS),
+                         default=["apache"])
+    p_sweep.add_argument("--policies", nargs="+", choices=tuple(POLICIES),
+                         default=["perf", "ond.idle", "ncap.cons"])
+    p_sweep.add_argument("--loads", nargs="+", default=["low", "medium"],
+                         help="load level names or explicit RPS numbers")
+    p_sweep.add_argument("--seeds", nargs="+", type=int,
+                         help="repeat the grid at each seed")
+    p_sweep.add_argument("--out", help="write records as JSON to this path")
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_head = add_parser("headline", help="abstract's savings table")
     p_head.set_defaults(fn=cmd_headline)
 
-    p_pol = sub.add_parser("policies", help="list the policy registry")
+    p_pol = add_parser("policies", help="list the policy registry")
     p_pol.set_defaults(fn=cmd_policies)
 
-    p_exp = sub.add_parser(
+    p_exp = add_parser(
         "export-trace", help="run traced and dump Figure-4 series as CSV"
     )
     p_exp.add_argument("--app", choices=tuple(LOAD_LEVELS), default="apache")
@@ -221,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:  # fail fast on a bad REPRO_JOBS
+        parser.error(str(exc))
     return args.fn(args)
 
 

@@ -77,10 +77,34 @@ class ExperimentConfig:
     def end_ns(self) -> int:
         return self.warmup_ns + self.measure_ns + self.drain_ns
 
+    @classmethod
+    def from_settings(cls, settings, **overrides) -> "ExperimentConfig":
+        """Build a config whose run windows and seed come from ``settings``.
+
+        ``settings`` is any object with ``warmup_ns``/``measure_ns``/
+        ``drain_ns``/``seed`` attributes (normally a
+        :class:`repro.experiments.common.RunSettings`); every other field,
+        including an explicit ``seed``, can be overridden via keywords.
+        """
+        fields = dict(
+            warmup_ns=settings.warmup_ns,
+            measure_ns=settings.measure_ns,
+            drain_ns=settings.drain_ns,
+            seed=settings.seed,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
 
 @dataclass
 class ExperimentResult:
-    """Everything a bench/table needs from one run."""
+    """Everything a bench/table needs from one run.
+
+    ``trace`` and ``server`` are populated only on request
+    (``collect_traces=True`` / ``keep_server=True``): the live server
+    pins the whole simulated cluster in memory and makes the result
+    unpicklable, which sweeps and process-pool runs cannot afford.
+    """
 
     policy_name: str
     app: str
@@ -132,6 +156,7 @@ class Cluster:
         )
         self.switch = Switch(self.sim)
         self.clients: List[OpenLoopClient] = []
+        self._energy_snapshots: Dict[str, EnergyReport] = {}
 
         burst_size = (
             config.burst_size
@@ -170,7 +195,13 @@ class Cluster:
             client.attach_port(link.endpoint_port(client))
             self.switch.attach_link(link, client.name)
 
-    def run(self) -> ExperimentResult:
+    def run(self, keep_server: bool = False) -> ExperimentResult:
+        """Simulate and extract the result in one call."""
+        self.simulate()
+        return self.collect(keep_server=keep_server)
+
+    def simulate(self) -> None:
+        """Drive the cluster through warmup, measurement, and drain."""
         config = self.config
         self.server.start()
         if config.collect_traces:
@@ -192,6 +223,7 @@ class Cluster:
         window_end = config.warmup_ns + config.measure_ns
 
         snapshots: Dict[str, EnergyReport] = {}
+        self._energy_snapshots = snapshots
         self.sim.schedule_at(
             window_start,
             lambda: snapshots.__setitem__("start", self.server.package.energy_report()),
@@ -204,6 +236,13 @@ class Cluster:
         for client in self.clients:
             self.sim.schedule_at(window_end, client.stop)
         self.sim.run(until=config.end_ns)
+
+    def collect(self, keep_server: bool = False) -> ExperimentResult:
+        """Extract a result from a finished simulation."""
+        config = self.config
+        snapshots = self._energy_snapshots
+        window_start = config.warmup_ns
+        window_end = config.warmup_ns + config.measure_ns
 
         rtts: List[int] = []
         sent = 0
@@ -242,10 +281,18 @@ class Cluster:
             cstate_entries=cstate_entries,
             ncap_stats=ncap_stats,
             trace=self.trace if config.collect_traces else None,
-            server=self.server,
+            server=self.server if keep_server else None,
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build and run one cluster experiment."""
-    return Cluster(config).run()
+def run_experiment(
+    config: ExperimentConfig, keep_server: bool = False
+) -> ExperimentResult:
+    """Build and run one cluster experiment.
+
+    Pass ``keep_server=True`` to retain the live :class:`ServerNode` on the
+    result for post-hoc inspection (engine counters, wake times); the
+    default lightweight result stays picklable and lets the cluster be
+    garbage-collected between sweep points.
+    """
+    return Cluster(config).run(keep_server=keep_server)

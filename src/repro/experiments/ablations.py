@@ -10,6 +10,9 @@ Sections 4.3 and 7 of the paper).
 - **TOE slack** (Section 7) — a TCP-offload NIC holds packets longer
   before delivery; NCAP gets more slack to hide wake-ups, so its latency
   should hold while the baseline's grows with the delivery latency.
+
+Each sweep is a list of :class:`~repro.harness.RunSpec` points executed
+through the shared harness, so all of them parallelize and cache.
 """
 
 from __future__ import annotations
@@ -18,11 +21,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.apps.workload import load_level
-from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.core.config import NCAPConfig
 from repro.experiments.common import RunSettings
+from repro.harness import ResultCache, ResultRecord, RunSpec, run_sweep
 from repro.metrics.report import format_table
-from repro.net.interrupts import ModerationConfig
 from repro.sim.units import US
 
 
@@ -37,20 +39,15 @@ class AblationPoint:
     immediate_rx_posts: int
 
 
-def _run_point(
-    parameter: str,
-    value: float,
-    config: ExperimentConfig,
-) -> AblationPoint:
-    result = run_experiment(config)
+def _point(parameter: str, value: float, record: ResultRecord) -> AblationPoint:
     return AblationPoint(
         parameter=parameter,
         value=value,
-        policy=result.policy_name,
-        p95_ms=result.latency.p95_ns / 1e6,
-        energy_j=result.energy.energy_j,
-        it_high_posts=result.ncap_stats.get("it_high_posts", 0),
-        immediate_rx_posts=result.ncap_stats.get("immediate_rx_posts", 0),
+        policy=record.policy,
+        p95_ms=record.p95_ns / 1e6,
+        energy_j=record.energy_j,
+        it_high_posts=record.ncap_stats.get("it_high_posts", 0),
+        immediate_rx_posts=record.ncap_stats.get("immediate_rx_posts", 0),
     )
 
 
@@ -59,18 +56,23 @@ def sweep_rht(
     app: str = "apache",
     load: str = "low",
     settings: RunSettings = RunSettings.quick(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[AblationPoint]:
     level = load_level(app, load)
-    points = []
-    for rht in values_rps:
-        config = ExperimentConfig(
+    specs = [
+        RunSpec(
             app=app, policy="ncap.cons", target_rps=level.target_rps,
-            ncap_base_config=NCAPConfig(rht_rps=rht),
-            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-            drain_ns=settings.drain_ns, seed=settings.seed,
+            seed=settings.seed, settings=settings,
+            overrides={"ncap_base_config": NCAPConfig(rht_rps=rht)},
         )
-        points.append(_run_point("RHT (RPS)", rht, config))
-    return points
+        for rht in values_rps
+    ]
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+    return [
+        _point("RHT (RPS)", rht, record)
+        for rht, record in zip(values_rps, records)
+    ]
 
 
 def sweep_cit(
@@ -78,18 +80,23 @@ def sweep_cit(
     app: str = "memcached",
     load: str = "low",
     settings: RunSettings = RunSettings.quick(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[AblationPoint]:
     level = load_level(app, load)
-    points = []
-    for cit_us in values_us:
-        config = ExperimentConfig(
+    specs = [
+        RunSpec(
             app=app, policy="ncap.cons", target_rps=level.target_rps,
-            ncap_base_config=NCAPConfig(cit_ns=round(cit_us * US)),
-            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-            drain_ns=settings.drain_ns, seed=settings.seed,
+            seed=settings.seed, settings=settings,
+            overrides={"ncap_base_config": NCAPConfig(cit_ns=round(cit_us * US))},
         )
-        points.append(_run_point("CIT (us)", cit_us, config))
-    return points
+        for cit_us in values_us
+    ]
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+    return [
+        _point("CIT (us)", cit_us, record)
+        for cit_us, record in zip(values_us, records)
+    ]
 
 
 def sweep_fcons(
@@ -97,23 +104,28 @@ def sweep_fcons(
     app: str = "apache",
     load: str = "medium",
     settings: RunSettings = RunSettings.quick(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[AblationPoint]:
     from repro.cluster.policies import PolicyConfig
 
     level = load_level(app, load)
-    points = []
-    for fcons in values:
-        policy = PolicyConfig(
-            f"ncap.f{fcons}", governor="ondemand", cstates=True, ncap="hw",
-            fcons=fcons,
+    specs = [
+        RunSpec(
+            app=app,
+            policy=PolicyConfig(
+                f"ncap.f{fcons}", governor="ondemand", cstates=True, ncap="hw",
+                fcons=fcons,
+            ),
+            target_rps=level.target_rps, seed=settings.seed, settings=settings,
         )
-        config = ExperimentConfig(
-            app=app, policy=policy, target_rps=level.target_rps,
-            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-            drain_ns=settings.drain_ns, seed=settings.seed,
-        )
-        points.append(_run_point("FCONS", fcons, config))
-    return points
+        for fcons in values
+    ]
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+    return [
+        _point("FCONS", fcons, record)
+        for fcons, record in zip(values, records)
+    ]
 
 
 def sweep_toe_slack(
@@ -122,32 +134,28 @@ def sweep_toe_slack(
     app: str = "apache",
     load: str = "low",
     settings: RunSettings = RunSettings.quick(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[AblationPoint]:
     """Section 7: a TOE NIC holds packets longer inside the NIC; NCAP gains
     overlap slack while reactive policies inherit the full extra latency."""
     level = load_level(app, load)
-    points = []
-    for dma_us in dma_latency_us:
-        for policy in policies:
-            config = ExperimentConfig(
-                app=app, policy=policy, target_rps=level.target_rps,
-                nic_dma_latency_ns=round(dma_us * US),
-                warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-                drain_ns=settings.drain_ns, seed=settings.seed,
-            )
-            result = run_experiment(config)
-            points.append(
-                AblationPoint(
-                    parameter="DMA hold (us)",
-                    value=dma_us,
-                    policy=policy,
-                    p95_ms=result.latency.p95_ns / 1e6,
-                    energy_j=result.energy.energy_j,
-                    it_high_posts=result.ncap_stats.get("it_high_posts", 0),
-                    immediate_rx_posts=result.ncap_stats.get("immediate_rx_posts", 0),
-                )
-            )
-    return points
+    grid = [
+        (dma_us, policy) for dma_us in dma_latency_us for policy in policies
+    ]
+    specs = [
+        RunSpec(
+            app=app, policy=policy, target_rps=level.target_rps,
+            seed=settings.seed, settings=settings,
+            overrides={"nic_dma_latency_ns": round(dma_us * US)},
+        )
+        for dma_us, policy in grid
+    ]
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+    return [
+        _point("DMA hold (us)", dma_us, record)
+        for (dma_us, _), record in zip(grid, records)
+    ]
 
 
 def format_report(points: List[AblationPoint], title: str) -> str:

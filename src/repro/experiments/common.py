@@ -1,33 +1,12 @@
-"""Shared experiment plumbing: run-length presets and small helpers."""
+"""Shared experiment plumbing.
+
+:class:`RunSettings` moved to :mod:`repro.harness.settings` when the sweep
+harness grew underneath the experiment layer; it is re-exported here so
+``from repro.experiments.common import RunSettings`` keeps working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.harness.settings import RunSettings
 
-from repro.sim.units import MS
-
-
-@dataclass(frozen=True)
-class RunSettings:
-    """How long each cluster run simulates.
-
-    ``quick`` keeps full benchmark sweeps to a few minutes of wall time;
-    ``full`` uses longer windows for tighter percentiles.
-    """
-
-    warmup_ns: int
-    measure_ns: int
-    drain_ns: int
-    seed: int = 1
-
-    @classmethod
-    def quick(cls, seed: int = 1) -> "RunSettings":
-        return cls(warmup_ns=20 * MS, measure_ns=150 * MS, drain_ns=80 * MS, seed=seed)
-
-    @classmethod
-    def standard(cls, seed: int = 1) -> "RunSettings":
-        return cls(warmup_ns=20 * MS, measure_ns=250 * MS, drain_ns=100 * MS, seed=seed)
-
-    @classmethod
-    def full(cls, seed: int = 1) -> "RunSettings":
-        return cls(warmup_ns=40 * MS, measure_ns=600 * MS, drain_ns=150 * MS, seed=seed)
+__all__ = ["RunSettings"]

@@ -9,9 +9,10 @@ majority in a real datacenter) are exactly where NCAP's savings live.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Optional
 
 from repro.cluster.datacenter import DatacenterConfig, run_datacenter
+from repro.harness import Runner
 from repro.metrics.report import format_table
 
 
@@ -30,9 +31,15 @@ def run(
     config: DatacenterConfig = DatacenterConfig(),
     ncap_policy: str = "ncap.cons",
     baseline_policy: str = "perf",
+    jobs: Optional[int] = None,
 ) -> List[ImbalanceRow]:
-    baseline = run_datacenter(replace(config, policy=baseline_policy))
-    ncap = run_datacenter(replace(config, policy=ncap_policy))
+    baseline, ncap = Runner(jobs=jobs).map(
+        run_datacenter,
+        [
+            replace(config, policy=baseline_policy),
+            replace(config, policy=ncap_policy),
+        ],
+    )
     rows = []
     for base_server, ncap_server in zip(baseline.servers, ncap.servers):
         saving = 1 - ncap_server.energy.energy_j / base_server.energy.energy_j

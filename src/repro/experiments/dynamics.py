@@ -18,6 +18,7 @@ from repro.apps.workload import default_burst_size, sla_for
 from repro.cluster.node import ServerNode
 from repro.cluster.policies import PolicyConfig
 from repro.experiments.common import RunSettings
+from repro.harness import Runner
 from repro.metrics.energy import energy_delta
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import format_table
@@ -102,7 +103,27 @@ def run_pattern(
     )
 
 
-def diurnal(app: str = "apache", settings: RunSettings = RunSettings.standard()):
+def _pattern_task(args) -> DynamicsRow:
+    pattern, policy, app, settings = args
+    return run_pattern(pattern, policy, app=app, settings=settings)
+
+
+def _run_policies(
+    pattern: LoadPattern,
+    app: str,
+    settings: RunSettings,
+    jobs: Optional[int],
+    policies=("perf", "ond.idle", "ncap.cons"),
+) -> List[DynamicsRow]:
+    tasks = [(pattern, policy, app, settings) for policy in policies]
+    return Runner(jobs=jobs).map(_pattern_task, tasks)
+
+
+def diurnal(
+    app: str = "apache",
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+):
     """Half-day valley-peak-valley swing between 20% and 90% of capacity."""
     peak = 60_000 if app == "apache" else 130_000
     base = peak / 4
@@ -110,13 +131,14 @@ def diurnal(app: str = "apache", settings: RunSettings = RunSettings.standard())
         base_rps=base, peak_rps=peak,
         period_ns=settings.measure_ns, phase=-1.5707963,  # start at the valley
     )
-    return [
-        run_pattern(pattern, policy, app=app, settings=settings)
-        for policy in ("perf", "ond.idle", "ncap.cons")
-    ]
+    return _run_policies(pattern, app, settings, jobs)
 
 
-def flash_crowd(app: str = "apache", settings: RunSettings = RunSettings.standard()):
+def flash_crowd(
+    app: str = "apache",
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+):
     """A quiet service hit by a 5x flash crowd for a fifth of the window."""
     base = 10_000 if app == "apache" else 20_000
     pattern = SpikePattern(
@@ -125,10 +147,7 @@ def flash_crowd(app: str = "apache", settings: RunSettings = RunSettings.standar
         spike_start_ns=settings.warmup_ns + settings.measure_ns // 2,
         spike_len_ns=settings.measure_ns // 5,
     )
-    return [
-        run_pattern(pattern, policy, app=app, settings=settings)
-        for policy in ("perf", "ond.idle", "ncap.cons")
-    ]
+    return _run_policies(pattern, app, settings, jobs)
 
 
 def format_report(rows: List[DynamicsRow], title: str) -> str:

@@ -9,11 +9,10 @@ always better* because of the governor-invocation and V/F-change overheads
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps.workload import load_level
-from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
+from repro.harness import ResultCache, SweepSpec, run_sweep
 from repro.metrics.report import format_table
 from repro.sim.units import MS
 
@@ -35,33 +34,31 @@ def run(
     loads: Sequence[str] = DEFAULT_LOADS,
     settings: RunSettings = RunSettings.standard(),
     app: str = "apache",
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Fig2Cell]:
     """Sweep the ondemand invocation period at each load level."""
-    cells = []
-    for load in loads:
-        level = load_level(app, load)
-        for period_ms in periods_ms:
-            result = run_experiment(
-                ExperimentConfig(
-                    app=app,
-                    policy="ond",
-                    target_rps=level.target_rps,
-                    ondemand_period_ns=round(period_ms * MS),
-                    warmup_ns=settings.warmup_ns,
-                    measure_ns=settings.measure_ns,
-                    drain_ns=settings.drain_ns,
-                    seed=settings.seed,
-                )
-            )
-            cells.append(
-                Fig2Cell(
-                    load=load,
-                    period_ms=period_ms,
-                    p95_ms=result.latency.p95_ns / 1e6,
-                    energy_j=result.energy.energy_j,
-                )
-            )
-    return cells
+    spec = SweepSpec(
+        apps=(app,),
+        policies=("ond",),
+        loads=tuple(loads),
+        settings=settings,
+        grid=[{"ondemand_period_ns": round(p * MS)} for p in periods_ms],
+    )
+    specs = spec.expand()
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+    # Expansion nests the grid (period) axis inside the load axis, so each
+    # record pairs with (load, period) in the original row order.
+    periods_cycle = list(periods_ms) * len(loads)
+    return [
+        Fig2Cell(
+            load=spec.load,
+            period_ms=period_ms,
+            p95_ms=record.p95_ns / 1e6,
+            energy_j=record.energy_j,
+        )
+        for spec, period_ms, record in zip(specs, periods_cycle, records)
+    ]
 
 
 def best_period_by_load(cells: List[Fig2Cell]) -> Dict[str, float]:

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
+from repro.harness import ResultCache, SweepSpec, run_sweep
 from repro.metrics.report import format_table
 
 
@@ -41,30 +41,27 @@ def run(
     sweep_rps: Optional[Sequence[float]] = None,
     policy: str = "perf",
     settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig7Result:
     if sweep_rps is None:
         sweep_rps = APACHE_SWEEP_RPS if app == "apache" else MEMCACHED_SWEEP_RPS
-    points = []
-    for rps in sweep_rps:
-        result = run_experiment(
-            ExperimentConfig(
-                app=app,
-                policy=policy,
-                target_rps=rps,
-                warmup_ns=settings.warmup_ns,
-                measure_ns=settings.measure_ns,
-                drain_ns=settings.drain_ns,
-                seed=settings.seed,
-            )
+    records = run_sweep(
+        SweepSpec(
+            apps=(app,), policies=(policy,), loads=tuple(sweep_rps),
+            settings=settings,
+        ),
+        jobs=jobs, cache=cache,
+    )
+    points = [
+        LoadPoint(
+            target_rps=rps,
+            p95_ms=record.p95_ns / 1e6,
+            p50_ms=record.p50_ns / 1e6,
+            achieved_rps=record.achieved_rps,
         )
-        points.append(
-            LoadPoint(
-                target_rps=rps,
-                p95_ms=result.latency.p95_ns / 1e6,
-                p50_ms=result.latency.p50_ns / 1e6,
-                achieved_rps=result.achieved_rps,
-            )
-        )
+        for rps, record in zip(sweep_rps, records)
+    ]
     knee_rps, sla_ms = find_knee(points)
     return Fig7Result(app=app, points=points, knee_rps=knee_rps, sla_at_knee_ms=sla_ms)
 

@@ -14,11 +14,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments import policy_comparison
+from repro.experiments.common import RunSettings
 from repro.experiments.policy_comparison import ComparisonResult
+from repro.harness import ResultCache
 from repro.metrics.report import format_table
 
 CONVENTIONAL = ("perf", "ond", "perf.idle", "ond.idle")
 NCAP_HW = ("ncap.cons", "ncap.aggr")
+
+
+def run(
+    apps: Sequence[str] = ("apache", "memcached"),
+    loads: Sequence[str] = ("low", "medium"),
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List["HeadlineRow"]:
+    """Run the Figure 8/9 grids for ``apps`` and derive the headline table."""
+    results = [
+        policy_comparison.run(
+            app, loads=loads, settings=settings, snapshot_policies=(),
+            jobs=jobs, cache=cache,
+        )
+        for app in apps
+    ]
+    return derive(results, loads=loads)
 
 
 @dataclass

@@ -25,6 +25,7 @@ from repro.apps.workload import burst_period_ns, default_burst_size, load_level,
 from repro.cluster.percore_node import PerCoreServerNode
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
+from repro.harness import Runner
 from repro.metrics.energy import energy_delta
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import format_table
@@ -111,31 +112,46 @@ def run_percore(
     )
 
 
+def _chipwide_task(args) -> VariantResult:
+    app, target_rps, settings = args
+    result = run_experiment(
+        ExperimentConfig.from_settings(
+            settings, app=app, policy="ncap.cons", target_rps=target_rps,
+        )
+    )
+    return VariantResult(
+        variant="ncap.cons (chip-wide)",
+        p95_ms=result.latency.p95_ns / 1e6,
+        p99_ms=result.latency.p99_ns / 1e6,
+        energy_j=result.energy.energy_j,
+        meets_sla=result.meets_sla,
+        wake_posts=result.ncap_stats.get("it_high_posts", 0)
+        + result.ncap_stats.get("immediate_rx_posts", 0),
+    )
+
+
+def _percore_task(args) -> VariantResult:
+    app, target_rps, settings = args
+    return run_percore(app, target_rps, settings=settings)
+
+
+def _variant_task(task) -> VariantResult:
+    fn, args = task
+    return fn(args)
+
+
 def run(
     app: str = "memcached",
     load: str = "low",
     settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
 ) -> List[VariantResult]:
     """Chip-wide ncap.cons versus per-core NCAP on the same workload."""
     level = load_level(app, load)
-    chipwide = run_experiment(
-        ExperimentConfig(
-            app=app, policy="ncap.cons", target_rps=level.target_rps,
-            warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-            drain_ns=settings.drain_ns, seed=settings.seed,
-        )
+    args = (app, level.target_rps, settings)
+    return Runner(jobs=jobs).map(
+        _variant_task, [(_chipwide_task, args), (_percore_task, args)]
     )
-    chipwide_row = VariantResult(
-        variant="ncap.cons (chip-wide)",
-        p95_ms=chipwide.latency.p95_ns / 1e6,
-        p99_ms=chipwide.latency.p99_ns / 1e6,
-        energy_j=chipwide.energy.energy_j,
-        meets_sla=chipwide.meets_sla,
-        wake_posts=chipwide.ncap_stats.get("it_high_posts", 0)
-        + chipwide.ncap_stats.get("immediate_rx_posts", 0),
-    )
-    percore_row = run_percore(app, level.target_rps, settings=settings)
-    return [chipwide_row, percore_row]
 
 
 def format_report(rows: List[VariantResult], app: str, load: str) -> str:

@@ -16,8 +16,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.workload import load_level
 from repro.cluster.policies import POLICY_ORDER
-from repro.cluster.simulation import ExperimentConfig, ExperimentResult, run_experiment
+from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
+from repro.harness import ResultCache, SweepSpec, run_sweep
 from repro.metrics.report import format_series, format_table
 from repro.metrics.timeseries import bandwidth_series_mbps, normalized_series
 from repro.sim.units import MS
@@ -69,42 +70,42 @@ def run(
     snapshot_policies: Sequence[str] = ("ond.idle", "ncap.cons"),
     snapshot_load: str = "low",
     snapshot_window_ms: int = 200,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ComparisonResult:
+    specs = SweepSpec(
+        apps=(app,), policies=tuple(policies), loads=tuple(loads),
+        settings=settings,
+    ).expand()
+    records = run_sweep(specs, jobs=jobs, cache=cache)
+
     rows: List[PolicyRow] = []
     for load in loads:
-        level = load_level(app, load)
         perf_energy: Optional[float] = None
-        for policy in policies:
-            result = run_experiment(
-                ExperimentConfig(
-                    app=app,
-                    policy=policy,
-                    target_rps=level.target_rps,
-                    warmup_ns=settings.warmup_ns,
-                    measure_ns=settings.measure_ns,
-                    drain_ns=settings.drain_ns,
-                    seed=settings.seed,
-                )
-            )
-            if policy == "perf":
-                perf_energy = result.energy.energy_j
+        for record in (
+            r for s, r in zip(specs, records) if s.load == load
+        ):
+            if record.policy == "perf":
+                perf_energy = record.energy_j
             assert perf_energy is not None, "run the perf policy first"
-            norm = result.normalized_latency
+            norm = record.normalized_latency
             rows.append(
                 PolicyRow(
-                    policy=policy,
+                    policy=record.policy,
                     load=load,
                     p50_norm=norm["p50"],
                     p90_norm=norm["p90"],
                     p95_norm=norm["p95"],
                     p99_norm=norm["p99"],
-                    energy_rel_perf=result.energy.energy_j / perf_energy,
-                    meets_sla=result.meets_sla,
-                    mean_ms=result.latency.mean_ns / 1e6,
-                    energy_j=result.energy.energy_j,
+                    energy_rel_perf=record.energy_j / perf_energy,
+                    meets_sla=record.meets_sla,
+                    mean_ms=record.mean_ns / 1e6,
+                    energy_j=record.energy_j,
                 )
             )
 
+    # Snapshots need the live trace and engine, so they stay out of the
+    # record pipeline and run in-process.
     snapshots = [
         _snapshot(app, policy, snapshot_load, settings, snapshot_window_ms)
         for policy in snapshot_policies
@@ -116,17 +117,15 @@ def _snapshot(
     app: str, policy: str, load: str, settings: RunSettings, window_ms: int
 ) -> Snapshot:
     level = load_level(app, load)
-    config = ExperimentConfig(
+    config = ExperimentConfig.from_settings(
+        settings,
         app=app,
         policy=policy,
         target_rps=level.target_rps,
         collect_traces=True,
-        warmup_ns=settings.warmup_ns,
         measure_ns=min(settings.measure_ns, window_ms * MS),
-        drain_ns=settings.drain_ns,
-        seed=settings.seed,
     )
-    result = run_experiment(config)
+    result = run_experiment(config, keep_server=True)
     trace = result.trace
     assert trace is not None
     start = config.warmup_ns

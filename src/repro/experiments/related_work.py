@@ -15,7 +15,7 @@ no proactive C-state wake (its cores still eat the full exit latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.apps.client import (
     OpenLoopClient,
@@ -26,6 +26,7 @@ from repro.apps.workload import burst_period_ns, default_burst_size, load_level,
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
 from repro.ext.adrenaline import AdrenalineServerNode
+from repro.harness import Runner
 from repro.metrics.energy import energy_delta
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import format_table
@@ -107,33 +108,37 @@ def run_adrenaline(
     )
 
 
+def _system_task(args) -> BaselineRow:
+    system, app, target_rps, settings = args
+    if system == "adrenaline":
+        return run_adrenaline(app, target_rps, settings=settings)
+    result = run_experiment(
+        ExperimentConfig.from_settings(
+            settings, app=app, policy=system, target_rps=target_rps,
+        )
+    )
+    return BaselineRow(
+        system=system,
+        p95_ms=result.latency.p95_ns / 1e6,
+        p99_ms=result.latency.p99_ns / 1e6,
+        energy_j=result.energy.energy_j,
+        meets_sla=result.meets_sla,
+    )
+
+
 def run(
     app: str = "memcached",
     load: str = "low",
     settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
 ) -> List[BaselineRow]:
     """ncap.cons and ncap.sw versus the Adrenaline-style baseline."""
     level = load_level(app, load)
-    rows = []
-    for policy in ("ncap.cons", "ncap.sw"):
-        result = run_experiment(
-            ExperimentConfig(
-                app=app, policy=policy, target_rps=level.target_rps,
-                warmup_ns=settings.warmup_ns, measure_ns=settings.measure_ns,
-                drain_ns=settings.drain_ns, seed=settings.seed,
-            )
-        )
-        rows.append(
-            BaselineRow(
-                system=policy,
-                p95_ms=result.latency.p95_ns / 1e6,
-                p99_ms=result.latency.p99_ns / 1e6,
-                energy_j=result.energy.energy_j,
-                meets_sla=result.meets_sla,
-            )
-        )
-    rows.append(run_adrenaline(app, level.target_rps, settings=settings))
-    return rows
+    tasks = [
+        (system, app, level.target_rps, settings)
+        for system in ("ncap.cons", "ncap.sw", "adrenaline")
+    ]
+    return Runner(jobs=jobs).map(_system_task, tasks)
 
 
 def format_report(rows: List[BaselineRow], app: str, load: str) -> str:

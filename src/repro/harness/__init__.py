@@ -1,0 +1,54 @@
+"""Sweep harness: declarative specs, parallel fan-out, cached results.
+
+The experiment layer's shared engine.  A sweep is declared as a
+:class:`SweepSpec` (or a list of :class:`RunSpec`), executed by a
+:class:`Runner` — serially or across a process pool — and comes back as
+flat, picklable :class:`ResultRecord` objects whose order matches the
+spec order bit-for-bit on both backends.  An optional :class:`ResultCache`
+keyed by :func:`config_hash` skips points whose configs are unchanged.
+
+    from repro.harness import SweepSpec, run_sweep
+
+    records = run_sweep(
+        SweepSpec(apps=("apache",), policies=("perf", "ncap.cons"),
+                  loads=("low", "medium")),
+        jobs=8,
+    )
+"""
+
+from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.harness.hashing import HASH_SCHEMA_VERSION, canonical_json, config_hash
+from repro.harness.record import RECORD_SCHEMA_VERSION, ResultRecord
+from repro.harness.runner import (
+    JOBS_ENV,
+    RunProgress,
+    Runner,
+    execute_spec,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.harness.settings import RunSettings
+from repro.harness.spec import LoadLike, PolicyLike, RunSpec, SweepSpec, policy_label
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "HASH_SCHEMA_VERSION",
+    "JOBS_ENV",
+    "LoadLike",
+    "PolicyLike",
+    "RECORD_SCHEMA_VERSION",
+    "ResultCache",
+    "ResultRecord",
+    "RunProgress",
+    "Runner",
+    "RunSettings",
+    "RunSpec",
+    "SweepSpec",
+    "canonical_json",
+    "config_hash",
+    "default_cache_dir",
+    "execute_spec",
+    "policy_label",
+    "resolve_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,140 @@
+"""Serializable per-run results.
+
+A :class:`ResultRecord` is the flat, picklable projection of an
+:class:`~repro.cluster.simulation.ExperimentResult`: latency percentiles,
+windowed energy, power, C-state entry counts, and NCAP counters — and no
+live ``server``/``trace``/``Simulator`` references, so records cross
+process-pool boundaries, serialize to JSON byte-for-byte reproducibly,
+and can be cached on disk between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import TYPE_CHECKING, Dict
+
+from repro.cpu.energy import EnergyReport
+from repro.metrics.latency import LatencyStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulation import ExperimentResult
+
+#: Bump when the record's fields change; cached records from other
+#: versions are discarded instead of misread.
+RECORD_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ResultRecord:
+    """One sweep point's results, flattened."""
+
+    config_hash: str
+    app: str
+    policy: str
+    target_rps: float
+    seed: int
+    sla_ns: int
+    meets_sla: bool
+    requests_sent: int
+    responses_received: int
+    incomplete: int
+    achieved_rps: float
+    avg_power_w: float
+    latency_count: int
+    mean_ns: float
+    p50_ns: float
+    p90_ns: float
+    p95_ns: float
+    p99_ns: float
+    max_ns: float
+    energy_j: float
+    residency_ns: Dict[str, int] = field(default_factory=dict)
+    energy_by_mode_j: Dict[str, float] = field(default_factory=dict)
+    cstate_entries: Dict[str, int] = field(default_factory=dict)
+    ncap_stats: Dict[str, int] = field(default_factory=dict)
+    #: True when the runner served this record from the on-disk cache.
+    #: Not part of the run's identity: excluded from equality and JSON.
+    from_cache: bool = field(default=False, compare=False)
+
+    @classmethod
+    def from_result(
+        cls, result: "ExperimentResult", config_hash: str, seed: int
+    ) -> "ResultRecord":
+        latency = result.latency
+        energy = result.energy
+        return cls(
+            config_hash=config_hash,
+            app=result.app,
+            policy=result.policy_name,
+            target_rps=result.target_rps,
+            seed=seed,
+            sla_ns=result.sla_ns,
+            meets_sla=result.meets_sla,
+            requests_sent=result.requests_sent,
+            responses_received=result.responses_received,
+            incomplete=result.incomplete,
+            achieved_rps=result.achieved_rps,
+            avg_power_w=result.avg_power_w,
+            latency_count=latency.count,
+            mean_ns=latency.mean_ns,
+            p50_ns=latency.p50_ns,
+            p90_ns=latency.p90_ns,
+            p95_ns=latency.p95_ns,
+            p99_ns=latency.p99_ns,
+            max_ns=latency.max_ns,
+            energy_j=energy.energy_j,
+            residency_ns=dict(energy.residency_ns),
+            energy_by_mode_j=dict(energy.energy_by_mode_j),
+            cstate_entries=dict(result.cstate_entries),
+            ncap_stats=dict(result.ncap_stats),
+        )
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def latency(self) -> LatencyStats:
+        """The percentile summary, rebuilt as a :class:`LatencyStats`."""
+        return LatencyStats(
+            count=self.latency_count,
+            mean_ns=self.mean_ns,
+            p50_ns=self.p50_ns,
+            p90_ns=self.p90_ns,
+            p95_ns=self.p95_ns,
+            p99_ns=self.p99_ns,
+            max_ns=self.max_ns,
+        )
+
+    @property
+    def energy(self) -> EnergyReport:
+        """The windowed energy, rebuilt as an :class:`EnergyReport`."""
+        return EnergyReport(
+            energy_j=self.energy_j,
+            residency_ns=dict(self.residency_ns),
+            energy_by_mode_j=dict(self.energy_by_mode_j),
+        )
+
+    @property
+    def normalized_latency(self) -> Dict[str, float]:
+        return self.latency.normalized_to(self.sla_ns)
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        del data["from_cache"]
+        data["schema"] = RECORD_SCHEMA_VERSION
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ResultRecord":
+        data = dict(data)
+        schema = data.pop("schema", None)
+        if schema != RECORD_SCHEMA_VERSION:
+            raise ValueError(
+                f"result record schema {schema!r} != {RECORD_SCHEMA_VERSION}"
+            )
+        known = {f.name for f in fields(cls) if f.name != "from_cache"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown result record fields: {sorted(unknown)}")
+        return cls(**data)

@@ -1,0 +1,108 @@
+"""Declarative experiment specifications.
+
+A :class:`RunSpec` names one concrete cluster run — (app, policy, load,
+seed, overrides) — without building it; a :class:`SweepSpec` is a grid of
+those axes that :meth:`SweepSpec.expand` flattens into the concrete run
+list, in a deterministic order (app, then load, then policy, then grid
+override, then seed).  Specs are plain picklable dataclasses, so they can
+be shipped to worker processes, and every ``ExperimentConfig`` field not
+covered by a first-class axis can ride along in ``overrides``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.apps.workload import load_level
+from repro.cluster.policies import PolicyConfig
+from repro.cluster.simulation import ExperimentConfig
+from repro.harness.settings import RunSettings
+
+PolicyLike = Union[str, PolicyConfig]
+#: A load axis entry: a named load level ("low"/"medium"/"high") resolved
+#: per app, or an explicit offered rate in requests per second.
+LoadLike = Union[str, float, int]
+
+
+def policy_label(policy: PolicyLike) -> str:
+    """The display name of a policy axis entry."""
+    return policy if isinstance(policy, str) else policy.name
+
+
+@dataclass
+class RunSpec:
+    """One concrete sweep point."""
+
+    app: str = "apache"
+    policy: PolicyLike = "perf"
+    target_rps: float = 24_000.0
+    seed: int = 1
+    settings: RunSettings = field(default_factory=RunSettings.standard)
+    #: Extra ``ExperimentConfig`` fields (e.g. ``ondemand_period_ns``,
+    #: ``ncap_base_config``, ``nic_dma_latency_ns``).
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: The load-level name this point was expanded from, if any.  A label
+    #: for reports only — it never reaches the config or the cache key.
+    load: Optional[str] = None
+
+    @property
+    def policy_name(self) -> str:
+        return policy_label(self.policy)
+
+    def to_config(self) -> ExperimentConfig:
+        return ExperimentConfig.from_settings(
+            self.settings,
+            app=self.app,
+            policy=self.policy,
+            target_rps=float(self.target_rps),
+            seed=self.seed,
+            **dict(self.overrides),
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A grid of runs: apps x loads x policies x grid overrides x seeds."""
+
+    apps: Sequence[str] = ("apache",)
+    policies: Sequence[PolicyLike] = ("perf",)
+    loads: Sequence[LoadLike] = ("low",)
+    #: Explicit seed axis; ``None`` runs each point once at ``settings.seed``.
+    seeds: Optional[Sequence[int]] = None
+    settings: RunSettings = field(default_factory=RunSettings.standard)
+    #: Applied to every point (merged under each ``grid`` entry).
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: An extra cross-product axis of override dicts, for sweeps over
+    #: config fields that have no first-class axis (e.g. Figure 2's
+    #: ``ondemand_period_ns``).
+    grid: Sequence[Mapping[str, Any]] = field(default_factory=lambda: ({},))
+
+    def expand(self) -> List[RunSpec]:
+        """Flatten the grid into concrete runs, deterministically ordered."""
+        seeds = tuple(self.seeds) if self.seeds is not None else (self.settings.seed,)
+        specs: List[RunSpec] = []
+        for app in self.apps:
+            for load in self.loads:
+                if isinstance(load, str):
+                    target_rps = load_level(app, load).target_rps
+                    label: Optional[str] = load
+                else:
+                    target_rps = float(load)
+                    label = None
+                for policy in self.policies:
+                    for extra in self.grid:
+                        merged = {**self.overrides, **extra}
+                        for seed in seeds:
+                            specs.append(
+                                RunSpec(
+                                    app=app,
+                                    policy=policy,
+                                    target_rps=target_rps,
+                                    seed=seed,
+                                    settings=self.settings,
+                                    overrides=merged,
+                                    load=label,
+                                )
+                            )
+        return specs

@@ -1,18 +1,23 @@
-"""Trace export: dump recorded channels to CSV for external plotting.
+"""Trace and result export: dump recorded data for external tooling.
 
 The benchmark suite prints sparkline reports, but anyone regenerating the
 paper's figures in a plotting tool needs the raw series.  These helpers
 write event channels (step functions) and counter channels (binned rates)
-to plain CSV files.
+to plain CSV files, and round-trip harness :class:`ResultRecord` lists
+through JSON (``export_result_records`` / ``load_result_records``).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.record import ResultRecord
 
 
 def export_event_channel(
@@ -79,6 +84,33 @@ def export_figure4_bundle(
             export_event_channel(trace, channel, path)
             paths.append(path)
     return paths
+
+
+def export_result_records(
+    records: Iterable["ResultRecord"], path: str
+) -> str:
+    """Write harness result records as a JSON array; returns ``path``.
+
+    The file is self-describing (each record carries its schema version)
+    and reloadable with :func:`load_result_records`.
+    """
+    _ensure_dir(path)
+    payload = [record.to_json_dict() for record in records]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_result_records(path: str) -> List["ResultRecord"]:
+    """Read a JSON array written by :func:`export_result_records`."""
+    from repro.harness.record import ResultRecord
+
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a JSON array of result records")
+    return [ResultRecord.from_json_dict(entry) for entry in payload]
 
 
 def _ensure_dir(path: str) -> None:

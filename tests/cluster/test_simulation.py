@@ -98,3 +98,31 @@ class TestRun:
             if s >= config.warmup_ns + config.measure_ns
         )
         assert sent_after == 0
+
+
+class TestKeepServer:
+    def test_server_dropped_by_default(self):
+        result = run_experiment(quick_config())
+        assert result.server is None
+
+    def test_server_kept_on_request(self):
+        result = run_experiment(quick_config(), keep_server=True)
+        assert result.server is not None
+        assert result.server.name == "server"
+
+    def test_result_picklable_without_server(self):
+        import pickle
+
+        result = run_experiment(quick_config())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.latency == result.latency
+        assert clone.energy.energy_j == result.energy.energy_j
+
+    def test_simulate_then_collect_split(self):
+        cluster = Cluster(quick_config())
+        cluster.simulate()
+        dropped = cluster.collect()
+        kept = cluster.collect(keep_server=True)
+        assert dropped.server is None
+        assert kept.server is cluster.server
+        assert dropped.latency == kept.latency

@@ -1,0 +1,72 @@
+"""ResultRecord JSON round-trips, in memory and through metrics.export."""
+
+import pytest
+
+from repro.harness import RECORD_SCHEMA_VERSION, ResultRecord
+from repro.harness.runner import execute_spec
+from repro.harness.spec import RunSpec
+from repro.harness.settings import RunSettings
+from repro.metrics.export import export_result_records, load_result_records
+from repro.sim.units import MS
+
+TINY = RunSettings(warmup_ns=5 * MS, measure_ns=40 * MS, drain_ns=30 * MS, seed=2)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return execute_spec(
+        RunSpec(app="apache", policy="ncap.cons", target_rps=24_000, seed=2,
+                settings=TINY)
+    )
+
+
+class TestJsonDict:
+    def test_round_trip_equality(self, record):
+        clone = ResultRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+
+    def test_from_cache_excluded_from_json_and_equality(self, record):
+        data = record.to_json_dict()
+        assert "from_cache" not in data
+        assert data["schema"] == RECORD_SCHEMA_VERSION
+        clone = ResultRecord.from_json_dict(data)
+        clone.from_cache = True
+        assert clone == record
+
+    def test_schema_mismatch_rejected(self, record):
+        data = record.to_json_dict()
+        data["schema"] = RECORD_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            ResultRecord.from_json_dict(data)
+
+    def test_unknown_field_rejected(self, record):
+        data = record.to_json_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            ResultRecord.from_json_dict(data)
+
+
+class TestViews:
+    def test_latency_and_energy_rebuild(self, record):
+        assert record.latency.p95_ns == record.p95_ns
+        assert record.latency.count == record.latency_count
+        assert record.energy.energy_j == record.energy_j
+        assert record.energy.residency_ns == record.residency_ns
+
+    def test_normalized_latency_uses_sla(self, record):
+        normalized = record.normalized_latency
+        assert normalized["p95"] == pytest.approx(record.p95_ns / record.sla_ns)
+
+
+class TestExportHelpers:
+    def test_file_round_trip(self, record, tmp_path):
+        path = str(tmp_path / "out" / "records.json")
+        assert export_result_records([record, record], path) == path
+        loaded = load_result_records(path)
+        assert loaded == [record, record]
+
+    def test_non_array_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError, match="array"):
+            load_result_records(str(path))

@@ -1,0 +1,91 @@
+"""SweepSpec expansion and RunSpec config construction."""
+
+from repro.apps.workload import load_level
+from repro.cluster.policies import PolicyConfig
+from repro.harness import RunSettings, RunSpec, SweepSpec
+from repro.sim.units import MS
+
+TINY = RunSettings(warmup_ns=5 * MS, measure_ns=40 * MS, drain_ns=30 * MS, seed=2)
+
+
+class TestSweepExpansion:
+    def test_axis_order_and_count(self):
+        sweep = SweepSpec(
+            apps=("apache", "memcached"),
+            policies=("perf", "ond.idle"),
+            loads=("low",),
+            seeds=(1, 2),
+            settings=TINY,
+        )
+        specs = sweep.expand()
+        assert len(specs) == 2 * 2 * 1 * 2
+        # app is the outermost axis, seed the innermost.
+        assert [s.app for s in specs[:4]] == ["apache"] * 4
+        assert [s.seed for s in specs[:4]] == [1, 2, 1, 2]
+        assert [s.policy for s in specs[:4]] == [
+            "perf", "perf", "ond.idle", "ond.idle",
+        ]
+
+    def test_named_loads_resolve_per_app(self):
+        specs = SweepSpec(
+            apps=("apache", "memcached"), loads=("low",), settings=TINY
+        ).expand()
+        by_app = {s.app: s for s in specs}
+        assert by_app["apache"].target_rps == load_level("apache", "low").target_rps
+        assert (
+            by_app["memcached"].target_rps
+            == load_level("memcached", "low").target_rps
+        )
+        assert all(s.load == "low" for s in specs)
+
+    def test_numeric_loads_used_directly(self):
+        (spec,) = SweepSpec(loads=(12_500,), settings=TINY).expand()
+        assert spec.target_rps == 12_500.0
+        assert spec.load is None
+
+    def test_default_seed_axis_uses_settings_seed(self):
+        (spec,) = SweepSpec(settings=TINY).expand()
+        assert spec.seed == TINY.seed
+
+    def test_grid_merges_over_base_overrides(self):
+        sweep = SweepSpec(
+            settings=TINY,
+            overrides={"n_clients": 2, "ondemand_period_ns": 5 * MS},
+            grid=[{"ondemand_period_ns": 10 * MS}, {}],
+        )
+        first, second = sweep.expand()
+        assert first.overrides == {"n_clients": 2, "ondemand_period_ns": 10 * MS}
+        assert second.overrides == {"n_clients": 2, "ondemand_period_ns": 5 * MS}
+
+
+class TestRunSpecConfig:
+    def test_settings_and_overrides_reach_config(self):
+        spec = RunSpec(
+            app="memcached",
+            policy="ncap.cons",
+            target_rps=30_000,
+            seed=9,
+            settings=TINY,
+            overrides={"n_clients": 2},
+        )
+        config = spec.to_config()
+        assert config.app == "memcached"
+        assert config.policy == "ncap.cons"
+        assert config.target_rps == 30_000.0
+        assert config.seed == 9
+        assert config.n_clients == 2
+        assert config.warmup_ns == TINY.warmup_ns
+        assert config.measure_ns == TINY.measure_ns
+        assert config.drain_ns == TINY.drain_ns
+
+    def test_policy_name_handles_config_objects(self):
+        policy = PolicyConfig(
+            "ncap.f3", governor="ondemand", cstates=True, ncap="hw", fcons=3
+        )
+        assert RunSpec(policy=policy).policy_name == "ncap.f3"
+        assert RunSpec(policy="perf").policy_name == "perf"
+
+    def test_apply_to_round_trip(self):
+        config = RunSpec(seed=TINY.seed, settings=TINY).to_config()
+        reapplied = TINY.apply_to(config)
+        assert reapplied == config
