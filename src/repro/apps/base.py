@@ -26,6 +26,7 @@ from repro.net.packet import Frame, make_response, segments_for
 from repro.oskernel.netstack import NetStackCosts
 from repro.oskernel.scheduler import Scheduler
 from repro.sim.kernel import Simulator
+from repro.telemetry import RequestPhase, Telemetry, ensure_telemetry
 
 
 class ServerApp:
@@ -39,6 +40,8 @@ class ServerApp:
         costs: NetStackCosts,
         rng: random.Random,
         name: str = "server",
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "app",
     ):
         self._sim = sim
         self._scheduler = scheduler
@@ -46,9 +49,14 @@ class ServerApp:
         self._costs = costs
         self._rng = rng
         self.name = name
-        self.requests_received = 0
-        self.responses_sent = 0
-        self.non_requests_ignored = 0
+        if telemetry is None and driver is not None:
+            telemetry = driver.telemetry
+        self.telemetry = ensure_telemetry(telemetry)
+        stats = self.telemetry.scope(stats_prefix)
+        self._requests = stats.counter("requests")
+        self._responses = stats.counter("responses")
+        self._ignored = stats.counter("ignored")
+        self._span_probe = self.telemetry.probe("request.span")
         #: Optional core affinity for the *next* request's jobs.  The
         #: per-core (multi-queue) node sets this around each delivery so a
         #: flow's processing stays on its RSS queue's core (RFS-style).
@@ -57,6 +65,20 @@ class ServerApp:
         #: client send timestamp to the response hitting the NIC) — the
         #: feed Pegasus-style slack controllers consume.
         self.latency_listeners: list = []
+
+    # -- bookkeeping (registry-backed) -------------------------------------
+
+    @property
+    def requests_received(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def responses_sent(self) -> int:
+        return int(self._responses.value)
+
+    @property
+    def non_requests_ignored(self) -> int:
+        return int(self._ignored.value)
 
     # -- workload shape (override in subclasses) ---------------------------
 
@@ -81,9 +103,13 @@ class ServerApp:
     def on_packet(self, frame: Frame) -> None:
         """Socket delivery point — wire as ``NICDriver.packet_sink``."""
         if frame.kind != "request":
-            self.non_requests_ignored += 1
+            self._ignored.inc()
             return
-        self.requests_received += 1
+        self._requests.inc()
+        if self._span_probe.enabled:
+            self._span_probe.emit(
+                RequestPhase(self._sim.now, frame.src, frame.req_id, "service")
+            )
         hint = self.affinity_hint
         self._scheduler.enqueue(
             Job(
@@ -115,7 +141,11 @@ class ServerApp:
         )
 
     def _send_response(self, frame: Frame, size: int) -> None:
-        self.responses_sent += 1
+        self._responses.inc()
+        if self._span_probe.enabled:
+            self._span_probe.emit(
+                RequestPhase(self._sim.now, frame.src, frame.req_id, "reply")
+            )
         for listener in self.latency_listeners:
             listener(self._sim.now - frame.created_ns)
         self._driver.transmit(

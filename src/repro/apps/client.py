@@ -23,6 +23,18 @@ from repro.sim.kernel import Simulator
 _req_ids = itertools.count(1)
 
 
+def reset_request_ids(start: int = 1) -> None:
+    """Restart the process-global request-id counter.
+
+    Request ids are globally unique so traces from concurrent nodes never
+    collide, which means they depend on how many requests the process has
+    already created.  Tools that need bit-identical output across runs
+    (golden-trace tests, ``repro trace``) reset the counter first.
+    """
+    global _req_ids
+    _req_ids = itertools.count(start)
+
+
 def http_request_factory(client: str, server: str) -> Callable[[int], Frame]:
     """Factory producing HTTP GETs (the Apache workload)."""
 

@@ -7,6 +7,7 @@ Commands:
 - ``fig``      — regenerate a paper figure report (1, 2, 4, 7, 8, 9);
 - ``sweep``    — declarative grid over apps × policies × loads × seeds;
 - ``headline`` — the abstract's savings table;
+- ``trace``    — run one experiment and export Chrome-trace (Perfetto) JSON;
 - ``policies`` — list the policy registry.
 
 Every command prints the same plain-text reports the benchmark suite
@@ -21,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.apps.client import reset_request_ids
 from repro.apps.workload import LOAD_LEVELS, load_level
 from repro.cluster.policies import POLICIES, POLICY_ORDER
 from repro.cluster.simulation import ExperimentConfig, run_experiment
@@ -234,6 +236,41 @@ def cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Named experiment presets for ``repro trace``.
+TRACE_PRESETS = {
+    "fig4": dict(app="apache", policy="ond.idle", target_rps=24_000.0),
+    "ncap": dict(app="apache", policy="ncap.cons", target_rps=24_000.0),
+    "memcached": dict(app="memcached", policy="ond.idle", target_rps=90_000.0),
+}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.metrics.export import export_chrome_trace
+    from repro.telemetry import ChromeTraceSink
+
+    settings = _settings(args)
+    params = dict(TRACE_PRESETS[args.experiment])
+    if args.app is not None:
+        params["app"] = args.app
+    if args.policy is not None:
+        params["policy"] = args.policy
+    if args.rps is not None:
+        params["target_rps"] = args.rps
+    elif args.load is not None:
+        params["target_rps"] = load_level(params["app"], args.load).target_rps
+    config = ExperimentConfig.from_settings(settings, **params)
+    # Same seed -> same bytes: restart the global request-id counter so
+    # span ids in the export do not depend on prior runs in this process.
+    reset_request_ids()
+    sink = ChromeTraceSink()
+    run_experiment(config, sinks=[sink])
+    count = export_chrome_trace(sink, args.out)
+    print(f"wrote {count} trace events to {args.out} "
+          f"({params['app']} / {params['policy']}; open in Perfetto or "
+          f"chrome://tracing)")
+    return 0
+
+
 def cmd_policies(args: argparse.Namespace) -> int:
     rows = []
     for name in POLICY_ORDER:
@@ -323,6 +360,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pol = add_parser("policies", help="list the policy registry")
     p_pol.set_defaults(fn=cmd_policies)
+
+    p_tr = add_parser(
+        "trace", help="run one experiment and write a Chrome-trace JSON "
+                      "(Perfetto-loadable) of its telemetry events"
+    )
+    p_tr.add_argument("experiment", nargs="?", default="fig4",
+                      choices=tuple(TRACE_PRESETS),
+                      help="experiment preset to trace")
+    p_tr.add_argument("--app", choices=tuple(LOAD_LEVELS),
+                      help="override the preset's application")
+    p_tr.add_argument("--policy", choices=tuple(POLICIES),
+                      help="override the preset's policy")
+    p_tr.add_argument("--load", choices=("low", "medium", "high"),
+                      help="override the preset's load level")
+    p_tr.add_argument("--rps", type=float, help="explicit offered load")
+    p_tr.add_argument("--out", default="trace.json",
+                      help="output path (default: trace.json)")
+    p_tr.set_defaults(fn=cmd_trace)
 
     p_exp = add_parser(
         "export-trace", help="run traced and dump Figure-4 series as CSV"

@@ -15,7 +15,7 @@ relationship can be measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Union
 
 from repro.apps.client import (

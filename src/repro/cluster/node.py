@@ -44,6 +44,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS
+from repro.telemetry import Telemetry, ensure_telemetry
 
 
 class ServerNode:
@@ -57,6 +58,7 @@ class ServerNode:
         app: str,
         rng: RngRegistry,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
         processor: ProcessorConfig = ProcessorConfig(),
         netstack: NetStackCosts = NetStackCosts(),
         moderation: ModerationConfig = ModerationConfig(),
@@ -72,12 +74,22 @@ class ServerNode:
         self.app_name = app
         self.trace = trace
 
-        self.package = processor.build_package(sim, trace=trace, name=f"{name}.cpu")
+        # One Telemetry instance is shared by every component of the node,
+        # so the stats registry namespaces (nic.*, cpuidle.*, governor.*,
+        # ncap.*, app.*) all live together and a single snapshot covers the
+        # whole server.  A ChannelSink bridges probe events back into the
+        # legacy trace channels when a TraceRecorder is supplied.
+        self.telemetry = ensure_telemetry(telemetry, trace)
+
+        self.package = processor.build_package(
+            sim, name=f"{name}.cpu", telemetry=self.telemetry
+        )
         if trace is not None:
+            # Pre-create the per-core C-state channels so traces expose
+            # them even for cores that never sleep (the ChannelSink only
+            # creates channels lazily, on the first transition).
             for core in self.package.cores:
-                core.cstate_channel = trace.event_channel(
-                    f"{name}.core{core.core_id}.cstate"
-                )
+                trace.event_channel(f"{name}.core{core.core_id}.cstate")
         self.scheduler = Scheduler(sim, self.package)
         self.irq = IRQController(sim, self.package)
         self.cpufreq = CpufreqDriver(sim, self.package)
@@ -99,17 +111,24 @@ class ServerNode:
         self.cpuidle: Optional[CpuidleDriver] = None
         if self.policy.cstates:
             if self.policy.cpuidle_governor == "ladder":
-                idle_governor = LadderGovernor(self.package.cstates)
+                idle_governor = LadderGovernor(
+                    self.package.cstates, telemetry=self.telemetry
+                )
             else:
-                idle_governor = MenuGovernor(self.package.cstates)
-            self.cpuidle = CpuidleDriver(idle_governor)
+                idle_governor = MenuGovernor(
+                    self.package.cstates, telemetry=self.telemetry
+                )
+            self.cpuidle = CpuidleDriver(idle_governor, telemetry=self.telemetry)
             self.scheduler.idle_hook = self.cpuidle.on_core_idle
 
         # -- NIC + driver --
         nic_kwargs = {}
         if nic_dma_latency_ns is not None:
             nic_kwargs["dma_latency_ns"] = nic_dma_latency_ns
-        self.nic = NIC(sim, name=name, moderation=moderation, trace=trace, **nic_kwargs)
+        self.nic = NIC(
+            sim, name=name, moderation=moderation,
+            telemetry=self.telemetry, **nic_kwargs,
+        )
         self.driver = NICDriver(sim, self.nic, self.irq, netstack)
 
         # -- application --
@@ -147,7 +166,6 @@ class ServerNode:
                     self.nic,
                     ncap_config,
                     cpu_at_max=lambda: self.package.at_max_performance,
-                    trace=trace,
                 )
                 self.driver.icr_hooks.append(self.ncap_ext.on_icr)
                 self.ncap_hw.register_sysfs(
@@ -156,7 +174,6 @@ class ServerNode:
             else:
                 self.ncap_sw = NCAPSoftware(
                     sim, self.driver, self.irq, ncap_config, self.ncap_ext,
-                    trace=trace,
                 )
 
     # -- link endpoint (NetDevice) ------------------------------------------

@@ -41,16 +41,27 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS
+from repro.telemetry import Telemetry, ensure_telemetry
 
 
 class PerCoreCpuidle:
     """Routes idle notifications to one CpuidleDriver per core, so NCAP can
     disable the menu governor on a single core."""
 
-    def __init__(self, processor: MultiDomainProcessor):
-        governor = MenuGovernor(processor.cstates)
+    def __init__(
+        self,
+        processor: MultiDomainProcessor,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        telemetry = ensure_telemetry(telemetry)
+        governor = MenuGovernor(processor.cstates, telemetry=telemetry)
         self.drivers: List[CpuidleDriver] = [
-            CpuidleDriver(governor) for _ in processor.cores
+            CpuidleDriver(
+                governor,
+                telemetry=telemetry,
+                stats_prefix=f"cpuidle.core{core.core_id}",
+            )
+            for core in processor.cores
         ]
 
     def on_core_idle(self, core: Core) -> None:
@@ -70,6 +81,7 @@ class PerCoreServerNode:
         app: str,
         rng: RngRegistry,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
         processor: ProcessorConfig = ProcessorConfig(),
         netstack: NetStackCosts = NetStackCosts(),
         moderation: ModerationConfig = ModerationConfig(),
@@ -82,15 +94,21 @@ class PerCoreServerNode:
         self.sim = sim
         self.name = name
         self.app_name = app
-        self.processor = MultiDomainProcessor(sim, processor, trace=trace, name=f"{name}.cpu")
+        # One Telemetry instance spans all domains/queues; per-instance
+        # stats prefixes (cpuidle.core<N>, driver.q<N>, ncap.q<N>) keep
+        # each replica's counters separate within the shared registry.
+        self.telemetry = ensure_telemetry(telemetry, trace)
+        self.processor = MultiDomainProcessor(
+            sim, processor, name=f"{name}.cpu", telemetry=self.telemetry
+        )
         if trace is not None:
+            # Pre-create per-core C-state channels (the ChannelSink only
+            # creates them lazily, on the first transition).
             for core in self.processor.cores:
-                core.cstate_channel = trace.event_channel(
-                    f"{name}.core{core.core_id}.cstate"
-                )
+                trace.event_channel(f"{name}.core{core.core_id}.cstate")
         self.scheduler = Scheduler(sim, self.processor)  # facade: .cores
         self.irq = IRQController(sim, self.processor)
-        self.cpuidle = PerCoreCpuidle(self.processor)
+        self.cpuidle = PerCoreCpuidle(self.processor, telemetry=self.telemetry)
         self.scheduler.idle_hook = self.cpuidle.on_core_idle
 
         # Per-domain cpufreq + ondemand (each samples and runs on its core).
@@ -107,7 +125,8 @@ class PerCoreServerNode:
         # NIC: one queue per core, one driver per queue.
         n_queues = processor.n_cores
         self.nic = MultiQueueNIC(
-            sim, name=name, n_queues=n_queues, moderation=moderation, trace=trace
+            sim, name=name, n_queues=n_queues, moderation=moderation,
+            telemetry=self.telemetry,
         )
         self.drivers: List[NICDriver] = []
 
@@ -130,13 +149,16 @@ class PerCoreServerNode:
         self.ncap_hw: List[NCAPHardware] = []
         self.ncap_ext: List[NCAPDriverExtension] = []
         for i, queue in enumerate(self.nic.queues):
-            driver = NICDriver(sim, queue, self.irq, netstack, core_id=i)  # type: ignore[arg-type]
+            driver = NICDriver(
+                sim, queue, self.irq, netstack, core_id=i,  # type: ignore[arg-type]
+                stats_prefix=f"driver.q{i}",
+            )
             driver.packet_sink = self._make_sink(i)
             domain = self.processor.domains[i]
             hardware = NCAPHardware(
                 sim, queue, config,  # type: ignore[arg-type]
                 cpu_at_max=lambda d=domain: d.at_max_performance,
-                trace=trace,
+                stats_prefix=f"ncap.q{i}",
             )
             extension = NCAPDriverExtension(
                 config,

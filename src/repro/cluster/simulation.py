@@ -10,7 +10,7 @@ window), and a drain window so in-flight requests can complete.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.apps.client import (
     OpenLoopClient,
@@ -19,7 +19,7 @@ from repro.apps.client import (
 )
 from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
 from repro.cluster.node import ServerNode
-from repro.cluster.policies import PolicyConfig, get_policy
+from repro.cluster.policies import PolicyConfig
 from repro.core.config import NCAPConfig
 from repro.cpu.config import ProcessorConfig
 from repro.cpu.energy import EnergyReport
@@ -33,6 +33,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTraceRecorder, TraceRecorder
 from repro.sim.units import MS, US, gbps
+from repro.telemetry import ChannelSink, Telemetry
 
 
 @dataclass
@@ -120,6 +121,11 @@ class ExperimentResult:
     achieved_rps: float
     cstate_entries: Dict[str, int]
     ncap_stats: Dict[str, int]
+    #: Flat snapshot of the server's stats registry (``nic.rx.frames``,
+    #: ``cpuidle.c6.entries``, ``governor.ondemand.invocations``, …),
+    #: taken at the end of the run.  Additive: existing fields above are
+    #: unchanged by its presence.
+    counters: Dict[str, float] = field(default_factory=dict)
     trace: Optional[TraceRecorder] = None
     server: Optional[ServerNode] = None
 
@@ -131,13 +137,23 @@ class ExperimentResult:
 class Cluster:
     """A built (but not yet run) four-node experiment."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig, sinks: Optional[Iterable] = None):
         self.config = config
         self.sim = Simulator()
         self.trace: TraceRecorder = (
             TraceRecorder() if config.collect_traces else NullTraceRecorder()
         )
         self.rng = RngRegistry(config.seed)
+        # Sinks attach here (constructor argument, NOT a config field:
+        # ExperimentConfig feeds the sweep cache hash, and attaching an
+        # observer must not invalidate cached results).  With no sinks and
+        # collect_traces=False every probe stays disabled — the hot path
+        # pays a single truthiness check.
+        self.telemetry = Telemetry()
+        if config.collect_traces:
+            self.telemetry.add_sink(ChannelSink(self.trace))
+        for sink in sinks or ():
+            self.telemetry.add_sink(sink)
         self.server = ServerNode(
             self.sim,
             "server",
@@ -145,6 +161,7 @@ class Cluster:
             config.app,
             self.rng,
             trace=self.trace,
+            telemetry=self.telemetry,
             processor=config.processor,
             netstack=config.netstack,
             moderation=config.moderation,
@@ -280,19 +297,24 @@ class Cluster:
             achieved_rps=sent * 1e9 / config.measure_ns,
             cstate_entries=cstate_entries,
             ncap_stats=ncap_stats,
+            counters=self.server.telemetry.stats.snapshot(),
             trace=self.trace if config.collect_traces else None,
             server=self.server if keep_server else None,
         )
 
 
 def run_experiment(
-    config: ExperimentConfig, keep_server: bool = False
+    config: ExperimentConfig,
+    keep_server: bool = False,
+    sinks: Optional[Iterable] = None,
 ) -> ExperimentResult:
     """Build and run one cluster experiment.
 
     Pass ``keep_server=True`` to retain the live :class:`ServerNode` on the
     result for post-hoc inspection (engine counters, wake times); the
     default lightweight result stays picklable and lets the cluster be
-    garbage-collected between sweep points.
+    garbage-collected between sweep points.  ``sinks`` (e.g. a
+    :class:`repro.telemetry.ChromeTraceSink`) are attached to the server's
+    telemetry before the node is built.
     """
-    return Cluster(config).run(keep_server=keep_server)
+    return Cluster(config, sinks=sinks).run(keep_server=keep_server)

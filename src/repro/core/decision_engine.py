@@ -24,12 +24,13 @@ kernel cycles per evaluation (see :mod:`repro.core.ncap_sw`).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.core.config import NCAPConfig
 from repro.net.interrupts import ICR
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import NcapWake, Telemetry, ensure_telemetry
 
 
 class DecisionEngine:
@@ -47,9 +48,12 @@ class DecisionEngine:
         enable_cit: bool = True,
         trace: Optional[TraceRecorder] = None,
         name: str = "ncap",
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "ncap",
     ):
         self._sim = sim
         self.config = config
+        self.name = name
         self._req_count = req_count
         self._tx_bytes = tx_bytes
         self._post = post
@@ -65,15 +69,32 @@ class DecisionEngine:
         self._boost_active = False
         self._started = False
 
-        self.ticks = 0
-        self.it_high_posts = 0
-        self.it_low_posts = 0
-        self.immediate_rx_posts = 0
+        self.telemetry = ensure_telemetry(telemetry, trace)
+        stats = self.telemetry.scope(stats_prefix)
+        self._ticks = stats.counter("ticks")
+        self._it_high = stats.counter("it_high.posts")
+        self._it_low = stats.counter("it_low.posts")
+        self._immediate_rx = stats.counter("immediate_rx.posts")
+        self._wake_probe = self.telemetry.probe("ncap.wake")
         self.last_req_rate_rps: float = 0.0
         self.last_tx_rate_bps: float = 0.0
-        self._wake_channel = (
-            trace.event_channel(f"{name}.int_wake") if trace is not None else None
-        )
+        self._wake_times: List[int] = []
+
+    @property
+    def ticks(self) -> int:
+        return int(self._ticks.value)
+
+    @property
+    def it_high_posts(self) -> int:
+        return int(self._it_high.value)
+
+    @property
+    def it_low_posts(self) -> int:
+        return int(self._it_low.value)
+
+    @property
+    def immediate_rx_posts(self) -> int:
+        return int(self._immediate_rx.value)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -95,7 +116,7 @@ class DecisionEngine:
         period = now - self._last_tick_ns
         if period <= 0:
             return
-        self.ticks += 1
+        self._ticks.inc()
         req = self._req_count()
         tx = self._tx_bytes()
         req_rate = (req - self._last_req) * 1e9 / period
@@ -112,8 +133,8 @@ class DecisionEngine:
             self._lows_sent = 0
             self._boost_active = True
             if not self._cpu_at_max():
-                self.it_high_posts += 1
-                self._record_wake()
+                self._it_high.inc()
+                self._record_wake("it_high")
                 self._post(ICR.IT_HIGH | ICR.IT_RX)
         elif req_rate < cfg.rlt_rps and tx_rate < cfg.tlt_bps:
             if self._low_since is None:
@@ -122,7 +143,7 @@ class DecisionEngine:
                 now - self._low_since >= cfg.low_window_ns
                 and self._boost_active
             ):
-                self.it_low_posts += 1
+                self._it_low.inc()
                 self._post(ICR.IT_LOW)
                 self._low_since = now  # pace back-to-back IT_LOWs
                 self._lows_sent += 1
@@ -138,8 +159,8 @@ class DecisionEngine:
         if not self.enable_cit:
             return
         if self._sim.now - self._last_interrupt_ns() > self.config.cit_ns:
-            self.immediate_rx_posts += 1
-            self._record_wake()
+            self._immediate_rx.inc()
+            self._record_wake("cit")
             self._post(ICR.IT_RX)
 
     # -- introspection ----------------------------------------------------------
@@ -148,12 +169,11 @@ class DecisionEngine:
     def boost_active(self) -> bool:
         return self._boost_active
 
-    def _record_wake(self) -> None:
-        if self._wake_channel is not None:
-            self._wake_channel.record(self._sim.now, 1.0)
+    def _record_wake(self, cause: str) -> None:
+        self._wake_times.append(self._sim.now)
+        if self._wake_probe.enabled:
+            self._wake_probe.emit(NcapWake(self._sim.now, self.name, cause))
 
     def wake_interrupt_times(self) -> List[int]:
         """Times of proactive wake interrupts (the paper's "INT (wake)")."""
-        if self._wake_channel is None:
-            return []
-        return list(self._wake_channel.times)
+        return list(self._wake_times)

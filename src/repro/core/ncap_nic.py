@@ -20,6 +20,7 @@ from repro.net.nic import NIC
 from repro.oskernel.sysfs import SysFS
 from repro.sim.kernel import Event, Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import ensure_telemetry
 
 
 class NCAPHardware:
@@ -32,12 +33,28 @@ class NCAPHardware:
         config: NCAPConfig,
         cpu_at_max: Callable[[], bool],
         trace: Optional[TraceRecorder] = None,
+        stats_prefix: str = "ncap",
     ):
         self._sim = sim
         self.nic = nic
         self.config = config
-        self.req_monitor = ReqMonitor(config.templates)
-        self.tx_counter = TxBytesCounter()
+        # The NIC's telemetry is the natural home: the monitor/counter/
+        # engine are hardware blocks on that NIC.  A ChannelSink attached
+        # there keeps the legacy `<name>.ncap.int_wake` channel alive.
+        telemetry = nic.telemetry
+        if trace is not None and telemetry.channel_trace() is None:
+            telemetry = ensure_telemetry(None, trace)
+        self.telemetry = telemetry
+        self.req_monitor = ReqMonitor(
+            config.templates,
+            sim=sim,
+            telemetry=telemetry,
+            stats_prefix=stats_prefix,
+            name=f"{nic.name}.ncap",
+        )
+        self.tx_counter = TxBytesCounter(
+            telemetry=telemetry, stats_prefix=stats_prefix
+        )
         self.engine = DecisionEngine(
             sim,
             config,
@@ -47,8 +64,9 @@ class NCAPHardware:
             last_interrupt_ns=lambda: nic.moderator.last_fire_ns,
             cpu_at_max=cpu_at_max,
             enable_cit=True,
-            trace=trace,
             name=f"{nic.name}.ncap",
+            telemetry=telemetry,
+            stats_prefix=stats_prefix,
         )
         nic.rx_hw_taps.append(self.req_monitor.inspect)
         nic.tx_hw_taps.append(self.tx_counter.observe)

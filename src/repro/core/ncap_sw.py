@@ -29,6 +29,7 @@ from repro.oskernel.irq import IRQController
 from repro.oskernel.timers import PeriodicKernelTask
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import ensure_telemetry
 
 
 class NCAPSoftware:
@@ -47,8 +48,17 @@ class NCAPSoftware:
         self._driver = driver
         self.config = config
         self.extension = extension
-        self.req_monitor = ReqMonitor(config.templates)
-        self.tx_counter = TxBytesCounter()
+        telemetry = driver.telemetry
+        if trace is not None and telemetry.channel_trace() is None:
+            telemetry = ensure_telemetry(None, trace)
+        self.telemetry = telemetry
+        self.req_monitor = ReqMonitor(
+            config.templates,
+            sim=sim,
+            telemetry=telemetry,
+            name=f"{driver.nic.name}.ncap_sw",
+        )
+        self.tx_counter = TxBytesCounter(telemetry=telemetry)
 
         driver.rx_sw_taps.append(self._inspect_packet)
         driver.extra_rx_cycles_per_packet += config.sw_inspect_cycles_per_packet
@@ -63,8 +73,8 @@ class NCAPSoftware:
             last_interrupt_ns=lambda: driver.nic.moderator.last_fire_ns,
             cpu_at_max=lambda: False,  # resolved by the extension's own checks
             enable_cit=False,
-            trace=trace,
             name=f"{driver.nic.name}.ncap_sw",
+            telemetry=telemetry,
         )
         self._timer = PeriodicKernelTask(
             sim,

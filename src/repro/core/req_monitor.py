@@ -11,9 +11,11 @@ transfers, VM-migration streams — is deliberately ignored, which is the
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.net.packet import Frame
+from repro.sim.kernel import Simulator
+from repro.telemetry import PacketClassified, Telemetry, ensure_telemetry
 
 
 class ReqMonitor:
@@ -22,13 +24,34 @@ class ReqMonitor:
     #: Hardware register width: templates longer than this are truncated.
     TEMPLATE_REGISTER_BYTES = 8
 
-    def __init__(self, templates: Sequence[bytes] = (b"GET", b"get")):
+    def __init__(
+        self,
+        templates: Sequence[bytes] = (b"GET", b"get"),
+        sim: Optional[Simulator] = None,
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "ncap",
+        name: str = "ncap",
+    ):
         self._templates: Tuple[bytes, ...] = ()
         self.program_templates(templates)
-        self.req_cnt: int = 0
-        self.packets_inspected: int = 0
+        self._sim = sim
+        self.name = name
+        self.telemetry = ensure_telemetry(telemetry)
+        stats = self.telemetry.scope(stats_prefix)
+        self._req_cnt = stats.counter("classified.lc")
+        self._inspected = stats.counter("inspected")
+        self._classify_probe = self.telemetry.probe("ncap.classify")
         #: Called after every ReqCnt increment (DecisionEngine's CIT check).
         self.count_listeners: List[Callable[[], None]] = []
+
+    @property
+    def req_cnt(self) -> int:
+        """Latency-critical requests seen (the paper's ReqCnt register)."""
+        return int(self._req_cnt.value)
+
+    @property
+    def packets_inspected(self) -> int:
+        return int(self._inspected.value)
 
     # -- programming ---------------------------------------------------
 
@@ -56,10 +79,18 @@ class ReqMonitor:
 
         Returns True (and bumps ReqCnt) for latency-critical requests.
         """
-        self.packets_inspected += 1
-        if not self.matches(frame.payload_prefix):
+        self._inspected.inc()
+        critical = self.matches(frame.payload_prefix)
+        if critical:
+            self._req_cnt.inc()
+        if self._classify_probe.enabled and self._sim is not None:
+            self._classify_probe.emit(
+                PacketClassified(
+                    self._sim.now, self.name, critical, int(self._req_cnt.value)
+                )
+            )
+        if not critical:
             return False
-        self.req_cnt += 1
         for listener in self.count_listeners:
             listener()
         return True

@@ -9,17 +9,35 @@ finishes any transmission sooner anyway.  NCAP therefore just counts bytes
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.net.packet import Frame
+from repro.telemetry import Telemetry, ensure_telemetry
 
 
 class TxBytesCounter:
     """Accumulates transmitted wire bytes."""
 
-    def __init__(self) -> None:
-        self.tx_bytes: int = 0
-        self.frames_observed: int = 0
+    def __init__(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "ncap",
+    ) -> None:
+        self.telemetry = ensure_telemetry(telemetry)
+        stats = self.telemetry.scope(stats_prefix)
+        self._tx_bytes = stats.counter("tx.bytes")
+        self._frames = stats.counter("tx.frames")
+
+    @property
+    def tx_bytes(self) -> int:
+        """The paper's TxCnt register."""
+        return int(self._tx_bytes.value)
+
+    @property
+    def frames_observed(self) -> int:
+        return int(self._frames.value)
 
     def observe(self, frame: Frame) -> None:
         """Hardware tap on the NIC transmit path."""
-        self.frames_observed += 1
-        self.tx_bytes += frame.wire_bytes
+        self._frames.inc()
+        self._tx_bytes.inc(frame.wire_bytes)

@@ -12,6 +12,7 @@ from repro.cpu.pstates import DVFSTimingModel, PStateTable
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import ghz
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,7 @@ class ProcessorConfig:
         sim: Simulator,
         trace: Optional[TraceRecorder] = None,
         name: str = "cpu",
+        telemetry: Optional[Telemetry] = None,
     ) -> ClockDomain:
         return ClockDomain(
             sim=sim,
@@ -63,4 +65,5 @@ class ProcessorConfig:
             initial_pstate=self.initial_pstate,
             trace=trace,
             name=name,
+            telemetry=telemetry,
         )

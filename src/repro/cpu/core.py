@@ -28,6 +28,7 @@ from repro.cpu.energy import PowerMeter
 from repro.cpu.power import PowerMode
 from repro.sim.kernel import Event, Simulator
 from repro.sim.units import cycles_to_ns, ns_to_cycles
+from repro.telemetry import Counter, CStateTransition
 
 
 class CoreBusyError(RuntimeError):
@@ -95,10 +96,8 @@ class Core:
         self.last_idle_duration_ns: int = 0
         self.idle_periods_completed: int = 0
         self._boot_idle = True
-        #: Optional trace channel recording C-state transitions as
-        #: (time, state index); 0 = awake.  Wired by the node builder for
-        #: Figure 4(b) style analyses.
-        self.cstate_channel = None
+        self._cstate_probe = package.telemetry.probe("cpu.cstate")
+        self._entry_counters: Dict[str, Counter] = {}
 
         meter.start(PowerMode.IDLE_POLL, package.voltage, package.frequency_hz)
 
@@ -309,6 +308,29 @@ class Core:
 
     # -- C-states ----------------------------------------------------------------
 
+    def _count_entry(self, cstate: CState) -> None:
+        """Book a C-state entry both per-core and in the shared registry."""
+        self.cstate_entries[cstate.name] = self.cstate_entries.get(cstate.name, 0) + 1
+        counter = self._entry_counters.get(cstate.name)
+        if counter is None:
+            counter = self._package.telemetry.counter(
+                f"cpuidle.{cstate.name.lower()}.entries"
+            )
+            self._entry_counters[cstate.name] = counter
+        counter.inc()
+
+    def _emit_cstate(self, cstate: CState, phase: str) -> None:
+        self._cstate_probe.emit(
+            CStateTransition(
+                self._sim.now,
+                self._package.name,
+                self.core_id,
+                cstate.name,
+                cstate.index,
+                phase,
+            )
+        )
+
     @staticmethod
     def _sleep_mode(cstate: CState) -> PowerMode:
         return {"C1": PowerMode.C1, "C3": PowerMode.C3, "C6": PowerMode.C6}.get(
@@ -348,9 +370,9 @@ class Core:
             )
         self.state = CoreState.SLEEP
         self._cstate = cstate
-        self.cstate_entries[cstate.name] = self.cstate_entries.get(cstate.name, 0) + 1
-        if self.cstate_channel is not None:
-            self.cstate_channel.record(self._sim.now, cstate.index)
+        self._count_entry(cstate)
+        if self._cstate_probe.enabled:
+            self._emit_cstate(cstate, "enter")
         self._begin_sleep_power(cstate)
 
     def promote_sleep(self, deeper: CState) -> None:
@@ -369,9 +391,9 @@ class Core:
         if deeper.index <= self._cstate.index:
             return
         self._cstate = deeper
-        self.cstate_entries[deeper.name] = self.cstate_entries.get(deeper.name, 0) + 1
-        if self.cstate_channel is not None:
-            self.cstate_channel.record(self._sim.now, deeper.index)
+        self._count_entry(deeper)
+        if self._cstate_probe.enabled:
+            self._emit_cstate(deeper, "promote")
         self._begin_sleep_power(deeper)
 
     def wake(self) -> None:
@@ -388,7 +410,8 @@ class Core:
 
     def _wake_done(self) -> None:
         self._wake_end = None
+        left = self._cstate
         self._cstate = None
-        if self.cstate_channel is not None:
-            self.cstate_channel.record(self._sim.now, 0)
+        if self._cstate_probe.enabled and left is not None:
+            self._emit_cstate(left, "wake")
         self._maybe_run_next()

@@ -20,6 +20,7 @@ from repro.cpu.package import ClockDomain
 from repro.cpu.power import PowerModel
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import Telemetry, ensure_telemetry
 
 
 class MultiDomainProcessor:
@@ -31,10 +32,12 @@ class MultiDomainProcessor:
         config: ProcessorConfig = ProcessorConfig(),
         trace: Optional[TraceRecorder] = None,
         name: str = "cpu",
+        telemetry: Optional[Telemetry] = None,
     ):
         self._sim = sim
         self.name = name
         self.config = config
+        self.telemetry = ensure_telemetry(telemetry, trace)
         pstates = config.pstate_table()
         self.cstates: CStateTable = config.cstate_table()
         power_model = PowerModel(config.power)
@@ -48,9 +51,9 @@ class MultiDomainProcessor:
                 power_model=power_model,
                 dvfs_timing=timing,
                 initial_pstate=config.initial_pstate,
-                trace=trace,
                 name=f"{name}.domain{i}",
                 core_id_base=i,
+                telemetry=self.telemetry,
             )
             for i in range(config.n_cores)
         ]

@@ -24,6 +24,7 @@ from repro.cpu.power import PowerModel
 from repro.cpu.pstates import DVFSTimingModel, PStateTable
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import PStateChange, Telemetry, ensure_telemetry
 
 
 class ClockDomain:
@@ -41,6 +42,7 @@ class ClockDomain:
         trace: Optional[TraceRecorder] = None,
         name: str = "cpu",
         core_id_base: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         if n_cores < 1:
             raise ValueError("need at least one core")
@@ -51,13 +53,11 @@ class ClockDomain:
         self.power_model = power_model
         self.dvfs_timing = dvfs_timing or DVFSTimingModel()
         self._index = pstates.clamp_index(initial_pstate)
-        self._trace = trace
-        self._freq_channel = (
-            trace.event_channel(f"{name}.freq_ghz") if trace is not None else None
-        )
+        self.telemetry = ensure_telemetry(telemetry, trace)
+        self._pstate_probe = self.telemetry.probe("cpu.pstate")
+        self._transitions = self.telemetry.counter("cpu.pstate.transitions")
         self._transition_target: Optional[int] = None
         self._queued_target: Optional[int] = None
-        self.transitions: int = 0
         #: Called with the new P-state index after each completed switch
         #: (e.g. the NCAP driver mirroring CPU state into a NIC register).
         self.pstate_listeners: List[Callable[[int], None]] = []
@@ -66,10 +66,17 @@ class ClockDomain:
             Core(sim, core_id_base + i, self, PowerMeter(sim, power_model))
             for i in range(n_cores)
         ]
-        if self._freq_channel is not None:
-            self._freq_channel.record(sim.now, self.frequency_hz / 1e9)
+        if self._pstate_probe.enabled:
+            self._pstate_probe.emit(
+                PStateChange(sim.now, name, self._index, self.frequency_hz)
+            )
 
     # -- operating point -----------------------------------------------------
+
+    @property
+    def transitions(self) -> int:
+        """Completed DVFS switches across the whole telemetry scope."""
+        return int(self._transitions.value)
 
     @property
     def sim(self) -> Simulator:
@@ -150,11 +157,13 @@ class ClockDomain:
         old_freq = self.frequency_hz
         self._index = index
         self._transition_target = None
-        self.transitions += 1
+        self._transitions.inc()
         for core in self.cores:
             core.on_clock_change(old_freq)
-        if self._freq_channel is not None:
-            self._freq_channel.record(self._sim.now, self.frequency_hz / 1e9)
+        if self._pstate_probe.enabled:
+            self._pstate_probe.emit(
+                PStateChange(self._sim.now, self.name, index, self.frequency_hz)
+            )
         for listener in self.pstate_listeners:
             listener(index)
         if self._queued_target is not None:

@@ -23,7 +23,7 @@ and ~11.6 W at the deepest P-state fully busy, matching Table 1.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.units import ghz
 

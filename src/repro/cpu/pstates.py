@@ -17,7 +17,7 @@ Figure 1 of the paper defines the transition timing model reproduced by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.sim.units import US, ghz
 

@@ -72,7 +72,7 @@ def best_period_by_load(cells: List[Fig2Cell]) -> Dict[str, float]:
 
 
 def format_report(cells: List[Fig2Cell]) -> str:
-    loads = sorted({c.load for c in cells}, key=lambda l: ["low", "medium", "high"].index(l))
+    loads = sorted({c.load for c in cells}, key=["low", "medium", "high"].index)
     periods = sorted({c.period_ms for c in cells})
     index = {(c.load, c.period_ms): c for c in cells}
     rows = []

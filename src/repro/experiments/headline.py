@@ -12,7 +12,7 @@ Abstract / Section 1 claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments import policy_comparison
 from repro.experiments.common import RunSettings

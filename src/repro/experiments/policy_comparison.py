@@ -12,7 +12,7 @@ For one application (Apache = Figure 8, Memcached = Figure 9):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.workload import load_level
 from repro.cluster.policies import POLICY_ORDER

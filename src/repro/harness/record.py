@@ -21,7 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the record's fields change; cached records from other
 #: versions are discarded instead of misread.
-RECORD_SCHEMA_VERSION = 1
+#: v2: added ``counters`` — the full namespaced stats-registry snapshot.
+RECORD_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -52,6 +53,9 @@ class ResultRecord:
     energy_by_mode_j: Dict[str, float] = field(default_factory=dict)
     cstate_entries: Dict[str, int] = field(default_factory=dict)
     ncap_stats: Dict[str, int] = field(default_factory=dict)
+    #: Full stats-registry snapshot (``nic.rx.frames``, ``irq.hardirqs``,
+    #: ``cpuidle.c6.entries``, …) — every counter the server accumulated.
+    counters: Dict[str, float] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -87,6 +91,7 @@ class ResultRecord:
             energy_by_mode_j=dict(energy.energy_by_mode_j),
             cstate_entries=dict(result.cstate_entries),
             ncap_stats=dict(result.ncap_stats),
+            counters=dict(result.counters),
         )
 
     # -- views ----------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from repro.cluster.simulation import run_experiment
 from repro.harness.cache import ResultCache

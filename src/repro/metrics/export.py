@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 from repro.sim.trace import TraceRecorder
 
@@ -84,6 +84,16 @@ def export_figure4_bundle(
             export_event_channel(trace, channel, path)
             paths.append(path)
     return paths
+
+
+def export_chrome_trace(sink, path: str) -> int:
+    """Write a :class:`repro.telemetry.ChromeTraceSink` as Chrome-trace JSON.
+
+    The output loads directly in Perfetto / ``chrome://tracing``.  Returns
+    the number of trace events written.
+    """
+    _ensure_dir(path)
+    return sink.write(path)
 
 
 def export_result_records(

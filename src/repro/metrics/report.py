@@ -7,7 +7,7 @@ compared against the paper by eye (and recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 def format_table(

@@ -26,6 +26,7 @@ from repro.net.packet import Frame
 from repro.oskernel.irq import IRQController
 from repro.oskernel.netstack import NetStackCosts
 from repro.sim.kernel import Simulator
+from repro.telemetry import RequestPhase
 
 
 class NICDriver:
@@ -39,6 +40,7 @@ class NICDriver:
         costs: NetStackCosts = NetStackCosts(),
         core_id: int = 0,
         napi_budget: int = 64,
+        stats_prefix: str = "driver",
     ):
         self._sim = sim
         self.nic = nic
@@ -58,10 +60,29 @@ class NICDriver:
         #: Extra SoftIRQ cycles charged per received packet (ncap.sw cost).
         self.extra_rx_cycles_per_packet: float = 0.0
 
-        self.hardirqs = 0
-        self.napi_polls = 0
-        self.frames_delivered = 0
-        self.tx_reclaimed = 0
+        self.telemetry = nic.telemetry
+        stats = self.telemetry.scope(stats_prefix)
+        self._hardirqs = stats.counter("hardirqs")
+        self._napi_polls = stats.counter("napi_polls")
+        self._frames_delivered = stats.counter("frames_delivered")
+        self._tx_reclaimed = stats.counter("tx_reclaimed")
+        self._span_probe = self.telemetry.probe("request.span")
+
+    @property
+    def hardirqs(self) -> int:
+        return int(self._hardirqs.value)
+
+    @property
+    def napi_polls(self) -> int:
+        return int(self._napi_polls.value)
+
+    @property
+    def frames_delivered(self) -> int:
+        return int(self._frames_delivered.value)
+
+    @property
+    def tx_reclaimed(self) -> int:
+        return int(self._tx_reclaimed.value)
 
     # -- receive path ------------------------------------------------------
 
@@ -71,7 +92,7 @@ class NICDriver:
         )
 
     def _hardirq_body(self) -> None:
-        self.hardirqs += 1
+        self._hardirqs.inc()
         bits = self.nic.read_icr()
         for hook in self.icr_hooks:
             hook(bits)
@@ -79,7 +100,7 @@ class NICDriver:
         if bits & ICR.IT_TX and take_completions is not None:
             completed = take_completions()
             if completed:
-                self.tx_reclaimed += completed
+                self._tx_reclaimed.inc(completed)
                 self._irq.raise_softirq(
                     lambda: None,
                     completed * self.costs.tx_reclaim_cycles,
@@ -95,7 +116,7 @@ class NICDriver:
             return
         cycles = self.costs.rx_batch_cycles(len(batch))
         cycles += self.extra_rx_cycles_per_packet * len(batch)
-        self.napi_polls += 1
+        self._napi_polls.inc()
         self._irq.raise_softirq(
             lambda: self._napi_body(batch), cycles, self.core_id, name="napi"
         )
@@ -104,7 +125,11 @@ class NICDriver:
         for frame in batch:
             for tap in self.rx_sw_taps:
                 tap(frame)
-            self.frames_delivered += 1
+            self._frames_delivered.inc()
+            if self._span_probe.enabled and frame.kind == "request":
+                self._span_probe.emit(
+                    RequestPhase(self._sim.now, frame.src, frame.req_id, "delivered")
+                )
             if self.packet_sink is not None:
                 self.packet_sink(frame)
         # NAPI re-poll: drain anything that landed while we processed.

@@ -12,6 +12,10 @@ single-queue :class:`repro.net.nic.NIC` (``read_icr``, ``take_rx``,
 ``rx_pending``, ``moderator``, ``transmit``, hardware taps), so the
 standard :class:`NICDriver` and :class:`NCAPHardware` bind to a queue
 unchanged.  Transmit is a shared path through the parent NIC.
+
+Stats live in the shared registry: NIC-wide wire counters under
+``nic.rx`` / ``nic.tx``, per-queue delivery/drop counters under
+``nic.q<N>``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,14 @@ from repro.net.packet import Frame
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import US
+from repro.telemetry import (
+    NicRx,
+    NicTx,
+    RequestPhase,
+    RingOccupancy,
+    Telemetry,
+    ensure_telemetry,
+)
 
 
 class NICQueue:
@@ -42,13 +54,34 @@ class NICQueue:
         self._ring: Deque[Frame] = deque()
         self.rx_hw_taps: List[Callable[[Frame], None]] = []
         self.on_interrupt: Optional[Callable[[], None]] = None
-        self.rx_frames = 0
-        self.rx_dropped = 0
+        #: Shared with the parent so drivers/NCAP bound to a queue join the
+        #: same registry and probe bus (driver-compatible surface).
+        self.telemetry = parent.telemetry
+        stats = parent.telemetry.scope(f"{parent.stats_prefix}.q{queue_id}")
+        self._rx_frames = stats.counter("rx.frames")
+        self._rx_delivered_frames = stats.counter("rx.delivered_frames")
+        self._rx_dropped_frames = stats.counter("rx.dropped_frames")
+        self._rx_dropped_bytes = stats.counter("rx.dropped_bytes")
+        self._ring_probe = parent.telemetry.probe("nic.ring")
+        self._span_probe = parent.telemetry.probe("request.span")
+
+    @property
+    def rx_frames(self) -> int:
+        """Frames steered to this queue (including ones later dropped)."""
+        return int(self._rx_frames.value)
+
+    @property
+    def rx_dropped(self) -> int:
+        return int(self._rx_dropped_frames.value)
+
+    @property
+    def rx_dropped_bytes(self) -> int:
+        return int(self._rx_dropped_bytes.value)
 
     # -- rx path (parent-driven) ------------------------------------------
 
     def _accept(self, frame: Frame) -> None:
-        self.rx_frames += 1
+        self._rx_frames.inc()
         for tap in self.rx_hw_taps:
             tap(frame)
         self._parent.sim.schedule(
@@ -56,10 +89,41 @@ class NICQueue:
         )
 
     def _dma_complete(self, frame: Frame) -> None:
+        sim = self._parent.sim
         if len(self._ring) >= self._parent.ring_size_per_queue:
-            self.rx_dropped += 1
+            self._rx_dropped_frames.inc()
+            self._rx_dropped_bytes.inc(frame.wire_bytes)
+            if self._ring_probe.enabled:
+                self._ring_probe.emit(
+                    RingOccupancy(
+                        sim.now,
+                        self.name,
+                        len(self._ring),
+                        self._parent.ring_size_per_queue,
+                        dropped=True,
+                    )
+                )
+            if self._span_probe.enabled and frame.kind == "request":
+                self._span_probe.emit(
+                    RequestPhase(sim.now, frame.src, frame.req_id, "dropped")
+                )
             return
         self._ring.append(frame)
+        self._rx_delivered_frames.inc()
+        if self._ring_probe.enabled:
+            self._ring_probe.emit(
+                RingOccupancy(
+                    sim.now,
+                    self.name,
+                    len(self._ring),
+                    self._parent.ring_size_per_queue,
+                    dropped=False,
+                )
+            )
+        if self._span_probe.enabled and frame.kind == "request":
+            self._span_probe.emit(
+                RequestPhase(sim.now, frame.src, frame.req_id, "dma")
+            )
         self.icr.set(ICR.IT_RX)
         self.moderator.notify_event()
 
@@ -108,6 +172,8 @@ class MultiQueueNIC:
         ring_size_per_queue: int = 1024,
         moderation: ModerationConfig = ModerationConfig(),
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "nic",
     ):
         if n_queues < 1:
             raise ValueError("need at least one queue")
@@ -116,21 +182,37 @@ class MultiQueueNIC:
         self.dma_latency_ns = dma_latency_ns
         self.tx_dma_latency_ns = tx_dma_latency_ns
         self.ring_size_per_queue = ring_size_per_queue
+        self.telemetry = ensure_telemetry(telemetry, trace)
+        self.stats_prefix = stats_prefix
+        stats = self.telemetry.scope(stats_prefix)
+        self._rx_frames = stats.counter("rx.frames")
+        self._rx_bytes = stats.counter("rx.bytes")
+        self._tx_frames = stats.counter("tx.frames")
+        self._tx_bytes = stats.counter("tx.bytes")
+        self._rx_probe = self.telemetry.probe("nic.rx")
+        self._tx_probe = self.telemetry.probe("nic.tx")
+        self._span_probe = self.telemetry.probe("request.span")
         self.queues: List[NICQueue] = [
             NICQueue(self, i, moderation) for i in range(n_queues)
         ]
         self.tx_hw_taps: List[Callable[[Frame], None]] = []
         self._port: Optional[LinkPort] = None
-        self.rx_frames = 0
-        self.rx_bytes = 0
-        self.tx_frames = 0
-        self.tx_bytes = 0
-        self._rx_counter = (
-            trace.counter_channel(f"{name}.rx_bytes") if trace is not None else None
-        )
-        self._tx_counter = (
-            trace.counter_channel(f"{name}.tx_bytes") if trace is not None else None
-        )
+
+    @property
+    def rx_frames(self) -> int:
+        return int(self._rx_frames.value)
+
+    @property
+    def rx_bytes(self) -> int:
+        return int(self._rx_bytes.value)
+
+    @property
+    def tx_frames(self) -> int:
+        return int(self._tx_frames.value)
+
+    @property
+    def tx_bytes(self) -> int:
+        return int(self._tx_bytes.value)
 
     def attach_port(self, port: LinkPort) -> None:
         self._port = port
@@ -141,17 +223,25 @@ class MultiQueueNIC:
         return self.queues[digest % len(self.queues)]
 
     def receive_frame(self, frame: Frame) -> None:
-        self.rx_frames += 1
-        self.rx_bytes += frame.wire_bytes
-        if self._rx_counter is not None:
-            self._rx_counter.add(self.sim.now, frame.wire_bytes)
+        self._rx_frames.inc()
+        self._rx_bytes.inc(frame.wire_bytes)
+        if self._rx_probe.enabled:
+            self._rx_probe.emit(
+                NicRx(self.sim.now, self.name, frame.wire_bytes, frame.kind)
+            )
+        if self._span_probe.enabled and frame.kind == "request":
+            self._span_probe.emit(
+                RequestPhase(self.sim.now, frame.src, frame.req_id, "arrival")
+            )
         self.queue_for(frame)._accept(frame)
 
     def transmit(self, frame: Frame) -> None:
-        self.tx_frames += 1
-        self.tx_bytes += frame.wire_bytes
-        if self._tx_counter is not None:
-            self._tx_counter.add(self.sim.now, frame.wire_bytes)
+        self._tx_frames.inc()
+        self._tx_bytes.inc(frame.wire_bytes)
+        if self._tx_probe.enabled:
+            self._tx_probe.emit(
+                NicTx(self.sim.now, self.name, frame.wire_bytes, frame.kind)
+            )
         for tap in self.tx_hw_taps:
             tap(frame)
         self.sim.schedule(self.tx_dma_latency_ns, self._tx_to_wire, frame)

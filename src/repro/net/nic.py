@@ -10,6 +10,12 @@ The receive path reproduces the sequence of Section 2.2 / Figure 3:
    notified; when an interrupt is posted the ICR is set and the attached
    driver's top half runs.
 
+Receive accounting distinguishes **wire-level** counters (``rx.frames`` /
+``rx.bytes``, charged at link delivery, before the ring-full check) from
+**delivered** counters (``rx.delivered_frames`` / ``rx.delivered_bytes``,
+charged only when the frame lands in the rx ring); drops book both the
+frame and its bytes under ``rx.dropped_*``.
+
 Transmit-complete interrupts are coalesced into the driver's per-segment
 kernel cost rather than modelled individually (their handler is trivial
 and would only add events); transmitted frames/bytes are still observed by
@@ -28,6 +34,14 @@ from repro.net.packet import Frame
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import US
+from repro.telemetry import (
+    NicRx,
+    NicTx,
+    RequestPhase,
+    RingOccupancy,
+    Telemetry,
+    ensure_telemetry,
+)
 
 
 class NIC:
@@ -43,6 +57,8 @@ class NIC:
         moderation: ModerationConfig = ModerationConfig(),
         trace: Optional[TraceRecorder] = None,
         tx_complete_interrupts: bool = False,
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "nic",
     ):
         self._sim = sim
         self.name = name
@@ -60,11 +76,21 @@ class NIC:
         # Driver top half, invoked when an interrupt is posted.
         self.on_interrupt: Optional[Callable[[], None]] = None
 
-        self.rx_frames = 0
-        self.rx_bytes = 0
-        self.rx_dropped = 0
-        self.tx_frames = 0
-        self.tx_bytes = 0
+        self.telemetry = ensure_telemetry(telemetry, trace)
+        stats = self.telemetry.scope(stats_prefix)
+        self._rx_frames = stats.counter("rx.frames")
+        self._rx_bytes = stats.counter("rx.bytes")
+        self._rx_delivered_frames = stats.counter("rx.delivered_frames")
+        self._rx_delivered_bytes = stats.counter("rx.delivered_bytes")
+        self._rx_dropped_frames = stats.counter("rx.dropped_frames")
+        self._rx_dropped_bytes = stats.counter("rx.dropped_bytes")
+        self._tx_frames = stats.counter("tx.frames")
+        self._tx_bytes = stats.counter("tx.bytes")
+        self._rx_probe = self.telemetry.probe("nic.rx")
+        self._tx_probe = self.telemetry.probe("nic.tx")
+        self._ring_probe = self.telemetry.probe("nic.ring")
+        self._span_probe = self.telemetry.probe("request.span")
+
         #: When enabled, completed transmissions set IT_TX and go through
         #: the same moderation as rx events, so the driver can reclaim tx
         #: descriptors (off by default: the paper's rx path is the story,
@@ -72,12 +98,43 @@ class NIC:
         self.tx_complete_interrupts = tx_complete_interrupts
         self.tx_completions_pending = 0
 
-        self._rx_counter = (
-            trace.counter_channel(f"{name}.rx_bytes") if trace is not None else None
-        )
-        self._tx_counter = (
-            trace.counter_channel(f"{name}.tx_bytes") if trace is not None else None
-        )
+    # -- stat views (wire-level rx semantics match the pre-split counters) --
+
+    @property
+    def rx_frames(self) -> int:
+        """Frames seen on the wire (including ones later dropped)."""
+        return int(self._rx_frames.value)
+
+    @property
+    def rx_bytes(self) -> int:
+        """Wire bytes seen (including ones later dropped)."""
+        return int(self._rx_bytes.value)
+
+    @property
+    def rx_delivered_frames(self) -> int:
+        """Frames that made it into the rx ring."""
+        return int(self._rx_delivered_frames.value)
+
+    @property
+    def rx_delivered_bytes(self) -> int:
+        return int(self._rx_delivered_bytes.value)
+
+    @property
+    def rx_dropped(self) -> int:
+        """Frames dropped because the rx ring was full."""
+        return int(self._rx_dropped_frames.value)
+
+    @property
+    def rx_dropped_bytes(self) -> int:
+        return int(self._rx_dropped_bytes.value)
+
+    @property
+    def tx_frames(self) -> int:
+        return int(self._tx_frames.value)
+
+    @property
+    def tx_bytes(self) -> int:
+        return int(self._tx_bytes.value)
 
     # -- wiring ----------------------------------------------------------
 
@@ -88,19 +145,56 @@ class NIC:
 
     def receive_frame(self, frame: Frame) -> None:
         """Frame arrived on the wire (link delivery point)."""
-        self.rx_frames += 1
-        self.rx_bytes += frame.wire_bytes
-        if self._rx_counter is not None:
-            self._rx_counter.add(self._sim.now, frame.wire_bytes)
+        self._rx_frames.inc()
+        self._rx_bytes.inc(frame.wire_bytes)
+        if self._rx_probe.enabled:
+            self._rx_probe.emit(
+                NicRx(self._sim.now, self.name, frame.wire_bytes, frame.kind)
+            )
+        if self._span_probe.enabled and frame.kind == "request":
+            self._span_probe.emit(
+                RequestPhase(self._sim.now, frame.src, frame.req_id, "arrival")
+            )
         for tap in self.rx_hw_taps:
             tap(frame)
         self._sim.schedule(self.dma_latency_ns, self._dma_complete, frame)
 
     def _dma_complete(self, frame: Frame) -> None:
         if len(self._rx_ring) >= self.rx_ring_size:
-            self.rx_dropped += 1
+            self._rx_dropped_frames.inc()
+            self._rx_dropped_bytes.inc(frame.wire_bytes)
+            if self._ring_probe.enabled:
+                self._ring_probe.emit(
+                    RingOccupancy(
+                        self._sim.now,
+                        self.name,
+                        len(self._rx_ring),
+                        self.rx_ring_size,
+                        dropped=True,
+                    )
+                )
+            if self._span_probe.enabled and frame.kind == "request":
+                self._span_probe.emit(
+                    RequestPhase(self._sim.now, frame.src, frame.req_id, "dropped")
+                )
             return
         self._rx_ring.append(frame)
+        self._rx_delivered_frames.inc()
+        self._rx_delivered_bytes.inc(frame.wire_bytes)
+        if self._ring_probe.enabled:
+            self._ring_probe.emit(
+                RingOccupancy(
+                    self._sim.now,
+                    self.name,
+                    len(self._rx_ring),
+                    self.rx_ring_size,
+                    dropped=False,
+                )
+            )
+        if self._span_probe.enabled and frame.kind == "request":
+            self._span_probe.emit(
+                RequestPhase(self._sim.now, frame.src, frame.req_id, "dma")
+            )
         self.icr.set(ICR.IT_RX)
         self.moderator.notify_event()
 
@@ -134,10 +228,12 @@ class NIC:
 
     def transmit(self, frame: Frame) -> None:
         """Queue ``frame`` for transmission (descriptor fetch + DMA, then wire)."""
-        self.tx_frames += 1
-        self.tx_bytes += frame.wire_bytes
-        if self._tx_counter is not None:
-            self._tx_counter.add(self._sim.now, frame.wire_bytes)
+        self._tx_frames.inc()
+        self._tx_bytes.inc(frame.wire_bytes)
+        if self._tx_probe.enabled:
+            self._tx_probe.emit(
+                NicTx(self._sim.now, self.name, frame.wire_bytes, frame.kind)
+            )
         for tap in self.tx_hw_taps:
             tap(frame)
         self._sim.schedule(self.tx_dma_latency_ns, self._tx_to_wire, frame)

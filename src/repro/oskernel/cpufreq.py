@@ -25,6 +25,7 @@ from repro.oskernel.irq import IRQController
 from repro.oskernel.timers import PeriodicKernelTask
 from repro.sim.kernel import Simulator
 from repro.sim.units import MS
+from repro.telemetry import GovernorDecision
 
 
 class CpufreqDriver:
@@ -39,8 +40,14 @@ class CpufreqDriver:
     def __init__(self, sim: Simulator, package: ClockDomain):
         self._sim = sim
         self.package = package
-        self.requests: int = 0
+        self.telemetry = package.telemetry
+        self._requests = self.telemetry.counter("cpufreq.requests")
         self._cap_index: int = 0  # 0 = no cap (P0 allowed)
+
+    @property
+    def requests(self) -> int:
+        """P-state change requests across the package's telemetry scope."""
+        return int(self._requests.value)
 
     @property
     def cap_index(self) -> int:
@@ -53,7 +60,7 @@ class CpufreqDriver:
             self.set_pstate(self._cap_index)
 
     def set_pstate(self, index: int) -> None:
-        self.requests += 1
+        self._requests.inc()
         self.package.set_pstate(max(index, self._cap_index))
 
     def set_frequency(self, freq_hz: float) -> None:
@@ -165,8 +172,20 @@ class OndemandGovernor:
         self._last_busy: Optional[List[int]] = None
         self._last_time: int = 0
         self._hold_until: int = -1
-        self.samples: int = 0
-        self.last_utilization: float = 0.0
+        self.telemetry = driver.telemetry
+        self._invocations = self.telemetry.counter("governor.ondemand.invocations")
+        self._utilization = self.telemetry.gauge("governor.ondemand.utilization")
+        self._decision_probe = self.telemetry.probe("governor.decision")
+        self._core_id = core_id
+
+    @property
+    def samples(self) -> int:
+        """Completed sampling invocations (registry-backed)."""
+        return int(self._invocations.value)
+
+    @property
+    def last_utilization(self) -> float:
+        return float(self._utilization.value)
 
     def start(self) -> None:
         self._reset_baseline()
@@ -200,13 +219,20 @@ class OndemandGovernor:
         utilization = min(1.0, utilization)
         self._last_busy = busy
         self._last_time = now
-        self.samples += 1
-        self.last_utilization = utilization
+        self._invocations.inc()
+        self._utilization.set(utilization)
         if now < self._hold_until:
             return
         if utilization >= self.up_threshold:
-            self._driver.set_pstate(0)
+            target = 0
         else:
             table = self._driver.package.pstates
             target_freq = table.p0.freq_hz * utilization / self.up_threshold
-            self._driver.set_pstate(table.index_for_frequency(target_freq))
+            target = table.index_for_frequency(target_freq)
+        if self._decision_probe.enabled:
+            self._decision_probe.emit(
+                GovernorDecision(
+                    now, self.name, target, utilization, core_id=self._core_id
+                )
+            )
+        self._driver.set_pstate(target)

@@ -31,8 +31,8 @@ from typing import Deque, Dict, Optional
 
 from repro.cpu.core import Core, CoreState
 from repro.cpu.cstates import CState, CStateTable
-from repro.sim.kernel import Simulator
 from repro.sim.units import MS, US
+from repro.telemetry import GovernorDecision, Telemetry, ensure_telemetry
 
 
 class _HistoryGovernorBase:
@@ -70,11 +70,18 @@ class MenuGovernor(_HistoryGovernorBase):
         latency_limit_ns: int = 10**12,
         history_len: int = 8,
         initial_prediction_ns: int = 1 * MS,
+        telemetry: Optional[Telemetry] = None,
     ):
         super().__init__(cstates, history_len)
         self.latency_limit_ns = latency_limit_ns
         self.initial_prediction_ns = initial_prediction_ns
-        self.selections: int = 0
+        self.telemetry = ensure_telemetry(telemetry)
+        self._selections = self.telemetry.counter(f"governor.{self.name}.selections")
+        self._decision_probe = self.telemetry.probe("governor.decision")
+
+    @property
+    def selections(self) -> int:
+        return int(self._selections.value)
 
     def predict_idle_ns(self, core: Core, already_idle_ns: int = 0) -> int:
         """Predicted remaining length of the idle period starting now.
@@ -107,9 +114,20 @@ class MenuGovernor(_HistoryGovernorBase):
 
     def select(self, core: Core, already_idle_ns: int = 0) -> Optional[CState]:
         """Pick a C-state for an idle core (None = stay polling in C0)."""
-        self.selections += 1
+        self._selections.inc()
         predicted = self.predict_idle_ns(core, already_idle_ns)
-        return self.cstates.deepest_allowed(predicted, self.latency_limit_ns)
+        choice = self.cstates.deepest_allowed(predicted, self.latency_limit_ns)
+        if self._decision_probe.enabled:
+            self._decision_probe.emit(
+                GovernorDecision(
+                    core.sim.now,
+                    self.name,
+                    choice.index if choice is not None else 0,
+                    float(predicted),
+                    core_id=core.core_id,
+                )
+            )
+        return choice
 
 
 class LadderGovernor(_HistoryGovernorBase):
@@ -117,13 +135,24 @@ class LadderGovernor(_HistoryGovernorBase):
 
     name = "ladder"
 
-    def __init__(self, cstates: CStateTable, history_len: int = 1):
+    def __init__(
+        self,
+        cstates: CStateTable,
+        history_len: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ):
         super().__init__(cstates, history_len)
         self._depth: Dict[int, int] = {}
-        self.selections: int = 0
+        self.telemetry = ensure_telemetry(telemetry)
+        self._selections = self.telemetry.counter(f"governor.{self.name}.selections")
+        self._decision_probe = self.telemetry.probe("governor.decision")
+
+    @property
+    def selections(self) -> int:
+        return int(self._selections.value)
 
     def select(self, core: Core, already_idle_ns: int = 0) -> Optional[CState]:
-        self.selections += 1
+        self._selections.inc()
         history = self._observe(core)
         depth = self._depth.get(core.core_id, 0)
         if history:
@@ -134,7 +163,18 @@ class LadderGovernor(_HistoryGovernorBase):
             elif last < current.exit_latency_ns * 2:
                 depth = max(depth - 1, 0)
         self._depth[core.core_id] = depth
-        return self.cstates[depth]
+        choice = self.cstates[depth]
+        if self._decision_probe.enabled:
+            self._decision_probe.emit(
+                GovernorDecision(
+                    core.sim.now,
+                    self.name,
+                    choice.index,
+                    float(already_idle_ns),
+                    core_id=core.core_id,
+                )
+            )
+        return choice
 
 
 class CpuidleDriver:
@@ -149,18 +189,36 @@ class CpuidleDriver:
         governor,
         repoll_ns: int = 30 * US,
         promotion: bool = True,
+        telemetry: Optional[Telemetry] = None,
+        stats_prefix: str = "cpuidle",
     ):
         self.governor = governor
         self.enabled = True
         self.repoll_ns = repoll_ns
         self.promotion = promotion
-        self.entries: int = 0
-        self.promotions: int = 0
-        self.suppressed: int = 0
+        self.telemetry = ensure_telemetry(telemetry)
+        stats = self.telemetry.scope(stats_prefix)
+        self._entries = stats.counter("entries")
+        self._promotions = stats.counter("promotions")
+        self._suppressed = stats.counter("suppressed")
+
+    @property
+    def entries(self) -> int:
+        """C-state entries this driver initiated (not counting promotions)."""
+        return int(self._entries.value)
+
+    @property
+    def promotions(self) -> int:
+        return int(self._promotions.value)
+
+    @property
+    def suppressed(self) -> int:
+        """Idle notifications ignored while NCAP disabled the governor."""
+        return int(self._suppressed.value)
 
     def on_core_idle(self, core: Core) -> None:
         if not self.enabled:
-            self.suppressed += 1
+            self._suppressed.inc()
             return
         self._consider(core)
 
@@ -180,7 +238,7 @@ class CpuidleDriver:
             if already <= self.governor.cstates.deepest.target_residency_ns:
                 sim.schedule(self.repoll_ns, self._recheck_idle, core, token)
             return
-        self.entries += 1
+        self._entries.inc()
         core.enter_sleep(choice)
         self._arm_promotion(core, token, choice)
 
@@ -215,7 +273,7 @@ class CpuidleDriver:
         current = core.current_cstate
         assert current is not None
         if choice is not None and choice.index > current.index:
-            self.promotions += 1
+            self._promotions.inc()
             core.promote_sleep(choice)
             self._arm_promotion(core, token, choice)
         # Otherwise the governor declined (latency limit): give up on this

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from repro.cpu.core import Core, Job
 from repro.cpu.package import ClockDomain
 from repro.sim.kernel import Simulator
+from repro.telemetry import IrqDelivered
 
 
 class IRQController:
@@ -32,8 +33,18 @@ class IRQController:
         self._sim = sim
         self._package = package
         self.default_core = default_core
-        self.interrupts_delivered: int = 0
-        self.softirqs_scheduled: int = 0
+        self.telemetry = package.telemetry
+        self._hardirqs = self.telemetry.counter("irq.hardirqs")
+        self._softirqs = self.telemetry.counter("irq.softirqs")
+        self._probe = self.telemetry.probe("irq.delivered")
+
+    @property
+    def interrupts_delivered(self) -> int:
+        return int(self._hardirqs.value)
+
+    @property
+    def softirqs_scheduled(self) -> int:
+        return int(self._softirqs.value)
 
     def core_for(self, core_id: Optional[int]) -> Core:
         if core_id is None:
@@ -50,7 +61,11 @@ class IRQController:
         """Deliver a hardirq: preempt/wake the target core, run the handler
         for ``handler_cycles``, then call ``handler()`` (top-half body)."""
         core = self.core_for(core_id)
-        self.interrupts_delivered += 1
+        self._hardirqs.inc()
+        if self._probe.enabled:
+            self._probe.emit(
+                IrqDelivered(self._sim.now, "hardirq", name, core.core_id)
+            )
         core.dispatch(
             Job(handler_cycles, on_complete=handler, name=name, kernel=True),
             preempt=True,
@@ -71,7 +86,11 @@ class IRQController:
         preempted user job resumes (as on hardirq exit in Linux).
         """
         core = self.core_for(core_id)
-        self.softirqs_scheduled += 1
+        self._softirqs.inc()
+        if self._probe.enabled:
+            self._probe.emit(
+                IrqDelivered(self._sim.now, "softirq", name, core.core_id)
+            )
         job = Job(cycles, on_complete=body, name=name, kernel=True)
         current = core.current_job
         if current is not None and current.kernel:

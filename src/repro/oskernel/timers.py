@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.cpu.core import Job
 from repro.oskernel.irq import IRQController
 from repro.sim.kernel import Event, Simulator
 

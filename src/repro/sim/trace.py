@@ -14,7 +14,7 @@ assert on temporal behaviour.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 
 class EventChannel:

@@ -1,0 +1,112 @@
+"""Unified telemetry: typed stats registry + probe points + sinks.
+
+:class:`Telemetry` is the single object threaded through the simulation
+layers.  It bundles
+
+* a :class:`~repro.telemetry.registry.StatsRegistry` — declare-once typed
+  counters/gauges/distributions under hierarchical names
+  (``nic.rx.frames``, ``cpuidle.c6.entries``, ...), and
+* a :class:`~repro.telemetry.probes.ProbeBus` — near-zero-overhead typed
+  probe points (``cpu.cstate``, ``request.span``, ...) that sinks
+  subscribe to.
+
+Sinks (:class:`~repro.telemetry.sinks.ChannelSink` for the legacy channel
+traces, :class:`~repro.telemetry.sinks.ChromeTraceSink` for Perfetto
+export) attach via :meth:`Telemetry.add_sink`.  With no sinks attached
+every probe point stays disabled and the hot-path cost is a single
+attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.telemetry.events import (  # noqa: F401 - re-exported
+    CStateTransition,
+    GovernorDecision,
+    IrqDelivered,
+    NcapWake,
+    NicRx,
+    NicTx,
+    PacketClassified,
+    ProbeEvent,
+    PStateChange,
+    RequestPhase,
+    RingOccupancy,
+)
+from repro.telemetry.probes import ProbeBus, ProbePoint  # noqa: F401
+from repro.telemetry.registry import (  # noqa: F401 - re-exported
+    Counter,
+    Distribution,
+    Gauge,
+    Scope,
+    StatsRegistry,
+)
+from repro.telemetry.sinks import (  # noqa: F401
+    ChannelSink,
+    ChromeTraceSink,
+    node_of_domain,
+)
+from repro.sim.trace import NullTraceRecorder, TraceRecorder
+
+
+class Telemetry:
+    """Stats registry + probe bus + attached sinks, as one handle."""
+
+    def __init__(self) -> None:
+        self.stats = StatsRegistry()
+        self.probes = ProbeBus()
+        self.sinks: List[Any] = []
+
+    # -- registry delegates ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self.stats.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.stats.gauge(name)
+
+    def distribution(self, name: str) -> Distribution:
+        return self.stats.distribution(name)
+
+    def scope(self, prefix: str) -> Scope:
+        return Scope(self.stats, prefix)
+
+    # -- probe delegates -------------------------------------------------
+
+    def probe(self, name: str) -> ProbePoint:
+        return self.probes.point(name)
+
+    # -- sinks -----------------------------------------------------------
+
+    def add_sink(self, sink: Any) -> Any:
+        """Attach a sink (anything with ``attach(telemetry)``)."""
+        sink.attach(self)
+        self.sinks.append(sink)
+        return sink
+
+    def channel_trace(self) -> Optional[TraceRecorder]:
+        """The TraceRecorder of the first attached ChannelSink, if any."""
+        for sink in self.sinks:
+            if isinstance(sink, ChannelSink):
+                return sink.trace
+        return None
+
+
+def ensure_telemetry(
+    telemetry: Optional[Telemetry], trace: Optional[TraceRecorder] = None
+) -> Telemetry:
+    """Back-compat shim for components still built with ``trace=``.
+
+    When a component is constructed standalone (no shared ``telemetry``)
+    it gets a private instance; if it was also handed a live trace
+    recorder, a :class:`ChannelSink` keeps its old channels working.  A
+    :class:`NullTraceRecorder` does not earn a sink — it exists to make
+    sweeps fast, and leaving the probes disabled is strictly faster.
+    """
+    if telemetry is not None:
+        return telemetry
+    telemetry = Telemetry()
+    if trace is not None and not isinstance(trace, NullTraceRecorder):
+        telemetry.add_sink(ChannelSink(trace))
+    return telemetry

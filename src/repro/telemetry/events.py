@@ -1,0 +1,168 @@
+"""Structured probe events emitted across the simulation layers.
+
+Every event carries its emission time (``t_ns``, integer simulated
+nanoseconds) plus enough identity for a sink to name channels or trace
+tracks without reaching back into the emitting component.  Events are only
+constructed when a probe point has subscribers, so they favour clarity
+over allocation tricks.
+
+Standard probe point names:
+
+==========================  ================================================
+``cpu.cstate``              :class:`CStateTransition` (enter/promote/wake)
+``cpu.pstate``              :class:`PStateChange` (completed DVFS switches)
+``irq.delivered``           :class:`IrqDelivered` (hardirq/softirq dispatch)
+``nic.rx``                  :class:`NicRx` (wire arrival, pre-DMA)
+``nic.tx``                  :class:`NicTx` (transmit observation point)
+``nic.ring``                :class:`RingOccupancy` (post-DMA ring depth)
+``governor.decision``       :class:`GovernorDecision` (cpufreq + cpuidle)
+``ncap.classify``           :class:`PacketClassified` (ReqMonitor verdicts)
+``ncap.wake``               :class:`NcapWake` (proactive wake interrupts)
+``request.span``            :class:`RequestPhase` (per-request lifecycle)
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class CStateTransition:
+    """A core entered, deepened, or left a C-state.
+
+    ``phase`` is ``"enter"`` (IDLE -> C-state), ``"promote"`` (deepened
+    without waking), or ``"wake"`` (exit latency fully paid;
+    ``state``/``index`` are the state that was left).
+    """
+
+    t_ns: int
+    domain: str          # owning clock domain, e.g. "server.cpu"
+    core_id: int
+    state: str           # "C1" / "C3" / "C6"
+    index: int           # table index; 0 means awake
+    phase: str           # "enter" | "promote" | "wake"
+
+
+@dataclass(frozen=True)
+class PStateChange:
+    """A clock domain finished a DVFS transition (or declared its initial
+    operating point at construction)."""
+
+    t_ns: int
+    domain: str
+    index: int
+    freq_hz: float
+
+
+@dataclass(frozen=True)
+class IrqDelivered:
+    """A hardirq preempted (or a softirq was queued on) a core."""
+
+    t_ns: int
+    kind: str            # "hardirq" | "softirq"
+    name: str            # handler label, e.g. "nic-irq", "napi"
+    core_id: int
+
+
+@dataclass(frozen=True)
+class NicRx:
+    """A frame arrived on the wire (before DMA; drops happen later)."""
+
+    t_ns: int
+    nic: str
+    wire_bytes: int
+    kind: str            # frame kind: "request" | "response" | "data"
+
+
+@dataclass(frozen=True)
+class NicTx:
+    """A frame was handed to the NIC transmit path."""
+
+    t_ns: int
+    nic: str
+    wire_bytes: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class RingOccupancy:
+    """Rx-ring depth after a DMA completion (or a drop when full)."""
+
+    t_ns: int
+    nic: str
+    depth: int
+    capacity: int
+    dropped: bool
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """A P-state or C-state governor made a decision.
+
+    For cpufreq governors ``value`` is the sampled utilization and
+    ``choice`` the target P-state index; for cpuidle governors ``value``
+    is the predicted/observed idle time and ``choice`` the chosen C-state
+    index (0 = stay polling).
+    """
+
+    t_ns: int
+    governor: str        # "ondemand", "menu", "ladder", ...
+    choice: int
+    value: float
+    core_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PacketClassified:
+    """ReqMonitor inspected a packet (NCAP's context-aware filter)."""
+
+    t_ns: int
+    monitor: str
+    latency_critical: bool
+    req_cnt: int
+
+
+@dataclass(frozen=True)
+class NcapWake:
+    """The DecisionEngine posted a proactive wake interrupt."""
+
+    t_ns: int
+    engine: str          # engine name, e.g. "server.ncap"
+    cause: str           # "it_high" | "cit"
+
+
+@dataclass(frozen=True)
+class RequestPhase:
+    """One phase of a request's lifecycle.
+
+    Phases, in order: ``arrival`` (wire), ``dma`` (descriptor ring),
+    ``dropped`` (ring full — terminal), ``delivered`` (SoftIRQ handed the
+    frame to the socket), ``service`` (app began processing), ``reply``
+    (response handed to the NIC — terminal).
+    """
+
+    t_ns: int
+    src: str
+    req_id: Optional[int]
+    phase: str
+
+    @property
+    def span_id(self) -> str:
+        """Stable per-request correlation id (req_ids are per-client)."""
+        return f"{self.src}/{self.req_id}"
+
+
+ProbeEvent = Union[
+    CStateTransition,
+    PStateChange,
+    IrqDelivered,
+    NicRx,
+    NicTx,
+    RingOccupancy,
+    GovernorDecision,
+    PacketClassified,
+    NcapWake,
+    RequestPhase,
+]

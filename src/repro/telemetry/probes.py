@@ -1,0 +1,98 @@
+"""Typed probe points: a near-zero-overhead structured event bus.
+
+A component declares a :class:`ProbePoint` once and, on the hot path,
+guards the emission with a single attribute truthiness check::
+
+    self._probe = telemetry.probe("cpu.cstate")
+    ...
+    if self._probe.enabled:
+        self._probe.emit(CStateTransition(...))
+
+With no subscriber the guard is one plain attribute load — no event object
+is constructed, no call is made.  Sinks subscribe by exact name or by
+``"prefix.*"`` pattern; subscriptions apply to probe points created later,
+so a sink can attach before (or after) the instrumented components exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+Subscriber = Callable[[Any], None]
+
+
+class ProbePoint:
+    """One named emission point.  ``enabled`` is True iff subscribers exist."""
+
+    __slots__ = ("name", "enabled", "_subscribers")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.enabled: bool = False
+        self._subscribers: Tuple[Subscriber, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def subscribe(self, fn: Subscriber) -> None:
+        if fn not in self._subscribers:
+            self._subscribers = self._subscribers + (fn,)
+            self.enabled = True
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        # Equality, not identity: bound methods are re-created per access,
+        # so ``point.unsubscribe(obj.method)`` must still match.
+        self._subscribers = tuple(s for s in self._subscribers if s != fn)
+        self.enabled = bool(self._subscribers)
+
+    def emit(self, event: Any) -> None:
+        for fn in self._subscribers:
+            fn(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbePoint({self.name!r}, subscribers={len(self._subscribers)})"
+
+
+def _matches(pattern: str, name: str) -> bool:
+    if pattern.endswith(".*"):
+        stem = pattern[:-2]
+        return name == stem or name.startswith(stem + ".")
+    if pattern == "*":
+        return True
+    return name == pattern
+
+
+class ProbeBus:
+    """Registry of probe points plus pattern subscriptions."""
+
+    def __init__(self) -> None:
+        self._points: Dict[str, ProbePoint] = {}
+        self._subscriptions: List[Tuple[str, Subscriber]] = []
+
+    def point(self, name: str) -> ProbePoint:
+        """Get-or-create the probe point ``name`` (idempotent)."""
+        point = self._points.get(name)
+        if point is None:
+            point = ProbePoint(name)
+            self._points[name] = point
+            for pattern, fn in self._subscriptions:
+                if _matches(pattern, name):
+                    point.subscribe(fn)
+        return point
+
+    def subscribe(self, pattern: str, fn: Subscriber) -> None:
+        """Attach ``fn`` to every current and future point matching
+        ``pattern`` (exact name, ``"prefix.*"``, or ``"*"``)."""
+        self._subscriptions.append((pattern, fn))
+        for name, point in self._points.items():
+            if _matches(pattern, name):
+                point.subscribe(fn)
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Detach ``fn`` everywhere (points and future subscriptions)."""
+        self._subscriptions = [(p, s) for p, s in self._subscriptions if s != fn]
+        for point in self._points.values():
+            point.unsubscribe(fn)
+
+    def names(self) -> List[str]:
+        return sorted(self._points)

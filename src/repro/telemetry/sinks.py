@@ -1,0 +1,308 @@
+"""Probe subscribers: the channel-trace rebuild and the Chrome-trace exporter.
+
+:class:`ChannelSink` reconstructs the pre-telemetry ``TraceRecorder``
+channel layout (``<nic>.rx_bytes``, ``<domain>.freq_ghz``,
+``<node>.core<N>.cstate``, ``<engine>.int_wake``) as one probe
+subscriber, so every figure reproduction and trace-invariant test keeps
+reading the channels it always has.
+
+:class:`ChromeTraceSink` assembles Chrome Trace Event Format / Perfetto
+JSON: C-state residency as complete (``"X"``) duration events per core
+track, P-state changes as counter (``"C"``) events, governor decisions
+and NCAP wakes as instants, and per-request lifecycles as async
+(``"b"``/``"n"``/``"e"``) spans keyed by client and request id.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, TYPE_CHECKING, Tuple
+
+from repro.telemetry.events import (
+    CStateTransition,
+    GovernorDecision,
+    IrqDelivered,
+    NcapWake,
+    NicRx,
+    NicTx,
+    PacketClassified,
+    PStateChange,
+    RequestPhase,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import TraceRecorder
+    from repro.telemetry import Telemetry
+
+#: ``server.cpu`` and ``server.cpu.domain3`` both belong to node ``server``.
+_DOMAIN_STEM = re.compile(r"\.cpu(\.domain\d+)?$")
+
+
+def node_of_domain(domain: str) -> str:
+    """The node label a clock-domain name belongs to."""
+    return _DOMAIN_STEM.sub("", domain)
+
+
+class ChannelSink:
+    """Rebuilds the legacy EventChannel/CounterChannel trace layout."""
+
+    def __init__(self, trace: "TraceRecorder"):
+        self.trace = trace
+
+    def attach(self, telemetry: "Telemetry") -> None:
+        bus = telemetry.probes
+        bus.subscribe("nic.rx", self._on_rx)
+        bus.subscribe("nic.tx", self._on_tx)
+        bus.subscribe("cpu.pstate", self._on_pstate)
+        bus.subscribe("cpu.cstate", self._on_cstate)
+        bus.subscribe("ncap.wake", self._on_wake)
+
+    # -- handlers --------------------------------------------------------
+
+    def _on_rx(self, event: NicRx) -> None:
+        self.trace.counter_channel(f"{event.nic}.rx_bytes").add(
+            event.t_ns, event.wire_bytes
+        )
+
+    def _on_tx(self, event: NicTx) -> None:
+        self.trace.counter_channel(f"{event.nic}.tx_bytes").add(
+            event.t_ns, event.wire_bytes
+        )
+
+    def _on_pstate(self, event: PStateChange) -> None:
+        self.trace.event_channel(f"{event.domain}.freq_ghz").record(
+            event.t_ns, event.freq_hz / 1e9
+        )
+
+    def _on_cstate(self, event: CStateTransition) -> None:
+        node = node_of_domain(event.domain)
+        channel = self.trace.event_channel(f"{node}.core{event.core_id}.cstate")
+        channel.record(event.t_ns, 0 if event.phase == "wake" else event.index)
+
+    def _on_wake(self, event: NcapWake) -> None:
+        self.trace.event_channel(f"{event.engine}.int_wake").record(event.t_ns, 1.0)
+
+
+class ChromeTraceSink:
+    """Collects probe events as Chrome Trace Event Format JSON.
+
+    The output loads in ``chrome://tracing`` and https://ui.perfetto.dev.
+    Timestamps are microseconds (the format's unit); every event carries
+    the required ``ph``/``ts``/``pid``/``tid``/``name`` keys.
+    """
+
+    PID = 1
+
+    def __init__(self, include_irq: bool = False, include_classify: bool = False):
+        self.include_irq = include_irq
+        self.include_classify = include_classify
+        self._events: List[Dict[str, Any]] = []
+        #: (domain, core_id) -> (enter_ns, state_name) for open C-state spans
+        self._open_cstates: Dict[Tuple[str, int], Tuple[int, str]] = {}
+        self._open_spans: Dict[str, int] = {}
+        self._tids_seen: Dict[int, str] = {}
+        self._last_ns: int = 0
+
+    def attach(self, telemetry: "Telemetry") -> None:
+        bus = telemetry.probes
+        bus.subscribe("cpu.cstate", self._on_cstate)
+        bus.subscribe("cpu.pstate", self._on_pstate)
+        bus.subscribe("governor.decision", self._on_decision)
+        bus.subscribe("ncap.wake", self._on_wake)
+        bus.subscribe("request.span", self._on_request)
+        if self.include_irq:
+            bus.subscribe("irq.delivered", self._on_irq)
+        if self.include_classify:
+            bus.subscribe("ncap.classify", self._on_classify)
+
+    # -- event assembly --------------------------------------------------
+
+    def _add(self, event: Dict[str, Any], t_ns: int, tid: int, label: str = "") -> None:
+        event["pid"] = self.PID
+        event["tid"] = tid
+        event["ts"] = t_ns / 1e3
+        self._events.append(event)
+        if t_ns > self._last_ns:
+            self._last_ns = t_ns
+        if tid not in self._tids_seen:
+            self._tids_seen[tid] = label or f"track{tid}"
+
+    def _on_cstate(self, event: CStateTransition) -> None:
+        key = (event.domain, event.core_id)
+        tid = event.core_id
+        open_span = self._open_cstates.pop(key, None)
+        if open_span is not None:
+            start_ns, state = open_span
+            self._add(
+                {
+                    "name": state,
+                    "cat": "cstate",
+                    "ph": "X",
+                    "dur": (event.t_ns - start_ns) / 1e3,
+                    "args": {"domain": event.domain},
+                },
+                start_ns,
+                tid,
+                label=f"core{event.core_id}",
+            )
+        if event.phase in ("enter", "promote"):
+            self._open_cstates[key] = (event.t_ns, event.state)
+            self._last_ns = max(self._last_ns, event.t_ns)
+
+    def _on_pstate(self, event: PStateChange) -> None:
+        ghz = event.freq_hz / 1e9
+        self._add(
+            {
+                "name": f"{event.domain}.freq_ghz",
+                "cat": "pstate",
+                "ph": "C",
+                "args": {"GHz": ghz},
+            },
+            event.t_ns,
+            0,
+            label="package",
+        )
+        self._add(
+            {
+                "name": f"P{event.index}",
+                "cat": "pstate",
+                "ph": "i",
+                "s": "g",
+                "args": {"domain": event.domain, "GHz": ghz},
+            },
+            event.t_ns,
+            0,
+            label="package",
+        )
+
+    def _on_decision(self, event: GovernorDecision) -> None:
+        self._add(
+            {
+                "name": f"governor.{event.governor}",
+                "cat": "governor",
+                "ph": "i",
+                "s": "t",
+                "args": {"choice": event.choice, "value": event.value},
+            },
+            event.t_ns,
+            event.core_id if event.core_id is not None else 0,
+        )
+
+    def _on_wake(self, event: NcapWake) -> None:
+        self._add(
+            {
+                "name": f"ncap.wake.{event.cause}",
+                "cat": "ncap",
+                "ph": "i",
+                "s": "p",
+                "args": {"engine": event.engine},
+            },
+            event.t_ns,
+            0,
+        )
+
+    def _on_irq(self, event: IrqDelivered) -> None:
+        self._add(
+            {
+                "name": event.name,
+                "cat": f"irq.{event.kind}",
+                "ph": "i",
+                "s": "t",
+                "args": {},
+            },
+            event.t_ns,
+            event.core_id,
+            label=f"core{event.core_id}",
+        )
+
+    def _on_classify(self, event: PacketClassified) -> None:
+        self._add(
+            {
+                "name": "classified.lc" if event.latency_critical else "ignored",
+                "cat": "ncap",
+                "ph": "i",
+                "s": "t",
+                "args": {"req_cnt": event.req_cnt},
+            },
+            event.t_ns,
+            0,
+        )
+
+    def _on_request(self, event: RequestPhase) -> None:
+        span_id = event.span_id
+        base = {"cat": "request", "id": span_id, "args": {"src": event.src}}
+        if event.phase == "arrival":
+            self._open_spans[span_id] = event.t_ns
+            self._add({"name": "request", "ph": "b", **base}, event.t_ns, 0)
+        elif event.phase in ("reply", "dropped"):
+            self._add({"name": event.phase, "ph": "n", **base}, event.t_ns, 0)
+            if self._open_spans.pop(span_id, None) is not None:
+                self._add({"name": "request", "ph": "e", **base}, event.t_ns, 0)
+        else:
+            self._add({"name": event.phase, "ph": "n", **base}, event.t_ns, 0)
+
+    # -- export ----------------------------------------------------------
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """All collected events, with still-open spans closed at the end."""
+        out = list(self._events)
+        for (domain, core_id), (start_ns, state) in sorted(self._open_cstates.items()):
+            out.append(
+                {
+                    "name": state,
+                    "cat": "cstate",
+                    "ph": "X",
+                    "ts": start_ns / 1e3,
+                    "dur": max(0.0, (self._last_ns - start_ns) / 1e3),
+                    "pid": self.PID,
+                    "tid": core_id,
+                    "args": {"domain": domain},
+                }
+            )
+        for span_id, start_ns in sorted(self._open_spans.items()):
+            out.append(
+                {
+                    "name": "request",
+                    "cat": "request",
+                    "ph": "e",
+                    "ts": self._last_ns / 1e3,
+                    "pid": self.PID,
+                    "tid": 0,
+                    "id": span_id,
+                    "args": {},
+                }
+            )
+        for tid in sorted(self._tids_seen):
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0.0,
+                    "pid": self.PID,
+                    "tid": tid,
+                    "args": {"name": self._tids_seen[tid]},
+                }
+            )
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": self.PID,
+                "tid": 0,
+                "args": {"name": "repro-sim"},
+            }
+        )
+        return out
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"traceEvents": self.trace_events(), "displayTimeUnit": "ns"}
+
+    def write(self, path: str) -> int:
+        """Write the trace JSON; returns the number of trace events."""
+        payload = self.to_json_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return len(payload["traceEvents"])

@@ -67,7 +67,7 @@ class TestRun:
     def test_servers_isolated(self):
         # Traffic for one server never shows up at the other.
         cluster = DatacenterCluster(tiny_config())
-        result = cluster.run()
+        cluster.run()
         s0, s1 = cluster.servers
         sent0 = sum(c.requests_sent for c in cluster.clients["server0"])
         sent1 = sum(c.requests_sent for c in cluster.clients["server1"])

@@ -92,7 +92,7 @@ class TestRun:
     def test_clients_stop_at_window_end(self):
         config = quick_config()
         cluster = Cluster(config)
-        result = cluster.run()
+        cluster.run()
         sent_after = sum(
             1 for c in cluster.clients for s, _ in c.rtts
             if s >= config.warmup_ns + config.measure_ns

@@ -8,8 +8,8 @@ cores *before* the packets finish their DMA + SoftIRQ journey.
 import pytest
 
 from repro.core import NCAPConfig, NCAPDriverExtension, NCAPHardware
-from repro.cpu import CoreState, ProcessorConfig
-from repro.net import NIC, NICDriver, make_http_request, make_response
+from repro.cpu import ProcessorConfig
+from repro.net import NIC, NICDriver, make_http_request
 from repro.oskernel import (
     CpufreqDriver,
     CpuidleDriver,

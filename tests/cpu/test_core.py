@@ -4,7 +4,7 @@ import pytest
 
 from repro.cpu import CoreBusyError, CoreState, Job, ProcessorConfig
 from repro.sim import Simulator
-from repro.sim.units import US, ghz
+from repro.sim.units import US
 
 
 def make_package(n_cores=1, initial_pstate=0):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import CState, CStateTable, default_cstates
+from repro.cpu import CState, CStateTable
 from repro.sim.units import US
 
 

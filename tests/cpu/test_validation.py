@@ -1,6 +1,5 @@
 """Tests for Table 1 configuration validation."""
 
-from dataclasses import replace
 
 from repro.cpu import PowerModelConfig, ProcessorConfig
 from repro.sim.units import ghz

@@ -4,7 +4,6 @@ These are the cross-module checks: policy mechanics must show up in the
 measured outputs the way the paper describes, even on abbreviated runs.
 """
 
-import pytest
 
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.sim.units import MS

@@ -1,6 +1,5 @@
 """Failure-injection tests: the system degrades, it does not wedge."""
 
-import pytest
 
 from repro.cluster.simulation import Cluster, ExperimentConfig, run_experiment
 from repro.net import NIC, NICDriver, make_http_request

@@ -1,6 +1,5 @@
 """Seed robustness: the paper-level orderings must not be seed artifacts."""
 
-import pytest
 
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.sim.units import MS

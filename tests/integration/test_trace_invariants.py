@@ -8,8 +8,8 @@ frequencies, C-state channels out of order).
 
 import pytest
 
-from repro.cluster.simulation import Cluster, ExperimentConfig, run_experiment
-from repro.sim.units import MS, ghz
+from repro.cluster.simulation import Cluster, ExperimentConfig
+from repro.sim.units import MS
 
 
 def run_traced(policy="ond.idle", app="apache", rps=24_000):
@@ -47,9 +47,10 @@ class TestUtilizationChannel:
     def test_utilization_reflects_load(self):
         _, _, light = run_traced(policy="perf", rps=12_000)
         _, _, heavy = run_traced(policy="perf", rps=60_000)
-        mean = lambda r: sum(
-            r.trace.event_channel("server.cpu.util").values
-        ) / len(r.trace.event_channel("server.cpu.util").values)
+        def mean(r):
+            values = r.trace.event_channel("server.cpu.util").values
+            return sum(values) / len(values)
+
         assert mean(heavy) > 2 * mean(light)
 
 

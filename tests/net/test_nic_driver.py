@@ -1,10 +1,7 @@
 """Tests for the NIC model and its driver (rx path of Figure 3)."""
 
-import pytest
-
-from repro.cpu import CoreState, Job, ProcessorConfig
-from repro.net import ICR, Frame, Link, ModerationConfig, NIC, NICDriver
-from repro.net.link import LinkPort
+from repro.cpu import CoreState, ProcessorConfig
+from repro.net import ICR, Frame, ModerationConfig, NIC, NICDriver
 from repro.oskernel import IRQController, NetStackCosts
 from repro.sim import Simulator, TraceRecorder
 from repro.sim.units import US

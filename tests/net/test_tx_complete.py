@@ -73,3 +73,48 @@ class TestTxComplete:
         driver.transmit(response())
         sim.run()
         assert nic.take_tx_completions() == 0  # driver already drained it
+
+
+class TestTxCompletionCoalescing:
+    """The pending-completion counter and interrupt counts under bursts."""
+
+    def test_pending_counter_accumulates_then_resets(self):
+        # No driver attached: completions pile up in the NIC until the
+        # (eventual) reclaim drains them in one go.
+        sim = Simulator()
+        nic = NIC(sim, tx_complete_interrupts=True)
+        nic.attach_port(WireStub())  # type: ignore[arg-type]
+        for i in range(7):
+            nic.transmit(response(i))
+        sim.run()
+        assert nic.tx_completions_pending == 7
+        assert nic.take_tx_completions() == 7
+        assert nic.tx_completions_pending == 0
+        assert nic.take_tx_completions() == 0
+
+    def test_burst_coalesces_into_few_interrupts(self):
+        sim, package, nic, driver = make()
+        it_tx_posts = []
+        driver.icr_hooks.append(
+            lambda bits: it_tx_posts.append(bits) if bits & ICR.IT_TX else None
+        )
+        for i in range(100):
+            sim.schedule_at(i * 200, driver.transmit, response(i))
+        sim.run()
+        # Every completion is reclaimed exactly once...
+        assert driver.tx_reclaimed == 100
+        assert nic.tx_frames == 100
+        assert nic.take_tx_completions() == 0
+        # ...but moderation folds the dense burst into far fewer
+        # interrupts than one per completion.
+        assert 1 <= len(it_tx_posts) < 100
+        assert driver.hardirqs == len(it_tx_posts)
+
+    def test_sparse_transmits_interrupt_individually(self):
+        sim, package, nic, driver = make()
+        gap = 5 * MS  # far beyond the moderator's throttle window
+        for i in range(4):
+            sim.schedule_at(i * gap, driver.transmit, response(i))
+        sim.run()
+        assert driver.tx_reclaimed == 4
+        assert driver.hardirqs == 4

@@ -9,7 +9,6 @@ from repro.oskernel import (
     OndemandGovernor,
     PerformanceGovernor,
     PowersaveGovernor,
-    Scheduler,
     UserspaceGovernor,
 )
 from repro.sim import Simulator

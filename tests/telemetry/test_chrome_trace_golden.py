@@ -1,0 +1,83 @@
+"""Golden-file test for the Chrome-trace exporter.
+
+A small fixed-seed cluster run must serialize to exactly the JSON
+committed under ``golden/`` — the exporter's output format is a contract
+with external tooling (Perfetto, ``chrome://tracing``), so format drift
+has to be a conscious, reviewed change.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/telemetry/test_chrome_trace_golden.py
+"""
+
+import json
+import os
+
+from repro.apps.client import reset_request_ids
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.sim.units import MS
+from repro.telemetry import ChromeTraceSink
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "chrome_trace_small.json"
+)
+
+#: Chrome Trace Event Format required keys (every event must carry them).
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+#: Phase codes the exporter is allowed to emit.
+KNOWN_PHASES = {"B", "E", "X", "C", "i", "b", "n", "e", "M"}
+
+
+def small_fixed_seed_trace() -> dict:
+    """Run the small deterministic scenario and export its trace dict."""
+    # Request ids come from a process-global counter; reset it so the
+    # exported span ids do not depend on tests that ran earlier.
+    reset_request_ids()
+    config = ExperimentConfig(
+        app="apache",
+        policy="ncap.cons",
+        target_rps=4_000.0,
+        n_clients=1,
+        burst_size=10,
+        warmup_ns=2 * MS,
+        measure_ns=6 * MS,
+        drain_ns=2 * MS,
+        seed=3,
+    )
+    sink = ChromeTraceSink()
+    run_experiment(config, sinks=[sink])
+    return sink.to_json_dict()
+
+
+class TestChromeTraceGolden:
+    def test_matches_golden_file(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert small_fixed_seed_trace() == golden
+
+    def test_golden_is_valid_trace_event_format(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+            golden = json.load(fh)
+        events = golden["traceEvents"]
+        assert events, "golden trace must not be empty"
+        for event in events:
+            assert REQUIRED_KEYS <= set(event), event
+            assert event["ph"] in KNOWN_PHASES, event
+            assert isinstance(event["ts"], (int, float))
+        # The interesting content is present: C-state spans, P-state
+        # counter samples, and complete request spans.
+        phases = {e["ph"] for e in events}
+        assert {"X", "C", "b", "e"} <= phases
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(small_fixed_seed_trace(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    _regenerate()

@@ -1,0 +1,96 @@
+"""Tests for probe points and the probe bus."""
+
+from repro.telemetry import (
+    CStateTransition,
+    PStateChange,
+    ProbeBus,
+    ProbePoint,
+    Telemetry,
+)
+
+
+class TestProbePoint:
+    def test_disabled_without_subscribers(self):
+        point = ProbePoint("cpu.cstate")
+        assert not point.enabled
+        assert not point
+
+    def test_subscribe_enables_and_delivers(self):
+        point = ProbePoint("cpu.cstate")
+        seen = []
+        point.subscribe(seen.append)
+        assert point.enabled
+        event = CStateTransition(10, "cpu", 0, "C6", 3, "enter")
+        point.emit(event)
+        assert seen == [event]
+
+    def test_unsubscribe_disables_when_last_leaves(self):
+        point = ProbePoint("p")
+        a, b = [], []
+        point.subscribe(a.append)
+        point.subscribe(b.append)
+        # A fresh bound-method object must still match (equality, not
+        # identity).
+        point.unsubscribe(a.append)
+        assert point.enabled
+        point.unsubscribe(b.append)
+        assert not point.enabled
+
+    def test_duplicate_subscribe_is_noop(self):
+        point = ProbePoint("p")
+        seen = []
+        point.subscribe(seen.append)
+        point.subscribe(seen.append)
+        point.emit("x")
+        assert seen == ["x"]
+
+
+class TestProbeBus:
+    def test_point_is_idempotent(self):
+        bus = ProbeBus()
+        assert bus.point("nic.rx") is bus.point("nic.rx")
+
+    def test_exact_subscription_applies_to_future_points(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("cpu.pstate", seen.append)
+        point = bus.point("cpu.pstate")  # created after subscribing
+        assert point.enabled
+        point.emit(PStateChange(0, "cpu", 0, 3.1e9))
+        assert len(seen) == 1
+
+    def test_prefix_pattern_matches_subtree_only(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("ncap.*", seen.append)
+        bus.point("ncap.wake").emit("wake")
+        bus.point("ncap.classify").emit("classify")
+        bus.point("nic.rx").emit("rx")
+        assert seen == ["wake", "classify"]
+
+    def test_star_matches_everything(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.point("a").emit(1)
+        bus.point("b.c").emit(2)
+        assert seen == [1, 2]
+
+    def test_unsubscribe_detaches_everywhere(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        point = bus.point("x")
+        bus.unsubscribe(seen.append)
+        assert not point.enabled
+        # ...including points created later.
+        assert not bus.point("y").enabled
+
+
+class TestTelemetryFacade:
+    def test_probe_and_stats_share_the_instance(self):
+        telemetry = Telemetry()
+        probe = telemetry.probe("nic.rx")
+        assert telemetry.probes.point("nic.rx") is probe
+        counter = telemetry.counter("nic.rx.frames")
+        assert telemetry.stats.value("nic.rx.frames") == counter.value

@@ -1,0 +1,121 @@
+"""Tests for the stats registry: typed metrics, snapshots, diffs."""
+
+import pytest
+
+from repro.telemetry import Counter, Distribution, Gauge, StatsRegistry
+
+
+class TestDeclaration:
+    def test_counter_gauge_distribution_types(self):
+        reg = StatsRegistry()
+        assert isinstance(reg.counter("nic.rx.frames"), Counter)
+        assert isinstance(reg.gauge("governor.ondemand.utilization"), Gauge)
+        assert isinstance(reg.distribution("request.latency_ns"), Distribution)
+
+    def test_declare_is_idempotent(self):
+        reg = StatsRegistry()
+        a = reg.counter("cpuidle.c6.entries")
+        b = reg.counter("cpuidle.c6.entries")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = StatsRegistry()
+        reg.counter("ncap.classified.lc")
+        with pytest.raises(TypeError):
+            reg.gauge("ncap.classified.lc")
+
+    def test_bad_names_rejected(self):
+        reg = StatsRegistry()
+        for bad in ("", ".", "a..b", ".a", "a.", "has space"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_contains_and_names(self):
+        reg = StatsRegistry()
+        reg.counter("nic.rx.frames")
+        reg.counter("nic.tx.frames")
+        assert "nic.rx.frames" in reg
+        assert "irq.hardirqs" not in reg
+        assert reg.names() == ["nic.rx.frames", "nic.tx.frames"]
+
+
+class TestValues:
+    def test_counter_inc(self):
+        c = StatsRegistry().counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_set(self):
+        g = StatsRegistry().gauge("g")
+        g.set(0.75)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_distribution_observe(self):
+        d = StatsRegistry().distribution("d")
+        for v in (1.0, 2.0, 3.0):
+            d.observe(v)
+        assert d.count == 3
+        assert d.total == 6.0
+        assert d.min == 1.0
+        assert d.max == 3.0
+        assert d.mean == 2.0
+
+
+class TestSnapshot:
+    def test_flat_dict_with_distribution_expansion(self):
+        reg = StatsRegistry()
+        reg.counter("nic.rx.frames").inc(5)
+        reg.gauge("util").set(0.5)
+        d = reg.distribution("lat")
+        d.observe(10.0)
+        d.observe(20.0)
+        snap = reg.snapshot()
+        assert snap["nic.rx.frames"] == 5
+        assert snap["util"] == 0.5
+        assert snap["lat.count"] == 2
+        assert snap["lat.total"] == 30.0
+        assert snap["lat.mean"] == 15.0
+        assert snap["lat.min"] == 10.0
+        assert snap["lat.max"] == 20.0
+
+    def test_snapshot_is_detached(self):
+        reg = StatsRegistry()
+        c = reg.counter("c")
+        snap = reg.snapshot()
+        c.inc()
+        assert snap["c"] == 0
+
+    def test_subtree(self):
+        reg = StatsRegistry()
+        reg.counter("nic.rx.frames").inc(1)
+        reg.counter("nic.tx.frames").inc(2)
+        reg.counter("irq.hardirqs").inc(3)
+        sub = reg.subtree("nic")
+        assert sub == {"nic.rx.frames": 1, "nic.tx.frames": 2}
+
+    def test_diff(self):
+        reg = StatsRegistry()
+        c = reg.counter("c")
+        before = reg.snapshot()
+        c.inc(10)
+        after = reg.snapshot()
+        assert StatsRegistry.diff(before, after) == {"c": 10}
+
+
+class TestScope:
+    def test_scope_prefixes_names(self):
+        reg = StatsRegistry()
+        scope = reg.scope("nic.q3")
+        scope.counter("rx.frames").inc(7)
+        assert reg.value("nic.q3.rx.frames") == 7
+
+    def test_scoped_instances_stay_separate(self):
+        reg = StatsRegistry()
+        a = reg.scope("ncap.q0").counter("it_high.posts")
+        b = reg.scope("ncap.q1").counter("it_high.posts")
+        a.inc()
+        assert reg.value("ncap.q0.it_high.posts") == 1
+        assert reg.value("ncap.q1.it_high.posts") == 0
+        assert b.value == 0
