@@ -1,0 +1,33 @@
+"""Attribution bench: where does tail latency come from, per policy?
+
+Runs the ``headline`` attribution preset (Apache @ low load, ondemand /
+ondemand+deep-idle / NCAP) with the invariant auditor enabled and renders
+the per-policy p95/p99 blame tables to ``reports/attribution_headline.txt``.
+The assertions encode the paper's causal story: deep idle states shift
+p99 blame onto wake + ramp, and NCAP's proactive wake removes it.
+"""
+
+from repro.experiments import RunSettings, attribution
+
+
+def test_attribution_headline(benchmark, save_report, jobs):
+    def compute():
+        return attribution.run(
+            "headline", settings=RunSettings.quick(), jobs=jobs, audit=True
+        )
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report("attribution_headline", attribution.format_report(result))
+
+    ond = result.row("ond").report
+    idle = result.row("ond.idle").report
+    ncap = result.row("ncap.cons").report
+    for report in (ond, idle, ncap):
+        assert report.count > 0
+        assert report.unmatched == 0
+
+    # Deep idle states put wake+ramp on the p99 critical path; NCAP's
+    # NIC-driven proactive wake removes that blame (paper Figs. 4/7).
+    idle_share = idle.tails["p99"].wake_ramp_share
+    assert ncap.tails["p99"].wake_ramp_share < idle_share
+    assert ond.tails["p99"].wake_ramp_share < idle_share

@@ -65,13 +65,13 @@ def _make_counter_inc():
     return inc
 
 
-def _macro_run():
+def _macro_run(sinks=None, audit=False):
     config = ExperimentConfig.from_settings(
         RunSettings.quick(), app="apache", policy="ncap.cons",
         target_rps=24_000.0,
     )
     t0 = time.perf_counter()
-    result = run_experiment(config)
+    result = run_experiment(config, sinks=sinks, audit=audit)
     elapsed = time.perf_counter() - t0
     assert result.responses_received > 0
     return elapsed
@@ -112,3 +112,51 @@ def test_disabled_probe_overhead(benchmark, save_report):
     # quiet machine when regenerating the report; CI machines only need
     # to catch gross regressions.
     assert ratio < 1.5
+
+
+def test_attribution_overhead(benchmark, save_report):
+    """Attribution/audit off must cost nothing; on-cost is reported.
+
+    The attribution engine added probe emissions on the request hot path
+    (``request.span``, ``request.account``).  With no sink attached they
+    are disabled-guard checks, so a plain headline run must stay within
+    3% of the pre-attribution wall time when measured on a quiet machine
+    (the committed report records that check; CI only catches gross
+    regressions).  The same run with an AttributionSink plus the
+    invariant auditor quantifies the opt-in cost.
+    """
+    from repro.analysis.attribution import AttributionSink
+
+    def compute():
+        plain = [_macro_run() for _ in range(5)]
+        attributed = [
+            _macro_run(sinks=[AttributionSink()], audit=True)
+            for _ in range(5)
+        ]
+        return plain, attributed
+
+    plain, attributed = benchmark.pedantic(compute, rounds=1, iterations=1)
+    plain_median = statistics.median(plain)
+    attributed_median = statistics.median(attributed)
+    off_ratio = plain_median / PRE_REFACTOR_BASELINE_S
+    on_ratio = attributed_median / plain_median
+    rows = [
+        ["plain wall, median of 5 (s)", round(plain_median, 3)],
+        ["attributed+audited wall, median of 5 (s)",
+         round(attributed_median, 3)],
+        ["pre-attribution baseline (s)", PRE_REFACTOR_BASELINE_S],
+        ["disabled-path ratio vs baseline", round(off_ratio, 3)],
+        ["enabled cost (attributed / plain)", round(on_ratio, 3)],
+    ]
+    report = format_table(
+        ["metric", "value"], rows,
+        title="Attribution overhead — headline, quick settings",
+    )
+    save_report("attribution_overhead", report)
+
+    # Quiet-machine target for the disabled path is <= 1.03; the CI bound
+    # is generous to tolerate shared runners.
+    assert off_ratio < 1.5
+    # Opt-in attribution + audit does real per-request work; keep it
+    # under a small multiple so it stays usable in sweeps.
+    assert on_ratio < 3.0

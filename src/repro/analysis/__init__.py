@@ -1,0 +1,27 @@
+"""Analysis layer: turn the probe stream into explanations.
+
+- :mod:`repro.analysis.sketch` — O(1)-memory streaming percentile
+  estimators (P², t-digest-style);
+- :mod:`repro.analysis.attribution` — per-request critical-path
+  attribution (wire/dma/coalesce/wake/kernel/queue/service/ramp/
+  preempt/io/tx) with tail blame tables;
+- :mod:`repro.analysis.audit` — opt-in invariant auditing that fails
+  loudly when the telemetry stream or the accounting is inconsistent;
+- :mod:`repro.analysis.report` — table rendering for the above.
+"""
+
+from repro.analysis.attribution import (  # noqa: F401
+    COMPONENTS,
+    PM_COMPONENTS,
+    AttributionReport,
+    AttributionSink,
+    RequestAttribution,
+    TailAttribution,
+)
+from repro.analysis.audit import AuditError, InvariantAuditor  # noqa: F401
+from repro.analysis.report import (  # noqa: F401
+    format_attribution_report,
+    format_mean_table,
+    format_tail_table,
+)
+from repro.analysis.sketch import P2Quantile, StreamingSketch  # noqa: F401

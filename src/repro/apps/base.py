@@ -20,13 +20,36 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.cpu.core import Job
+from repro.cpu.core import ExecAccount, Job
 from repro.net.driver import NICDriver
 from repro.net.packet import Frame, make_response, segments_for
 from repro.oskernel.netstack import NetStackCosts
 from repro.oskernel.scheduler import Scheduler
 from repro.sim.kernel import Simulator
-from repro.telemetry import RequestPhase, Telemetry, ensure_telemetry
+from repro.telemetry import (
+    RequestAccounting,
+    RequestPhase,
+    Telemetry,
+    ensure_telemetry,
+)
+
+
+class _RequestTrack:
+    """Per-request accounting state, live only while the request is open.
+
+    Allocated per request *only* when the ``request.account`` probe has a
+    subscriber; carries the two job accounts plus the pipeline timestamps
+    the jobs themselves cannot observe.
+    """
+
+    __slots__ = ("svc_enqueue_ns", "svc", "svc_done_ns", "resp_enqueue_ns", "resp")
+
+    def __init__(self, svc_enqueue_ns: int):
+        self.svc_enqueue_ns = svc_enqueue_ns
+        self.svc = ExecAccount()
+        self.svc_done_ns = 0
+        self.resp_enqueue_ns = 0
+        self.resp = ExecAccount()
 
 
 class ServerApp:
@@ -57,6 +80,7 @@ class ServerApp:
         self._responses = stats.counter("responses")
         self._ignored = stats.counter("ignored")
         self._span_probe = self.telemetry.probe("request.span")
+        self._account_probe = self.telemetry.probe("request.account")
         #: Optional core affinity for the *next* request's jobs.  The
         #: per-core (multi-queue) node sets this around each delivery so a
         #: flow's processing stays on its RSS queue's core (RFS-style).
@@ -106,45 +130,77 @@ class ServerApp:
             self._ignored.inc()
             return
         self._requests.inc()
+        hint = self.affinity_hint
         if self._span_probe.enabled:
             self._span_probe.emit(
-                RequestPhase(self._sim.now, frame.src, frame.req_id, "service")
+                RequestPhase(self._sim.now, frame.src, frame.req_id, "service", hint)
             )
-        hint = self.affinity_hint
-        self._scheduler.enqueue(
-            Job(
-                self.service_cycles(frame),
-                on_complete=lambda: self._after_service(frame, hint),
-                name="service",
-            ),
-            core_hint=hint,
+        track = _RequestTrack(self._sim.now) if self._account_probe.enabled else None
+        job = Job(
+            self.service_cycles(frame),
+            on_complete=lambda: self._after_service(frame, hint, track),
+            name="service",
         )
+        if track is not None:
+            job.account = track.svc
+        self._scheduler.enqueue(job, core_hint=hint)
 
-    def _after_service(self, frame: Frame, hint: Optional[int]) -> None:
+    def _after_service(
+        self, frame: Frame, hint: Optional[int], track: Optional[_RequestTrack]
+    ) -> None:
+        if track is not None:
+            track.svc_done_ns = self._sim.now
         io_ns = self.io_latency_ns(frame)
         if io_ns > 0:
-            self._sim.schedule(io_ns, self._after_io, frame, hint)
+            self._sim.schedule(io_ns, self._after_io, frame, hint, track)
         else:
-            self._after_io(frame, hint)
+            self._after_io(frame, hint, track)
 
-    def _after_io(self, frame: Frame, hint: Optional[int]) -> None:
+    def _after_io(
+        self, frame: Frame, hint: Optional[int], track: Optional[_RequestTrack]
+    ) -> None:
         size = self.response_bytes(frame)
         cycles = self.response_cycles(frame, size)
         cycles += self._costs.tx_message_cycles(segments_for(size))
-        self._scheduler.enqueue(
-            Job(
-                cycles,
-                on_complete=lambda: self._send_response(frame, size),
-                name="response",
-            ),
-            core_hint=hint,
+        job = Job(
+            cycles,
+            on_complete=lambda: self._send_response(frame, size, track),
+            name="response",
         )
+        if track is not None:
+            track.resp_enqueue_ns = self._sim.now
+            job.account = track.resp
+        self._scheduler.enqueue(job, core_hint=hint)
 
-    def _send_response(self, frame: Frame, size: int) -> None:
+    def _send_response(
+        self, frame: Frame, size: int, track: Optional[_RequestTrack]
+    ) -> None:
         self._responses.inc()
         if self._span_probe.enabled:
             self._span_probe.emit(
-                RequestPhase(self._sim.now, frame.src, frame.req_id, "reply")
+                RequestPhase(
+                    self._sim.now, frame.src, frame.req_id, "reply",
+                    track.svc.first_core if track is not None else None,
+                )
+            )
+        if track is not None and self._account_probe.enabled:
+            now = self._sim.now
+            self._account_probe.emit(
+                RequestAccounting(
+                    t_ns=now,
+                    src=frame.src,
+                    req_id=frame.req_id,
+                    core=track.svc.first_core,
+                    resp_core=track.resp.first_core,
+                    svc_enqueue_ns=track.svc_enqueue_ns,
+                    svc_start_ns=track.svc.first_start_ns or 0,
+                    svc_done_ns=track.svc_done_ns,
+                    resp_enqueue_ns=track.resp_enqueue_ns,
+                    resp_start_ns=track.resp.first_start_ns or 0,
+                    cpu_ns=track.svc.cpu_ns + track.resp.cpu_ns,
+                    cycles=track.svc.cycles + track.resp.cycles,
+                    stall_ns=track.svc.stall_ns + track.resp.stall_ns,
+                )
             )
         for listener in self.latency_listeners:
             listener(self._sim.now - frame.created_ns)

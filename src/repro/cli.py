@@ -7,6 +7,7 @@ Commands:
 - ``fig``      — regenerate a paper figure report (1, 2, 4, 7, 8, 9);
 - ``sweep``    — declarative grid over apps × policies × loads × seeds;
 - ``headline`` — the abstract's savings table;
+- ``attribute``— per-policy critical-path tail-blame tables with auditing;
 - ``trace``    — run one experiment and export Chrome-trace (Perfetto) JSON;
 - ``policies`` — list the policy registry.
 
@@ -28,6 +29,7 @@ from repro.cluster.policies import POLICIES, POLICY_ORDER
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments import (
     RunSettings,
+    attribution,
     fig1_dvfs_timing,
     fig2_ondemand_period,
     fig4_correlation,
@@ -271,6 +273,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_attribute(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    if args.quick:
+        settings = RunSettings.quick(seed=settings.seed)
+    try:
+        result = attribution.run(
+            args.experiment, settings=settings, jobs=args.jobs,
+            audit=not args.no_audit,
+        )
+    except KeyError as exc:
+        print(f"repro attribute: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    report = attribution.format_report(result)
+    print(report)
+    if args.out:
+        import os
+
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote report to {args.out}")
+    return 0
+
+
 def cmd_policies(args: argparse.Namespace) -> int:
     rows = []
     for name in POLICY_ORDER:
@@ -357,6 +385,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_head = add_parser("headline", help="abstract's savings table")
     p_head.set_defaults(fn=cmd_headline)
+
+    p_attr = add_parser(
+        "attribute",
+        help="critical-path attribution: per-policy tail-blame tables "
+             "(wake/ramp/queue/service/...), with invariant auditing",
+    )
+    p_attr.add_argument("experiment", nargs="?", default="headline",
+                        choices=tuple(attribution.PRESETS),
+                        help="attribution experiment preset")
+    p_attr.add_argument("--quick", action="store_true",
+                        help="force the quick run-length preset")
+    p_attr.add_argument("--no-audit", action="store_true",
+                        help="skip the invariant auditor")
+    p_attr.add_argument("--out", help="also write the report to this path")
+    p_attr.set_defaults(fn=cmd_attribute)
 
     p_pol = add_parser("policies", help="list the policy registry")
     p_pol.set_defaults(fn=cmd_policies)

@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.analysis.attribution import AttributionReport, AttributionSink
+from repro.analysis.audit import InvariantAuditor
+from repro.analysis.sketch import StreamingSketch
 from repro.apps.client import (
     OpenLoopClient,
     http_request_factory,
@@ -126,6 +129,10 @@ class ExperimentResult:
     #: taken at the end of the run.  Additive: existing fields above are
     #: unchanged by its presence.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Critical-path attribution summary, populated when an
+    #: :class:`~repro.analysis.attribution.AttributionSink` was attached.
+    #: Additive: None on plain runs.
+    attribution: Optional[AttributionReport] = None
     trace: Optional[TraceRecorder] = None
     server: Optional[ServerNode] = None
 
@@ -137,7 +144,13 @@ class ExperimentResult:
 class Cluster:
     """A built (but not yet run) four-node experiment."""
 
-    def __init__(self, config: ExperimentConfig, sinks: Optional[Iterable] = None):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        sinks: Optional[Iterable] = None,
+        audit: bool = False,
+        streaming_latency: bool = False,
+    ):
         self.config = config
         self.sim = Simulator()
         self.trace: TraceRecorder = (
@@ -148,12 +161,19 @@ class Cluster:
         # ExperimentConfig feeds the sweep cache hash, and attaching an
         # observer must not invalidate cached results).  With no sinks and
         # collect_traces=False every probe stays disabled — the hot path
-        # pays a single truthiness check.
+        # pays a single truthiness check.  ``audit`` and
+        # ``streaming_latency`` are observers too, for the same reason.
         self.telemetry = Telemetry()
         if config.collect_traces:
             self.telemetry.add_sink(ChannelSink(self.trace))
+        self.auditor: Optional[InvariantAuditor] = (
+            self.telemetry.add_sink(InvariantAuditor()) if audit else None
+        )
+        self.attribution: Optional[AttributionSink] = None
         for sink in sinks or ():
             self.telemetry.add_sink(sink)
+            if isinstance(sink, AttributionSink):
+                self.attribution = sink
         self.server = ServerNode(
             self.sim,
             "server",
@@ -174,6 +194,20 @@ class Cluster:
         self.switch = Switch(self.sim)
         self.clients: List[OpenLoopClient] = []
         self._energy_snapshots: Dict[str, EnergyReport] = {}
+        window = (config.warmup_ns, config.warmup_ns + config.measure_ns)
+        if self.attribution is not None:
+            # The sink needs F_max (to re-cost cycles) and the measurement
+            # window (to scope which requests feed the report).
+            if self.attribution.f_max_hz is None:
+                self.attribution.f_max_hz = self.server.package.max_frequency_hz
+            if self.attribution.measure_window is None:
+                self.attribution.measure_window = window
+        #: Streaming-latency mode: clients retain no per-sample RTT list;
+        #: the measurement window's population streams into one sketch
+        #: (O(1) memory for arbitrarily long runs).
+        self.latency_sketch: Optional[StreamingSketch] = (
+            StreamingSketch() if streaming_latency else None
+        )
 
         burst_size = (
             config.burst_size
@@ -198,7 +232,13 @@ class Cluster:
                 burst_period_ns=period,
                 jitter_rng=self.rng.stream(f"{name}.jitter"),
                 jitter_fraction=config.burst_jitter,
+                retain_rtts=self.latency_sketch is None,
+                measure_window=window if self.latency_sketch is not None else None,
             )
+            if self.attribution is not None:
+                client.rtt_listeners.append(self._attribution_listener(name))
+            if self.latency_sketch is not None:
+                client.rtt_listeners.append(self._sketch_listener(window))
             self.clients.append(client)
 
         # Star topology around the switch.
@@ -211,6 +251,24 @@ class Cluster:
             link.attach(client, self.switch)
             client.attach_port(link.endpoint_port(client))
             self.switch.attach_link(link, client.name)
+
+    def _attribution_listener(self, client_name: str):
+        sink = self.attribution
+
+        def listener(req_id: int, send_ns: int, rtt_ns: int) -> None:
+            sink.on_client_rtt(client_name, req_id, send_ns, rtt_ns)
+
+        return listener
+
+    def _sketch_listener(self, window):
+        sketch = self.latency_sketch
+        start, end = window
+
+        def listener(req_id: int, send_ns: int, rtt_ns: int) -> None:
+            if start <= send_ns < end:
+                sketch.add(rtt_ns)
+
+        return listener
 
     def run(self, keep_server: bool = False) -> ExperimentResult:
         """Simulate and extract the result in one call."""
@@ -255,18 +313,34 @@ class Cluster:
         self.sim.run(until=config.end_ns)
 
     def collect(self, keep_server: bool = False) -> ExperimentResult:
-        """Extract a result from a finished simulation."""
+        """Extract a result from a finished simulation.
+
+        With an auditor attached this is where it renders judgement:
+        any violation (streamed or end-of-run) raises
+        :class:`~repro.analysis.audit.AuditError`.
+        """
         config = self.config
         snapshots = self._energy_snapshots
         window_start = config.warmup_ns
         window_end = config.warmup_ns + config.measure_ns
 
-        rtts: List[int] = []
+        if self.auditor is not None:
+            self.auditor.finish(cluster=self, attribution=self.attribution)
+
         sent = 0
-        for client in self.clients:
-            rtts.extend(client.rtts_in_window(window_start, window_end))
-            sent += client.sent_in_window(window_start, window_end)
-        latency = LatencyStats.from_values(rtts)
+        responses = 0
+        if self.latency_sketch is not None:
+            for client in self.clients:
+                sent += client.sent_in_window(window_start, window_end)
+            latency = LatencyStats.from_sketch(self.latency_sketch)
+            responses = self.latency_sketch.count
+        else:
+            rtts: List[int] = []
+            for client in self.clients:
+                rtts.extend(client.rtts_in_window(window_start, window_end))
+                sent += client.sent_in_window(window_start, window_end)
+            latency = LatencyStats.from_values(rtts)
+            responses = len(rtts)
         energy = energy_delta(snapshots["start"], snapshots["end"])
 
         ncap_stats: Dict[str, int] = {}
@@ -292,12 +366,15 @@ class Cluster:
             sla_ns=config.sla_ns,
             meets_sla=latency.meets_sla(config.sla_ns),
             requests_sent=sent,
-            responses_received=len(rtts),
-            incomplete=sent - len(rtts),
+            responses_received=responses,
+            incomplete=sent - responses,
             achieved_rps=sent * 1e9 / config.measure_ns,
             cstate_entries=cstate_entries,
             ncap_stats=ncap_stats,
             counters=self.server.telemetry.stats.snapshot(),
+            attribution=(
+                self.attribution.summary() if self.attribution is not None else None
+            ),
             trace=self.trace if config.collect_traces else None,
             server=self.server if keep_server else None,
         )
@@ -307,6 +384,8 @@ def run_experiment(
     config: ExperimentConfig,
     keep_server: bool = False,
     sinks: Optional[Iterable] = None,
+    audit: bool = False,
+    streaming_latency: bool = False,
 ) -> ExperimentResult:
     """Build and run one cluster experiment.
 
@@ -314,7 +393,14 @@ def run_experiment(
     result for post-hoc inspection (engine counters, wake times); the
     default lightweight result stays picklable and lets the cluster be
     garbage-collected between sweep points.  ``sinks`` (e.g. a
-    :class:`repro.telemetry.ChromeTraceSink`) are attached to the server's
-    telemetry before the node is built.
+    :class:`repro.telemetry.ChromeTraceSink` or an
+    :class:`repro.analysis.attribution.AttributionSink`) are attached to
+    the server's telemetry before the node is built.  ``audit=True``
+    attaches an :class:`~repro.analysis.audit.InvariantAuditor` that
+    raises on any inconsistency; ``streaming_latency=True`` aggregates
+    latency through an O(1)-memory sketch instead of retaining every RTT.
+    None of these are config fields, so none invalidate cached results.
     """
-    return Cluster(config, sinks=sinks).run(keep_server=keep_server)
+    return Cluster(
+        config, sinks=sinks, audit=audit, streaming_latency=streaming_latency
+    ).run(keep_server=keep_server)

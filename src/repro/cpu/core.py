@@ -43,10 +43,32 @@ class CoreState(enum.Enum):
     WAKING = "waking"    # exiting a C-state
 
 
+class ExecAccount:
+    """Execution account a :class:`Job` can carry for attribution.
+
+    The core charges it as the job runs: wall time spent retiring
+    (``cpu_ns``), cycles retired (``cycles``), PLL-relock halts that hit
+    the job while it was current (``stall_ns``), and when/where the job
+    first ran.  ``cpu_ns - cycles/F_max`` is then the DVFS penalty
+    (sub-nominal-frequency slowdown) and ``span - cpu_ns - stall_ns`` the
+    preemption time — the decomposition
+    :class:`repro.analysis.attribution.AttributionSink` performs.
+    """
+
+    __slots__ = ("first_start_ns", "first_core", "cpu_ns", "cycles", "stall_ns")
+
+    def __init__(self) -> None:
+        self.first_start_ns: Optional[int] = None
+        self.first_core: Optional[int] = None
+        self.cpu_ns: int = 0
+        self.cycles: float = 0.0
+        self.stall_ns: int = 0
+
+
 class Job:
     """A unit of work measured in core cycles."""
 
-    __slots__ = ("name", "total_cycles", "remaining", "on_complete", "kernel")
+    __slots__ = ("name", "total_cycles", "remaining", "on_complete", "kernel", "account")
 
     def __init__(
         self,
@@ -62,6 +84,9 @@ class Job:
         self.remaining = float(cycles)
         self.on_complete = on_complete
         self.kernel = kernel
+        #: Optional :class:`ExecAccount`; None keeps the hot path at a
+        #: single attribute check per charge point.
+        self.account: Optional[ExecAccount] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Job({self.name!r}, remaining={self.remaining:.0f})"
@@ -83,6 +108,8 @@ class Core:
         self._pending: Deque[Job] = deque()
         self._completion: Optional[Event] = None
         self._stall_end: Optional[Event] = None
+        self._stall_started: int = 0
+        self._stall_account: Optional[ExecAccount] = None
         self._wake_end: Optional[Event] = None
         self._run_started: int = 0
         self._cumulative_busy_ns: int = 0
@@ -197,6 +224,10 @@ class Core:
             else:
                 self.last_idle_duration_ns = self._sim.now - self._idle_since
                 self.idle_periods_completed += 1
+        account = job.account
+        if account is not None and account.first_start_ns is None:
+            account.first_start_ns = self._sim.now
+            account.first_core = self.core_id
         self._current = job
         self.state = CoreState.RUN
         self._run_started = self._sim.now
@@ -211,10 +242,15 @@ class Core:
         assert job is not None
         elapsed = self._sim.now - self._run_started
         if elapsed > 0:
+            before = job.remaining
             job.remaining = max(
-                0.0, job.remaining - ns_to_cycles(elapsed, self._package.frequency_hz)
+                0.0, before - ns_to_cycles(elapsed, self._package.frequency_hz)
             )
             self._cumulative_busy_ns += elapsed
+            account = job.account
+            if account is not None:
+                account.cpu_ns += elapsed
+                account.cycles += before - job.remaining
         if self._completion is not None:
             self._completion.cancel()
             self._completion = None
@@ -226,6 +262,10 @@ class Core:
         job = self._current
         assert job is not None
         self._cumulative_busy_ns += self._sim.now - self._run_started
+        account = job.account
+        if account is not None:
+            account.cpu_ns += self._sim.now - self._run_started
+            account.cycles += job.remaining
         job.remaining = 0.0
         self._current = None
         self._completion = None
@@ -264,9 +304,14 @@ class Core:
                 self._stall_end.cancel()
                 self._stall_end = self._sim.schedule(duration_ns, self._stall_done)
             return
+        account = None
         if self.state is CoreState.RUN:
+            assert self._current is not None
+            account = self._current.account
             self._pause_current(push=True)
         self.state = CoreState.STALL
+        self._stall_started = self._sim.now
+        self._stall_account = account
         self.meter.set_mode(
             PowerMode.STALL, self._package.voltage, self._package.frequency_hz
         )
@@ -274,6 +319,9 @@ class Core:
 
     def _stall_done(self) -> None:
         self._stall_end = None
+        if self._stall_account is not None:
+            self._stall_account.stall_ns += self._sim.now - self._stall_started
+            self._stall_account = None
         self._maybe_run_next()
 
     def on_clock_change(self, old_freq_hz: float) -> None:
@@ -288,11 +336,16 @@ class Core:
             assert job is not None
             elapsed = self._sim.now - self._run_started
             if elapsed > 0:
+                before = job.remaining
                 job.remaining = max(
-                    0.0, job.remaining - ns_to_cycles(elapsed, old_freq_hz)
+                    0.0, before - ns_to_cycles(elapsed, old_freq_hz)
                 )
                 self._cumulative_busy_ns += elapsed
                 self._run_started = self._sim.now
+                account = job.account
+                if account is not None:
+                    account.cpu_ns += elapsed
+                    account.cycles += before - job.remaining
             if self._completion is not None:
                 self._completion.cancel()
             self._completion = self._sim.schedule(
@@ -319,7 +372,7 @@ class Core:
             self._entry_counters[cstate.name] = counter
         counter.inc()
 
-    def _emit_cstate(self, cstate: CState, phase: str) -> None:
+    def _emit_cstate(self, cstate: CState, phase: str, exit_latency_ns: int = 0) -> None:
         self._cstate_probe.emit(
             CStateTransition(
                 self._sim.now,
@@ -328,6 +381,7 @@ class Core:
                 cstate.name,
                 cstate.index,
                 phase,
+                exit_latency_ns,
             )
         )
 
@@ -413,5 +467,7 @@ class Core:
         left = self._cstate
         self._cstate = None
         if self._cstate_probe.enabled and left is not None:
-            self._emit_cstate(left, "wake")
+            self._emit_cstate(
+                left, "wake", left.exit_latency_ns + self.wake_extra_ns
+            )
         self._maybe_run_next()

@@ -2,6 +2,7 @@
 
 from repro.experiments import (
     ablations,
+    attribution,
     datacenter,
     fig1_dvfs_timing,
     fig2_ondemand_period,
@@ -15,6 +16,7 @@ from repro.experiments.common import RunSettings
 
 __all__ = [
     "ablations",
+    "attribution",
     "datacenter",
     "fig1_dvfs_timing",
     "fig2_ondemand_period",

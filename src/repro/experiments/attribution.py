@@ -1,0 +1,139 @@
+"""Critical-path attribution experiments: blame the tail, per policy.
+
+Runs a small set of policies on one workload with an
+:class:`~repro.analysis.attribution.AttributionSink` (and, by default,
+the :class:`~repro.analysis.audit.InvariantAuditor`) attached, and
+renders the paper-style blame tables: *"at p99 under ond.idle, X% of
+latency is wake+ramp; under NCAP, Y%"*.
+
+Exposed on the CLI as ``repro attribute <experiment>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.attribution import AttributionReport, AttributionSink
+from repro.analysis.report import format_attribution_report
+from repro.apps.workload import load_level
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.harness.runner import Runner
+from repro.harness.settings import RunSettings
+from repro.metrics.latency import LatencyStats
+
+
+@dataclass(frozen=True)
+class AttributionPreset:
+    """One named attribution experiment: a workload and a policy set."""
+
+    app: str
+    load: str
+    policies: Tuple[str, ...]
+    note: str = ""
+
+
+#: Named experiments.  ``headline`` contrasts the reactive baseline, the
+#: deep-idle variant that exposes wake+ramp at the tail, and NCAP hiding
+#: both; ``fig4``/``fig7`` mirror the paper figures' policy sets.
+PRESETS: Dict[str, AttributionPreset] = {
+    "headline": AttributionPreset(
+        app="apache",
+        load="low",
+        policies=("ond", "ond.idle", "ncap.cons"),
+        note="reactive baselines vs NCAP on the abstract's workload",
+    ),
+    "fig4": AttributionPreset(
+        app="apache",
+        load="low",
+        policies=("ond.idle", "ncap.cons"),
+        note="wake/ramp correlation pair",
+    ),
+    "fig7": AttributionPreset(
+        app="apache",
+        load="medium",
+        policies=("perf", "ond.idle", "ncap.cons"),
+        note="latency-load policy set at medium load",
+    ),
+}
+
+
+@dataclass
+class AttributionRow:
+    """One policy's run: latency summary plus the attribution report."""
+
+    policy: str
+    latency: LatencyStats
+    report: AttributionReport
+
+
+@dataclass
+class AttributionResult:
+    name: str
+    app: str
+    load: str
+    rows: List[AttributionRow]
+
+    def row(self, policy: str) -> AttributionRow:
+        for row in self.rows:
+            if row.policy == policy:
+                return row
+        raise KeyError(f"no attribution row for policy {policy!r}")
+
+
+def _run_one(task: Tuple[str, str, str, RunSettings, bool]) -> AttributionRow:
+    """Process-pool worker: one policy's attributed run (module-level,
+    picklable)."""
+    app, load, policy, settings, audit = task
+    level = load_level(app, load)
+    config = ExperimentConfig.from_settings(
+        settings, app=app, policy=policy, target_rps=level.target_rps
+    )
+    result = run_experiment(
+        config, sinks=[AttributionSink()], audit=audit
+    )
+    assert result.attribution is not None
+    return AttributionRow(
+        policy=policy, latency=result.latency, report=result.attribution
+    )
+
+
+def run(
+    name: str = "headline",
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+    audit: bool = True,
+) -> AttributionResult:
+    """Run the named preset; one attributed run per policy, in parallel.
+
+    Attribution runs are never served from the result cache: the sink and
+    the auditor are run-time attachments, not config fields, so a cached
+    plain record would have no attribution to report.
+    """
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attribution experiment {name!r}; "
+            f"choose from {sorted(PRESETS)}"
+        ) from None
+    tasks = [
+        (preset.app, preset.load, policy, settings, audit)
+        for policy in preset.policies
+    ]
+    rows = Runner(jobs=jobs).map(_run_one, tasks)
+    return AttributionResult(
+        name=name, app=preset.app, load=preset.load, rows=rows
+    )
+
+
+def format_report(result: AttributionResult) -> str:
+    preset = PRESETS.get(result.name)
+    note = f" — {preset.note}" if preset and preset.note else ""
+    return format_attribution_report(
+        [(row.policy, row.report) for row in result.rows],
+        title=(
+            f"Critical-path attribution: {result.name} "
+            f"({result.app}/{result.load}){note}"
+        ),
+    )

@@ -172,8 +172,8 @@ class AdrenalineServerNode:
         # Hook query completion: a response leaving the app ends its query.
         original = self.app._send_response
 
-        def send_and_unboost(frame: Frame, size: int) -> None:
-            original(frame, size)
+        def send_and_unboost(frame: Frame, size: int, track=None) -> None:
+            original(frame, size, track)
             if frame.req_id is not None:
                 self._query_finished(frame.req_id)
 

@@ -9,11 +9,14 @@ treated as a miss (and the stale entry is ignored), never as an error.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from typing import Optional
 
-from repro.harness.record import ResultRecord
+from repro.harness.record import RECORD_SCHEMA_VERSION, ResultRecord
+
+logger = logging.getLogger(__name__)
 
 #: Default cache location (relative to the working directory); the CLI
 #: and ``REPRO_CACHE_DIR`` can point somewhere else.
@@ -33,6 +36,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._schema_warned = False
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -43,6 +47,8 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
+            if isinstance(data, dict) and data.get("schema") != RECORD_SCHEMA_VERSION:
+                self._warn_schema_invalidation()
             record = ResultRecord.from_json_dict(data)
         except (OSError, ValueError, TypeError):
             self.misses += 1
@@ -52,6 +58,36 @@ class ResultCache:
             return None
         self.hits += 1
         return record
+
+    def _warn_schema_invalidation(self) -> None:
+        """Log once per cache how many entries a schema bump invalidated."""
+        if self._schema_warned:
+            return
+        self._schema_warned = True
+        stale = 0
+        try:
+            for name in os.listdir(self.directory):
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                try:
+                    with open(
+                        os.path.join(self.directory, name), "r", encoding="utf-8"
+                    ) as fh:
+                        data = json.load(fh)
+                except (OSError, ValueError):
+                    continue
+                if isinstance(data, dict) and data.get("schema") != RECORD_SCHEMA_VERSION:
+                    stale += 1
+        except OSError:
+            pass
+        logger.warning(
+            "result cache %s: %d entr%s from older record schemas "
+            "(current is v%d); they will be re-simulated",
+            self.directory,
+            stale,
+            "y" if stale == 1 else "ies",
+            RECORD_SCHEMA_VERSION,
+        )
 
     def put(self, record: ResultRecord) -> str:
         """Persist ``record`` atomically; returns the written path."""

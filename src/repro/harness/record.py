@@ -22,7 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bump when the record's fields change; cached records from other
 #: versions are discarded instead of misread.
 #: v2: added ``counters`` — the full namespaced stats-registry snapshot.
-RECORD_SCHEMA_VERSION = 2
+#: v3: added ``attribution`` — flattened critical-path tail-blame report.
+RECORD_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -56,6 +57,10 @@ class ResultRecord:
     #: Full stats-registry snapshot (``nic.rx.frames``, ``irq.hardirqs``,
     #: ``cpuidle.c6.entries``, …) — every counter the server accumulated.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Flattened critical-path attribution report (``mean.wake_ns``,
+    #: ``p99.wake_ramp_share``, …) when the run attached an
+    #: :class:`~repro.analysis.attribution.AttributionSink`; empty otherwise.
+    attribution: Dict[str, float] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -92,6 +97,11 @@ class ResultRecord:
             cstate_entries=dict(result.cstate_entries),
             ncap_stats=dict(result.ncap_stats),
             counters=dict(result.counters),
+            attribution=(
+                result.attribution.to_flat_dict()
+                if result.attribution is not None
+                else {}
+            ),
         )
 
     # -- views ----------------------------------------------------------

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -19,14 +19,24 @@ class LatencyStats:
     p95_ns: float
     p99_ns: float
     max_ns: float
+    #: Streaming sketch of the full population when one was available
+    #: (``from_values`` builds one; ``from_sketch`` keeps the original).
+    #: Enables arbitrary :meth:`percentile` queries; not part of the
+    #: stats' identity (excluded from equality) and absent on instances
+    #: rebuilt from serialized records.
+    sketch: Optional[object] = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_values(cls, values_ns: Sequence[float]) -> "LatencyStats":
         if len(values_ns) == 0:
             return cls(0, float("nan"), float("nan"), float("nan"),
                        float("nan"), float("nan"), float("nan"))
+        from repro.analysis.sketch import StreamingSketch
+
         arr = np.asarray(values_ns, dtype=np.float64)
         p50, p90, p95, p99 = np.percentile(arr, [50, 90, 95, 99])
+        sketch = StreamingSketch()
+        sketch.extend(arr.tolist())
         return cls(
             count=int(arr.size),
             mean_ns=float(arr.mean()),
@@ -35,14 +45,59 @@ class LatencyStats:
             p95_ns=float(p95),
             p99_ns=float(p99),
             max_ns=float(arr.max()),
+            sketch=sketch,
+        )
+
+    @classmethod
+    def from_sketch(cls, sketch) -> "LatencyStats":
+        """Build from a streaming sketch (O(1)-memory aggregation path).
+
+        Count, mean, and max are exact; percentiles carry the sketch's
+        approximation error (tightest at the tails).
+        """
+        if sketch.count == 0:
+            return cls(0, float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"), float("nan"))
+        return cls(
+            count=sketch.count,
+            mean_ns=float(sketch.mean),
+            p50_ns=float(sketch.quantile(50)),
+            p90_ns=float(sketch.quantile(90)),
+            p95_ns=float(sketch.quantile(95)),
+            p99_ns=float(sketch.quantile(99)),
+            max_ns=float(sketch.max),
+            sketch=sketch,
         )
 
     def percentile(self, q: float) -> float:
-        """Convenience accessor for the canned percentiles."""
+        """The ``q``-th percentile (``q`` in [0, 100]).
+
+        The canned percentiles (50/90/95/99) are returned directly; any
+        other ``q`` is answered by the attached sketch when present, and
+        otherwise by monotone interpolation over the canned anchors (with
+        ``q`` below 50 clamped to p50 — records do not retain the lower
+        half of the distribution).
+        """
         table = {50: self.p50_ns, 90: self.p90_ns, 95: self.p95_ns, 99: self.p99_ns}
-        if q not in table:
-            raise KeyError(f"percentile {q} not precomputed")
-        return table[q]
+        key = int(q) if float(q).is_integer() else None
+        if key in table:
+            return table[key]
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        if self.sketch is not None:
+            return float(self.sketch.quantile(q))
+        anchors = [(50.0, self.p50_ns), (90.0, self.p90_ns),
+                   (95.0, self.p95_ns), (99.0, self.p99_ns),
+                   (100.0, self.max_ns)]
+        if q <= 50.0:
+            return self.p50_ns
+        for (q0, v0), (q1, v1) in zip(anchors, anchors[1:]):
+            if q <= q1:
+                frac = (q - q0) / (q1 - q0)
+                return v0 + frac * (v1 - v0)
+        return self.max_ns
 
     def normalized_to(self, sla_ns: int) -> Dict[str, float]:
         """Percentiles as fractions of the SLA (the paper's presentation)."""

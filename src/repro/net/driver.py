@@ -128,7 +128,10 @@ class NICDriver:
             self._frames_delivered.inc()
             if self._span_probe.enabled and frame.kind == "request":
                 self._span_probe.emit(
-                    RequestPhase(self._sim.now, frame.src, frame.req_id, "delivered")
+                    RequestPhase(
+                        self._sim.now, frame.src, frame.req_id, "delivered",
+                        self.core_id,
+                    )
                 )
             if self.packet_sink is not None:
                 self.packet_sink(frame)

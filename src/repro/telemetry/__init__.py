@@ -31,6 +31,7 @@ from repro.telemetry.events import (  # noqa: F401 - re-exported
     PacketClassified,
     ProbeEvent,
     PStateChange,
+    RequestAccounting,
     RequestPhase,
     RingOccupancy,
 )

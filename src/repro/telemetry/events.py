@@ -19,6 +19,7 @@ Standard probe point names:
 ``ncap.classify``           :class:`PacketClassified` (ReqMonitor verdicts)
 ``ncap.wake``               :class:`NcapWake` (proactive wake interrupts)
 ``request.span``            :class:`RequestPhase` (per-request lifecycle)
+``request.account``         :class:`RequestAccounting` (execution account)
 ==========================  ================================================
 """
 
@@ -43,6 +44,10 @@ class CStateTransition:
     state: str           # "C1" / "C3" / "C6"
     index: int           # table index; 0 means awake
     phase: str           # "enter" | "promote" | "wake"
+    #: On ``"wake"`` events: the exit latency just paid (including any
+    #: MWAIT overhead), so sinks can reconstruct the WAKING interval
+    #: ``[t_ns - exit_latency_ns, t_ns]`` without the C-state table.
+    exit_latency_ns: int = 0
 
 
 @dataclass(frozen=True)
@@ -147,10 +152,48 @@ class RequestPhase:
     src: str
     req_id: Optional[int]
     phase: str
+    #: Core the phase is bound to, when the emitter knows it: the SoftIRQ
+    #: core for ``delivered``, the scheduler affinity hint for ``service``,
+    #: the core that ran the service job for ``reply``.  ``None`` when the
+    #: phase has no core context (e.g. ``arrival`` happens on the wire).
+    core: Optional[int] = None
 
     @property
     def span_id(self) -> str:
         """Stable per-request correlation id (req_ids are per-client)."""
+        return f"{self.src}/{self.req_id}"
+
+
+@dataclass(frozen=True)
+class RequestAccounting:
+    """Server-side execution account of one request, emitted at reply.
+
+    Emitted on ``request.account`` by :class:`repro.apps.base.ServerApp`
+    when the probe has subscribers.  Complements the ``request.span``
+    phase markers with what happened *between* them: when each job was
+    enqueued and first ran (run-queue wait), how much wall time the jobs
+    spent retiring cycles (``cpu_ns``), how many cycles they retired
+    (``cycles`` — re-cost at F_max to separate DVFS slowdown from ideal
+    service time), and how long they sat halted for PLL relocks
+    (``stall_ns``).
+    """
+
+    t_ns: int                    # reply time (response handed to the NIC)
+    src: str
+    req_id: Optional[int]
+    core: Optional[int]          # core the service job first ran on
+    resp_core: Optional[int]     # core the response job first ran on
+    svc_enqueue_ns: int          # service job entered the run queue
+    svc_start_ns: int            # service job first ran
+    svc_done_ns: int             # service job completed
+    resp_enqueue_ns: int         # response job entered the run queue
+    resp_start_ns: int           # response job first ran
+    cpu_ns: int                  # wall time in RUN across both jobs
+    cycles: float                # cycles retired across both jobs
+    stall_ns: int                # PLL-relock halts charged to both jobs
+
+    @property
+    def span_id(self) -> str:
         return f"{self.src}/{self.req_id}"
 
 
@@ -165,4 +208,5 @@ ProbeEvent = Union[
     PacketClassified,
     NcapWake,
     RequestPhase,
+    RequestAccounting,
 ]

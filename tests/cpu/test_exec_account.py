@@ -1,0 +1,116 @@
+"""ExecAccount: per-job cpu/cycle/stall attribution on the core engine."""
+
+import pytest
+
+from repro.cpu import Job, ProcessorConfig
+from repro.cpu.core import ExecAccount
+from repro.sim import Simulator
+from repro.sim.units import US
+
+
+def make_package(n_cores=1, initial_pstate=0):
+    sim = Simulator()
+    config = ProcessorConfig(n_cores=n_cores, initial_pstate=initial_pstate)
+    package = config.build_package(sim)
+    return sim, package
+
+
+def accounted_job(cycles, **kwargs):
+    job = Job(cycles, **kwargs)
+    job.account = ExecAccount()
+    return job
+
+
+class TestPlainRun:
+    def test_uninterrupted_job_charges_cpu_and_cycles(self):
+        sim, package = make_package()
+        core = package.cores[0]
+        cycles = 3.1e9 * 50e-6  # 50 us at P0
+        job = accounted_job(cycles)
+        core.dispatch(job)
+        sim.run()
+        account = job.account
+        assert account.cpu_ns == 50 * US
+        assert account.cycles == pytest.approx(cycles)
+        assert account.stall_ns == 0
+        assert account.first_start_ns == 0
+        assert account.first_core == 0
+
+    def test_jobs_without_account_are_untouched(self):
+        sim, package = make_package()
+        job = Job(1000)
+        package.cores[0].dispatch(job)
+        sim.run()
+        assert job.account is None
+
+    def test_first_start_records_queue_wait(self):
+        sim, package = make_package()
+        core = package.cores[0]
+        core.dispatch(Job(3.1e9 * 20e-6))       # occupies the core 20 us
+        waiting = accounted_job(1000)
+        core.enqueue_pending(waiting)
+        sim.run()
+        assert waiting.account.first_start_ns == 20 * US
+
+
+class TestPreemption:
+    def test_preempted_wall_time_not_charged(self):
+        sim, package = make_package()
+        core = package.cores[0]
+        job = accounted_job(3.1e9 * 40e-6)       # 40 us of work at P0
+        core.dispatch(job)
+        # A 10 us kernel handler lands mid-job.
+        handler = accounted_job(3.1e9 * 10e-6, kernel=True)
+        sim.schedule(15 * US, lambda: core.dispatch(handler, preempt=True))
+        sim.run()
+        assert job.account.cpu_ns == 40 * US      # its own on-CPU time only
+        assert job.account.cycles == pytest.approx(3.1e9 * 40e-6)
+        assert handler.account.cpu_ns == 10 * US
+        assert handler.account.first_start_ns == 15 * US
+        assert sim.now == 50 * US                 # total wall time
+
+    def test_cycles_split_across_resume(self):
+        sim, package = make_package()
+        core = package.cores[0]
+        job = accounted_job(3.1e9 * 40e-6)
+        core.dispatch(job)
+        sim.schedule(
+            15 * US, lambda: core.dispatch(Job(3.1e9 * 10e-6), preempt=True)
+        )
+        sim.run()
+        # Charged in two segments (15 us before, 25 us after) that sum
+        # exactly to the job's cycle budget.
+        assert job.account.cycles == pytest.approx(job.total_cycles)
+
+
+class TestDvfs:
+    def test_cycles_exact_across_frequency_change(self):
+        sim, package = make_package(initial_pstate=14)  # 0.8 GHz
+        core = package.cores[0]
+        cycles = 0.8e9 * 100e-6                  # 100 us at 0.8 GHz
+        job = accounted_job(cycles)
+        core.dispatch(job)
+        sim.schedule(10 * US, lambda: package.set_pstate(0))
+        sim.run()
+        account = job.account
+        assert account.cycles == pytest.approx(cycles)
+        # Ramp-up mid-job: finishes faster than at 0.8 GHz throughout,
+        # but the halt window stalls the job rather than retiring cycles.
+        assert account.stall_ns > 0
+        assert account.cpu_ns + account.stall_ns == sim.now
+        # The attribution identity: on-CPU time above the ideal F_max
+        # cost is the DVFS penalty, and it is positive for a ramp.
+        ideal_ns = account.cycles / package.max_frequency_hz * 1e9
+        assert account.cpu_ns + account.stall_ns > ideal_ns
+
+    def test_stall_charged_to_current_job_only(self):
+        sim, package = make_package(initial_pstate=14)
+        core = package.cores[0]
+        running = accounted_job(0.8e9 * 100e-6)
+        queued = accounted_job(1000)
+        core.dispatch(running)
+        core.enqueue_pending(queued)
+        sim.schedule(10 * US, lambda: package.set_pstate(0))
+        sim.run()
+        assert running.account.stall_ns > 0
+        assert queued.account.stall_ns == 0

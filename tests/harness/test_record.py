@@ -46,6 +46,38 @@ class TestJsonDict:
             ResultRecord.from_json_dict(data)
 
 
+class TestSchemaV3:
+    def test_plain_run_has_empty_attribution(self, record):
+        assert record.attribution == {}
+        assert record.to_json_dict()["attribution"] == {}
+
+    def test_v2_payload_rejected(self, record):
+        data = record.to_json_dict()
+        data["schema"] = 2
+        del data["attribution"]  # v2 records predate the field
+        with pytest.raises(ValueError, match="schema 2"):
+            ResultRecord.from_json_dict(data)
+
+    def test_attributed_run_round_trips(self):
+        from repro.analysis.attribution import AttributionSink
+        from repro.cluster.simulation import ExperimentConfig, run_experiment
+        from repro.harness.hashing import config_hash
+
+        config = ExperimentConfig.from_settings(
+            TINY, app="apache", policy="ond.idle", target_rps=24_000.0
+        )
+        result = run_experiment(config, sinks=[AttributionSink()])
+        record = ResultRecord.from_result(
+            result, config_hash=config_hash(config), seed=config.seed
+        )
+        assert record.attribution["count"] > 0
+        assert "p99.wake_ramp_share" in record.attribution
+        assert "mean.wake_ns" in record.attribution
+        clone = ResultRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+        assert clone.attribution == record.attribution
+
+
 class TestViews:
     def test_latency_and_energy_rebuild(self, record):
         assert record.latency.p95_ns == record.p95_ns

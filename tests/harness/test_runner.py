@@ -87,6 +87,45 @@ class TestRunnerMechanics:
         assert fresh.misses == 1
 
 
+class TestSchemaInvalidation:
+    def seed_stale_entries(self, cache, records, schema):
+        """Rewrite cached entries as if written by an older schema."""
+        for record in records:
+            path = cache.path_for(record.config_hash)
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            data["schema"] = schema
+            data.pop("attribution", None)  # v2 records predate the field
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(data, fh)
+
+    def test_stale_schema_is_miss_with_one_counted_warning(
+        self, tmp_path, caplog
+    ):
+        cache = ResultCache(str(tmp_path))
+        records = run_sweep(SWEEP, jobs=1, cache=cache)
+        self.seed_stale_entries(cache, records, schema=2)
+
+        fresh = ResultCache(str(tmp_path))
+        with caplog.at_level("WARNING", logger="repro.harness.cache"):
+            for record in records:
+                assert fresh.get(record.config_hash) is None
+        assert fresh.misses == len(records)
+        warnings = [r for r in caplog.records if "older record schemas"
+                    in r.getMessage()]
+        assert len(warnings) == 1  # once per cache, not once per entry
+        assert f"{len(records)} entries" in warnings[0].getMessage()
+
+    def test_current_schema_does_not_warn(self, tmp_path, caplog):
+        cache = ResultCache(str(tmp_path))
+        records = run_sweep(SWEEP.expand()[:1], jobs=1, cache=cache)
+        fresh = ResultCache(str(tmp_path))
+        with caplog.at_level("WARNING", logger="repro.harness.cache"):
+            assert fresh.get(records[0].config_hash) is not None
+        assert not [r for r in caplog.records
+                    if "older record schemas" in r.getMessage()]
+
+
 class TestResolveJobs:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV, "7")

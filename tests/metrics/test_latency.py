@@ -17,11 +17,71 @@ class TestLatencyStats:
         assert stats.max_ns == 100
         assert stats.mean_ns == pytest.approx(50.5)
 
-    def test_percentile_accessor(self):
+    def test_percentile_canned_fast_path(self):
         stats = LatencyStats.from_values([1, 2, 3, 4])
         assert stats.percentile(50) == stats.p50_ns
-        with pytest.raises(KeyError):
-            stats.percentile(42)
+        assert stats.percentile(90.0) == stats.p90_ns
+        assert stats.percentile(95) == stats.p95_ns
+        assert stats.percentile(99) == stats.p99_ns
+
+    def test_percentile_arbitrary_from_sketch(self):
+        import numpy as np
+
+        values = list(range(1, 10_001))
+        stats = LatencyStats.from_values(values)
+        assert stats.sketch is not None
+        for q in (75, 92.5, 99.9):
+            assert stats.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=0.02
+            )
+        assert stats.percentile(100) == stats.max_ns
+
+    def test_percentile_interpolates_without_sketch(self):
+        # Records rebuilt from JSON carry no sketch: arbitrary quantiles
+        # come from monotone interpolation over the canned anchors.
+        stats = LatencyStats(
+            count=100, mean_ns=50.0, p50_ns=50.0, p90_ns=90.0,
+            p95_ns=95.0, p99_ns=99.0, max_ns=100.0,
+        )
+        assert stats.percentile(92.5) == pytest.approx(92.5)
+        assert stats.percentile(99.5) == pytest.approx(99.5)
+        assert stats.percentile(97.0) == pytest.approx(97.0)
+        # Below the median everything clamps to p50 (the lower half of
+        # the distribution is not retained in records).
+        assert stats.percentile(10) == 50.0
+
+    def test_percentile_rejects_out_of_range(self):
+        stats = LatencyStats.from_values([1, 2, 3])
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+        with pytest.raises(ValueError):
+            stats.percentile(-1)
+
+    def test_percentile_empty_is_nan(self):
+        stats = LatencyStats.from_values([])
+        assert math.isnan(stats.percentile(75))
+
+    def test_from_sketch_round_trip(self):
+        from repro.analysis.sketch import StreamingSketch
+
+        values = [float(v) for v in range(1, 2_001)]
+        sketch = StreamingSketch()
+        sketch.extend(values)
+        stats = LatencyStats.from_sketch(sketch)
+        exact = LatencyStats.from_values(values)
+        assert stats.count == exact.count
+        assert stats.mean_ns == pytest.approx(exact.mean_ns)
+        assert stats.max_ns == exact.max_ns
+        assert stats.p99_ns == pytest.approx(exact.p99_ns, rel=0.02)
+
+    def test_sketch_excluded_from_equality(self):
+        a = LatencyStats.from_values([1, 2, 3])
+        b = LatencyStats(
+            count=a.count, mean_ns=a.mean_ns, p50_ns=a.p50_ns,
+            p90_ns=a.p90_ns, p95_ns=a.p95_ns, p99_ns=a.p99_ns,
+            max_ns=a.max_ns,
+        )
+        assert a == b
 
     def test_empty_input_yields_nans(self):
         stats = LatencyStats.from_values([])

@@ -86,6 +86,47 @@ class TestProbeBus:
         # ...including points created later.
         assert not bus.point("y").enabled
 
+    def test_unsubscribe_leaves_other_subscribers_attached(self):
+        bus = ProbeBus()
+        wildcard, exact, prefixed = [], [], []
+        bus.subscribe("*", wildcard.append)
+        bus.subscribe("cpu.cstate", exact.append)
+        bus.subscribe("cpu.*", prefixed.append)
+        point = bus.point("cpu.cstate")
+
+        bus.unsubscribe(exact.append)
+        assert point.enabled
+        point.emit("evt")
+        assert wildcard == ["evt"]
+        assert prefixed == ["evt"]
+        assert exact == []
+
+    def test_unsubscribe_removes_all_patterns_of_one_fn(self):
+        # One callable subscribed under several patterns: a single
+        # unsubscribe must detach every registration (and deliver each
+        # event at most once while subscribed).
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.subscribe("cpu.*", seen.append)
+        bus.subscribe("cpu.cstate", seen.append)
+        point = bus.point("cpu.cstate")
+        point.emit("first")
+        bus.unsubscribe(seen.append)
+        point.emit("second")
+        assert not point.enabled
+        assert not bus.point("cpu.pstate").enabled
+        assert "second" not in seen
+
+    def test_unsubscribe_unknown_fn_is_noop(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("a", seen.append)
+        bus.unsubscribe(print)  # never subscribed
+        point = bus.point("a")
+        point.emit(1)
+        assert seen == [1]
+
 
 class TestTelemetryFacade:
     def test_probe_and_stats_share_the_instance(self):
