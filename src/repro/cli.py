@@ -9,6 +9,8 @@ Commands:
 - ``headline`` — the abstract's savings table;
 - ``attribute``— per-policy critical-path tail-blame tables with auditing;
 - ``trace``    — run one experiment and export Chrome-trace (Perfetto) JSON;
+- ``dashboard``— run one experiment with the flight recorder and write a
+  self-contained HTML timeline dashboard;
 - ``policies`` — list the policy registry.
 
 Every command prints the same plain-text reports the benchmark suite
@@ -273,6 +275,43 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Named experiment presets for ``repro dashboard``.
+DASHBOARD_PRESETS = {
+    "fig4": dict(app="apache", policy="ond.idle", target_rps=24_000.0),
+    "headline": dict(app="apache", policy="ncap.cons", target_rps=24_000.0),
+    "memcached": dict(app="memcached", policy="ond.idle", target_rps=90_000.0),
+}
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.viz import dashboard_from_result, write_dashboard
+
+    settings = _settings(args)
+    params = dict(DASHBOARD_PRESETS[args.experiment])
+    if args.app is not None:
+        params["app"] = args.app
+    if args.policy is not None:
+        params["policy"] = args.policy
+    if args.rps is not None:
+        params["target_rps"] = args.rps
+    elif args.load is not None:
+        params["target_rps"] = load_level(params["app"], args.load).target_rps
+    config = ExperimentConfig.from_settings(settings, **params)
+    result = run_experiment(config, record_timeseries=args.record)
+    page = dashboard_from_result(
+        result,
+        config=config,
+        title=f"Flight recorder - {params['app']} / {params['policy']}",
+    )
+    path = write_dashboard(page, args.out)
+    n_series = len(result.timeseries.series)
+    print(
+        f"wrote dashboard ({n_series} series, "
+        f"{len(result.timeseries.fired)} watchpoint firings) to {path}"
+    )
+    return 0
+
+
 def cmd_attribute(args: argparse.Namespace) -> int:
     settings = _settings(args)
     if args.quick:
@@ -421,6 +460,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", default="trace.json",
                       help="output path (default: trace.json)")
     p_tr.set_defaults(fn=cmd_trace)
+
+    p_dash = add_parser(
+        "dashboard",
+        help="run one experiment with the flight recorder and write a "
+             "self-contained HTML timeline dashboard",
+    )
+    p_dash.add_argument("experiment", nargs="?", default="fig4",
+                        choices=tuple(DASHBOARD_PRESETS),
+                        help="experiment preset to record")
+    p_dash.add_argument("--app", choices=tuple(LOAD_LEVELS),
+                        help="override the preset's application")
+    p_dash.add_argument("--policy", choices=tuple(POLICIES),
+                        help="override the preset's policy")
+    p_dash.add_argument("--load", choices=("low", "medium", "high"),
+                        help="override the preset's load level")
+    p_dash.add_argument("--rps", type=float, help="explicit offered load")
+    p_dash.add_argument("--record", choices=("coarse", "fine"),
+                        default="coarse", help="recorder cadence preset")
+    p_dash.add_argument("--out", default="dashboard.html",
+                        help="output path (default: dashboard.html)")
+    p_dash.set_defaults(fn=cmd_dashboard)
 
     p_exp = add_parser(
         "export-trace", help="run traced and dump Figure-4 series as CSV"

@@ -23,6 +23,7 @@ from repro.apps.client import (
 from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
 from repro.cluster.node import ServerNode
 from repro.cluster.policies import PolicyConfig
+from repro.cluster.recording import build_server_recorder, utilization_source
 from repro.core.config import NCAPConfig
 from repro.cpu.config import ProcessorConfig
 from repro.cpu.energy import EnergyReport
@@ -37,6 +38,12 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTraceRecorder, TraceRecorder
 from repro.sim.units import MS, US, gbps
 from repro.telemetry import ChannelSink, Telemetry
+from repro.telemetry.recorder import (
+    TimeSeriesRecorder,
+    TimeseriesBundle,
+    resolve_recorder_config,
+)
+from repro.telemetry.triggers import Watchpoint
 
 
 @dataclass
@@ -133,6 +140,11 @@ class ExperimentResult:
     #: :class:`~repro.analysis.attribution.AttributionSink` was attached.
     #: Additive: None on plain runs.
     attribution: Optional[AttributionReport] = None
+    #: Flight-recorder capture, populated when the run was built with
+    #: ``record_timeseries=`` (a preset name, ``True``, or a
+    #: :class:`~repro.telemetry.recorder.RecorderConfig`).  Plain
+    #: JSON-able data — the result stays picklable for pool sweeps.
+    timeseries: Optional[TimeseriesBundle] = None
     trace: Optional[TraceRecorder] = None
     server: Optional[ServerNode] = None
 
@@ -150,6 +162,8 @@ class Cluster:
         sinks: Optional[Iterable] = None,
         audit: bool = False,
         streaming_latency: bool = False,
+        record_timeseries: Union[None, bool, str, object] = None,
+        watchpoints: Optional[Iterable[Watchpoint]] = None,
     ):
         self.config = config
         self.sim = Simulator()
@@ -208,6 +222,37 @@ class Cluster:
         self.latency_sketch: Optional[StreamingSketch] = (
             StreamingSketch() if streaming_latency else None
         )
+        #: Flight recorder — an observer like sinks/audit, never a config
+        #: field.  ``record_timeseries=`` builds the full standard-series
+        #: recorder (and exports a bundle on the result); with only
+        #: ``collect_traces`` a minimal recorder keeps the legacy
+        #: ``<node>.cpu.util`` channel alive at the retired
+        #: UtilizationSampler's exact cadence and bin math.
+        self.recorder: Optional[TimeSeriesRecorder] = None
+        self._export_timeseries = False
+        recorder_config = resolve_recorder_config(record_timeseries)
+        if recorder_config is not None:
+            self.recorder = build_server_recorder(
+                self.sim,
+                self.server,
+                recorder_config,
+                trace=self.trace if config.collect_traces else None,
+            )
+            for watchpoint in watchpoints or ():
+                self.recorder.add_watchpoint(watchpoint)
+            self._export_timeseries = True
+        elif config.collect_traces:
+            interval_ns = 1 * MS
+            recorder = TimeSeriesRecorder(
+                self.sim, telemetry=self.telemetry, interval_ns=interval_ns
+            )
+            channel = self.trace.event_channel(f"{self.server.name}.cpu.util")
+            recorder.add_source(
+                "cpu.util",
+                utilization_source(self.server.package, interval_ns),
+                tap=channel.record,
+            )
+            self.recorder = recorder
 
         burst_size = (
             config.burst_size
@@ -279,14 +324,8 @@ class Cluster:
         """Drive the cluster through warmup, measurement, and drain."""
         config = self.config
         self.server.start()
-        if config.collect_traces:
-            from repro.metrics.timeseries import UtilizationSampler
-
-            sampler = UtilizationSampler(
-                self.sim, self.server.package, self.trace,
-                channel=f"{self.server.name}.cpu.util",
-            )
-            sampler.start()
+        if self.recorder is not None:
+            self.recorder.start()
         # Clients start aligned: their bursts aggregate into the BW(Rx)
         # surges of Figure 4 (the paper's clients are synchronized periodic
         # sources).  The small per-period jitter keeps the alignment from
@@ -375,6 +414,9 @@ class Cluster:
             attribution=(
                 self.attribution.summary() if self.attribution is not None else None
             ),
+            timeseries=(
+                self.recorder.bundle() if self._export_timeseries else None
+            ),
             trace=self.trace if config.collect_traces else None,
             server=self.server if keep_server else None,
         )
@@ -386,6 +428,8 @@ def run_experiment(
     sinks: Optional[Iterable] = None,
     audit: bool = False,
     streaming_latency: bool = False,
+    record_timeseries: Union[None, bool, str, object] = None,
+    watchpoints: Optional[Iterable[Watchpoint]] = None,
 ) -> ExperimentResult:
     """Build and run one cluster experiment.
 
@@ -399,8 +443,17 @@ def run_experiment(
     attaches an :class:`~repro.analysis.audit.InvariantAuditor` that
     raises on any inconsistency; ``streaming_latency=True`` aggregates
     latency through an O(1)-memory sketch instead of retaining every RTT.
+    ``record_timeseries`` (``True``, ``"coarse"``/``"fine"``, or a
+    :class:`~repro.telemetry.recorder.RecorderConfig`) attaches the
+    flight recorder and populates ``result.timeseries``; ``watchpoints``
+    arms :class:`~repro.telemetry.triggers.Watchpoint` triggers on it.
     None of these are config fields, so none invalidate cached results.
     """
     return Cluster(
-        config, sinks=sinks, audit=audit, streaming_latency=streaming_latency
+        config,
+        sinks=sinks,
+        audit=audit,
+        streaming_latency=streaming_latency,
+        record_timeseries=record_timeseries,
+        watchpoints=watchpoints,
     ).run(keep_server=keep_server)

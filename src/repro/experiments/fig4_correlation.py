@@ -8,7 +8,9 @@ bursts and churns through short C-state visits as a surge begins.
 Outputs:
 
 - 1 ms-binned series of BW(Rx), BW(Tx) (normalized to their maxima, as in
-  the paper), mean core utilization U, and frequency F;
+  the paper), mean core utilization U, and frequency F — all sampled by
+  the flight recorder (``record_timeseries=``) rather than bespoke trace
+  channels;
 - Pearson correlations between the series (the "strong correlation" claim);
 - the ondemand reaction lag: how far F's rise trails the BW(Rx) surge
   (the paper measures ~11 ms with a 10 ms invocation period);
@@ -25,8 +27,9 @@ import numpy as np
 from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments.common import RunSettings
 from repro.metrics.report import format_series, format_table
-from repro.metrics.timeseries import bandwidth_series_mbps, normalized_series
+from repro.metrics.timeseries import normalized_series
 from repro.sim.units import MS
+from repro.telemetry.recorder import RecorderConfig, SeriesData
 
 
 @dataclass
@@ -53,24 +56,23 @@ def run(
         app=app,
         policy=policy,
         target_rps=target_rps,
-        collect_traces=True,
         warmup_ns=settings.warmup_ns,
         measure_ns=settings.measure_ns,
         drain_ns=settings.drain_ns,
         seed=settings.seed,
     )
-    result = run_experiment(config)
-    trace = result.trace
-    assert trace is not None
+    result = run_experiment(
+        config, record_timeseries=RecorderConfig(interval_ns=bin_ns)
+    )
+    bundle = result.timeseries
+    assert bundle is not None
     start = config.warmup_ns
     end = config.warmup_ns + config.measure_ns
 
-    bw_rx = bandwidth_series_mbps(trace, "server.rx_bytes", start, end, bin_ns)
-    bw_tx = bandwidth_series_mbps(trace, "server.tx_bytes", start, end, bin_ns)
-    util = trace.event_channel("server.cpu.util").step_series(start, end, bin_ns)
-    freq = trace.event_channel("server.cpu.freq_ghz").step_series(
-        start, end, bin_ns, default=3.1
-    )
+    bw_rx = _bandwidth_mbps(bundle.get("nic.rx.bytes"), start, end)
+    bw_tx = _bandwidth_mbps(bundle.get("nic.tx.bytes"), start, end)
+    util = _window(bundle.get("cpu.util"), start, end)
+    freq = _window(bundle.get("cpu.freq_ghz"), start, end)
 
     rx_vals = np.array([v for _, v in bw_rx])
     util_vals = np.array([v for _, v in util][: len(rx_vals)])
@@ -99,6 +101,28 @@ def run(
         },
         cstate_entries=result.cstate_entries,
     )
+
+
+def _window(
+    series: SeriesData, start_ns: int, end_ns: int
+) -> List[Tuple[int, float]]:
+    """Samples with ``start <= t <= end`` (the old step-series grid)."""
+    return [(t, v) for t, v in series.points() if start_ns <= t <= end_ns]
+
+
+def _bandwidth_mbps(
+    series: SeriesData, start_ns: int, end_ns: int
+) -> List[Tuple[int, float]]:
+    """Per-bin bandwidth (Mb/s) from a cumulative byte counter, labelled
+    by bin start (the old ``CounterChannel.rate_series`` layout)."""
+    out: List[Tuple[int, float]] = []
+    for i in range(1, len(series.times)):
+        t_prev, t = series.times[i - 1], series.times[i]
+        if not (start_ns <= t_prev < end_ns) or t <= t_prev:
+            continue
+        rate_bytes_s = (series.values[i] - series.values[i - 1]) * 1e9 / (t - t_prev)
+        out.append((t_prev, rate_bytes_s * 8 / 1e6))
+    return out
 
 
 def _safe_corr(a: np.ndarray, b: np.ndarray) -> float:

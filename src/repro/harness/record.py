@@ -23,7 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: versions are discarded instead of misread.
 #: v2: added ``counters`` — the full namespaced stats-registry snapshot.
 #: v3: added ``attribution`` — flattened critical-path tail-blame report.
-RECORD_SCHEMA_VERSION = 3
+#: v4: added ``timeseries`` — the flight recorder's serialized bundle.
+RECORD_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -61,6 +62,11 @@ class ResultRecord:
     #: ``p99.wake_ramp_share``, …) when the run attached an
     #: :class:`~repro.analysis.attribution.AttributionSink`; empty otherwise.
     attribution: Dict[str, float] = field(default_factory=dict)
+    #: Serialized flight-recorder capture
+    #: (:meth:`~repro.telemetry.recorder.TimeseriesBundle.to_json_dict`)
+    #: when the run was built with ``record_timeseries=``; empty
+    #: otherwise.  Rebuild with :meth:`timeseries_bundle`.
+    timeseries: Dict[str, object] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -102,6 +108,11 @@ class ResultRecord:
                 if result.attribution is not None
                 else {}
             ),
+            timeseries=(
+                result.timeseries.to_json_dict()
+                if result.timeseries is not None
+                else {}
+            ),
         )
 
     # -- views ----------------------------------------------------------
@@ -131,6 +142,16 @@ class ResultRecord:
     @property
     def normalized_latency(self) -> Dict[str, float]:
         return self.latency.normalized_to(self.sla_ns)
+
+    def timeseries_bundle(self):
+        """The flight-recorder capture, rebuilt as a
+        :class:`~repro.telemetry.recorder.TimeseriesBundle` (None when the
+        run recorded no timeseries)."""
+        if not self.timeseries:
+            return None
+        from repro.telemetry.recorder import TimeseriesBundle
+
+        return TimeseriesBundle.from_json_dict(self.timeseries)
 
     # -- JSON round-trip ------------------------------------------------
 

@@ -1,7 +1,19 @@
-"""Time-series sampling helpers for Figure 4 / 8 / 9 style traces."""
+"""Time-series sampling helpers for Figure 4 / 8 / 9 style traces.
+
+:class:`UtilizationSampler` is deprecated: it survives as a thin wrapper
+over the flight recorder
+(:class:`~repro.telemetry.recorder.TimeSeriesRecorder`), which samples
+the same utilization bins through
+:func:`repro.cluster.recording.utilization_source` — plus everything
+else — with bounded memory and idempotent start/stop.  The wrapper also
+fixes the old double-schedule bug: ``stop()`` used to leave its queued
+sampling callback alive, so ``start()`` before that callback fired
+stacked a second sampling chain on top of the first.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Sequence, Tuple
 
 from repro.cpu.package import ClockDomain
@@ -11,9 +23,13 @@ from repro.sim.units import MS
 
 
 class UtilizationSampler:
-    """Periodically samples mean core utilization into a trace channel.
+    """Deprecated: use a :class:`~repro.telemetry.recorder.TimeSeriesRecorder`
+    (see :func:`repro.cluster.recording.build_server_recorder`).
 
-    Pure instrumentation: sampling costs no simulated CPU time.
+    Periodically samples mean core utilization into a trace channel.
+    Pure instrumentation: sampling costs no simulated CPU time.  Kept as
+    a compatibility shim over the recorder; bins are bit-identical with
+    the original implementation.
     """
 
     def __init__(
@@ -24,32 +40,33 @@ class UtilizationSampler:
         bin_ns: int = 1 * MS,
         channel: str = "cpu.util",
     ):
-        self._sim = sim
-        self._package = package
-        self._channel = trace.event_channel(channel)
+        warnings.warn(
+            "UtilizationSampler is deprecated; use TimeSeriesRecorder "
+            "(repro.cluster.recording.build_server_recorder) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.cluster.recording import utilization_source
+        from repro.telemetry.recorder import TimeSeriesRecorder
+
         self.bin_ns = bin_ns
-        self._last_busy = package.busy_ns_per_core()
-        self._running = False
+        self._package = package
+        self._source_state = utilization_source(package, bin_ns)
+        self._recorder = TimeSeriesRecorder(sim, interval_ns=bin_ns)
+        self._recorder.add_source(
+            "cpu.util",
+            self._source_state,
+            tap=trace.event_channel(channel).record,
+        )
 
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._last_busy = self._package.busy_ns_per_core()
-        self._sim.schedule(self.bin_ns, self._sample)
+        """Idempotent; re-snapshots the busy baseline like the original."""
+        if not self._recorder.running:
+            self._source_state.reset()
+        self._recorder.start()
 
     def stop(self) -> None:
-        self._running = False
-
-    def _sample(self) -> None:
-        if not self._running:
-            return
-        busy = self._package.busy_ns_per_core()
-        deltas = [b - last for b, last in zip(busy, self._last_busy)]
-        self._last_busy = busy
-        mean_util = sum(deltas) / (len(deltas) * self.bin_ns)
-        self._channel.record(self._sim.now, min(1.0, mean_util))
-        self._sim.schedule(self.bin_ns, self._sample)
+        self._recorder.stop()
 
 
 def bandwidth_series_mbps(

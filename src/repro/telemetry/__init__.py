@@ -34,8 +34,23 @@ from repro.telemetry.events import (  # noqa: F401 - re-exported
     RequestAccounting,
     RequestPhase,
     RingOccupancy,
+    WatchpointFired,
 )
 from repro.telemetry.probes import ProbeBus, ProbePoint  # noqa: F401
+from repro.telemetry.recorder import (  # noqa: F401 - re-exported
+    RecorderConfig,
+    TimeseriesBundle,
+    TimeSeriesRecorder,
+    resolve_recorder_config,
+)
+from repro.telemetry.triggers import (  # noqa: F401 - re-exported
+    Watchpoint,
+    quantile_above,
+    rate_above,
+    spike,
+    threshold_above,
+    threshold_below,
+)
 from repro.telemetry.registry import (  # noqa: F401 - re-exported
     Counter,
     Distribution,

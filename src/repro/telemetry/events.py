@@ -20,6 +20,7 @@ Standard probe point names:
 ``ncap.wake``               :class:`NcapWake` (proactive wake interrupts)
 ``request.span``            :class:`RequestPhase` (per-request lifecycle)
 ``request.account``         :class:`RequestAccounting` (execution account)
+``telemetry.watchpoint``    :class:`WatchpointFired` (flight-recorder trips)
 ==========================  ================================================
 """
 
@@ -197,6 +198,24 @@ class RequestAccounting:
         return f"{self.src}/{self.req_id}"
 
 
+@dataclass(frozen=True)
+class WatchpointFired:
+    """A flight-recorder watchpoint tripped.
+
+    Emitted on ``telemetry.watchpoint`` by
+    :class:`~repro.telemetry.recorder.TimeSeriesRecorder` when a
+    :class:`~repro.telemetry.triggers.Watchpoint` predicate goes
+    False→True; the recorder simultaneously opens a high-resolution
+    capture window around ``t_ns``.
+    """
+
+    t_ns: int
+    name: str            # watchpoint name, e.g. "queue-overload"
+    series: str          # the watched series, e.g. "runq.depth"
+    value: float         # the sample that tripped the predicate
+    detail: str = ""     # human-readable predicate description
+
+
 ProbeEvent = Union[
     CStateTransition,
     PStateChange,
@@ -209,4 +228,5 @@ ProbeEvent = Union[
     NcapWake,
     RequestPhase,
     RequestAccounting,
+    WatchpointFired,
 ]

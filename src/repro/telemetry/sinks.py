@@ -29,6 +29,7 @@ from repro.telemetry.events import (
     PacketClassified,
     PStateChange,
     RequestPhase,
+    WatchpointFired,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -111,6 +112,7 @@ class ChromeTraceSink:
         bus.subscribe("governor.decision", self._on_decision)
         bus.subscribe("ncap.wake", self._on_wake)
         bus.subscribe("request.span", self._on_request)
+        bus.subscribe("telemetry.watchpoint", self._on_watchpoint)
         if self.include_irq:
             bus.subscribe("irq.delivered", self._on_irq)
         if self.include_classify:
@@ -197,6 +199,23 @@ class ChromeTraceSink:
                 "ph": "i",
                 "s": "p",
                 "args": {"engine": event.engine},
+            },
+            event.t_ns,
+            0,
+        )
+
+    def _on_watchpoint(self, event: WatchpointFired) -> None:
+        self._add(
+            {
+                "name": f"watchpoint.{event.name}",
+                "cat": "recorder",
+                "ph": "i",
+                "s": "g",
+                "args": {
+                    "series": event.series,
+                    "value": event.value,
+                    "detail": event.detail,
+                },
             },
             event.t_ns,
             0,

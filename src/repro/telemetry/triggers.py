@@ -1,0 +1,212 @@
+"""Watchpoints: predicates over recorded series that trigger close-up capture.
+
+A :class:`Watchpoint` watches one series of a
+:class:`~repro.telemetry.recorder.TimeSeriesRecorder`.  After every
+base-cadence sample the predicate is evaluated over the series' recent
+window; on a False→True edge the watchpoint *fires*:
+
+* the recorder opens a high-resolution capture window (every source
+  sampled at ``interval_ns / hires_factor`` for ``capture_ns``);
+* a typed :class:`~repro.telemetry.events.WatchpointFired` event is
+  emitted on the ``telemetry.watchpoint`` probe point (which the
+  :class:`~repro.telemetry.sinks.ChromeTraceSink` renders as an instant
+  marker);
+* the firing is recorded in the run's
+  :class:`~repro.telemetry.recorder.TimeseriesBundle`.
+
+Firing is edge-triggered with re-arm-on-clear semantics: while the
+capture window is open the watchpoint stays quiet, and after it closes
+the predicate must observe False once before it can fire again — a
+sustained overload produces one window per excursion, not one per tick.
+
+Predicates are small callables over a :class:`SeriesView`; the built-ins
+cover the common shapes:
+
+* :func:`threshold_above` / :func:`threshold_below` — a gauge crossing a
+  level;
+* :func:`quantile_above` — a windowed quantile (e.g. p99 queue depth)
+  exceeding a bound;
+* :func:`rate_above` — a cumulative counter's per-second rate exceeding a
+  bound;
+* :func:`spike` — the last step exceeding a multiple of the recent mean
+  step (counter rate spikes without an absolute calibration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.recorder import SeriesBuffer, TimeSeriesRecorder
+
+
+class SeriesView:
+    """What a predicate sees: the watched series' recent retained samples."""
+
+    __slots__ = ("name", "interval_ns", "_buffer")
+
+    def __init__(self, name: str, interval_ns: int, buffer: "SeriesBuffer"):
+        self.name = name
+        self.interval_ns = interval_ns
+        self._buffer = buffer
+
+    def tail(self, n: int) -> List[float]:
+        return self._buffer.tail(n)
+
+    @property
+    def last(self) -> Optional[float]:
+        values = self._buffer.values
+        return values[-1] if values else None
+
+    @property
+    def stride_ns(self) -> int:
+        """Spacing of retained samples (grows with decimation)."""
+        return self.interval_ns * self._buffer.stride
+
+
+Predicate = Callable[[SeriesView], bool]
+
+
+def threshold_above(threshold: float) -> Predicate:
+    """True while the latest sample exceeds ``threshold``."""
+
+    def predicate(view: SeriesView) -> bool:
+        last = view.last
+        return last is not None and last > threshold
+
+    predicate.description = f"value > {threshold:g}"  # type: ignore[attr-defined]
+    return predicate
+
+
+def threshold_below(threshold: float) -> Predicate:
+    """True while the latest sample is under ``threshold``."""
+
+    def predicate(view: SeriesView) -> bool:
+        last = view.last
+        return last is not None and last < threshold
+
+    predicate.description = f"value < {threshold:g}"  # type: ignore[attr-defined]
+    return predicate
+
+
+def quantile_above(q: float, threshold: float, window: int = 32) -> Predicate:
+    """True while the ``q``-quantile of the last ``window`` samples exceeds
+    ``threshold`` (e.g. ``quantile_above(0.99, 8)`` — p99 queue depth > 8)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if window < 2:
+        raise ValueError("window must be at least 2")
+
+    def predicate(view: SeriesView) -> bool:
+        values = sorted(view.tail(window))
+        if len(values) < 2:
+            return False
+        # Nearest-rank with linear interpolation on the sorted window.
+        pos = q * (len(values) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        value = values[lo] + (values[hi] - values[lo]) * (pos - lo)
+        return value > threshold
+
+    predicate.description = (  # type: ignore[attr-defined]
+        f"p{q * 100:g} over {window} samples > {threshold:g}"
+    )
+    return predicate
+
+
+def rate_above(per_second: float) -> Predicate:
+    """True while a cumulative counter's latest per-second rate exceeds
+    ``per_second``."""
+
+    def predicate(view: SeriesView) -> bool:
+        tail = view.tail(2)
+        if len(tail) < 2:
+            return False
+        rate = (tail[1] - tail[0]) * 1e9 / view.stride_ns
+        return rate > per_second
+
+    predicate.description = f"rate > {per_second:g}/s"  # type: ignore[attr-defined]
+    return predicate
+
+
+def spike(factor: float = 4.0, window: int = 16) -> Predicate:
+    """True when the latest step jumps past ``factor`` x the mean of the
+    preceding steps — a counter rate spike without an absolute bound."""
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    if window < 3:
+        raise ValueError("window must be at least 3")
+
+    def predicate(view: SeriesView) -> bool:
+        tail = view.tail(window)
+        if len(tail) < 3:
+            return False
+        steps = [b - a for a, b in zip(tail, tail[1:])]
+        last = steps[-1]
+        baseline = sum(steps[:-1]) / len(steps[:-1])
+        if baseline <= 0:
+            return last > 0
+        return last > factor * baseline
+
+    predicate.description = (  # type: ignore[attr-defined]
+        f"step > {factor:g}x mean of last {window}"
+    )
+    return predicate
+
+
+class Watchpoint:
+    """One armed predicate over one recorded series."""
+
+    def __init__(
+        self,
+        name: str,
+        series: str,
+        predicate: Predicate,
+        capture_ns: int = 5 * MS,
+        hires_factor: int = 8,
+    ):
+        if capture_ns <= 0:
+            raise ValueError("capture_ns must be positive")
+        if hires_factor < 2:
+            raise ValueError("hires_factor must be at least 2")
+        self.name = name
+        self.series = series
+        self.predicate = predicate
+        self.capture_ns = int(capture_ns)
+        self.hires_factor = int(hires_factor)
+        self.fire_count = 0
+        self._armed = True
+        self._capturing = False
+
+    @property
+    def description(self) -> str:
+        return getattr(self.predicate, "description", "custom predicate")
+
+    def evaluate(self, recorder: "TimeSeriesRecorder", t_ns: int) -> None:
+        """Called by the recorder after each base-cadence sample."""
+        if self._capturing:
+            return
+        buffer = recorder.buffer(self.series)
+        if buffer is None or not len(buffer):
+            return
+        view = SeriesView(self.series, recorder.interval_ns, buffer)
+        tripped = bool(self.predicate(view))
+        if not tripped:
+            self._armed = True
+            return
+        if not self._armed:
+            return
+        self._armed = False
+        self._capturing = True
+        self.fire_count += 1
+        recorder.open_capture(
+            self, t_ns, float(view.last or 0.0), self.description
+        )
+
+    def on_window_closed(self) -> None:
+        """The capture window ended; stay disarmed until the predicate
+        clears once (re-arm-on-clear)."""
+        self._capturing = False

@@ -1,0 +1,10 @@
+"""Self-contained HTML visualizations of simulation captures."""
+
+from repro.viz.dashboard import (  # noqa: F401 - re-exported
+    Panel,
+    PanelSeries,
+    dashboard_from_result,
+    render_dashboard,
+    standard_panels,
+    write_dashboard,
+)

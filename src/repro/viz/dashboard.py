@@ -1,0 +1,691 @@
+"""Single-file HTML timeline dashboard for flight-recorder captures.
+
+:func:`render_dashboard` turns a
+:class:`~repro.telemetry.recorder.TimeseriesBundle` into one
+self-contained HTML page — inline SVG, inline CSS, inline vanilla JS, no
+external dependencies — with vertically aligned timeline panels over
+simulated time:
+
+* package frequency (GHz),
+* per-core C-state index,
+* mean core utilization,
+* package power (W),
+* run-queue / rx-ring depth,
+* network bandwidth (Mb/s, differenced from the cumulative byte
+  counters),
+
+plus run-phase shading (warmup / measure / drain), watchpoint-firing
+markers with their high-resolution capture windows washed across every
+panel, a hover crosshair with a value tooltip, a light/dark theme that
+follows the OS preference, and a per-panel data table (the accessible
+fallback view).
+
+The categorical palette (4 slots per panel, assigned in fixed order) and
+the light/dark surface tokens were validated for CVD separation and
+contrast against both surfaces; series identity is never color-alone —
+every panel with two or more series carries an ink-text legend and the
+table view repeats the numbers.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.recorder import SeriesData, TimeseriesBundle
+
+#: Categorical slots, assigned per panel in this fixed order (never
+#: cycled): (light, dark) pairs validated against both surfaces.
+PALETTE: Tuple[Tuple[str, str], ...] = (
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+)
+
+#: Watchpoint / alert accents (status red; reserved, never a series slot).
+ALERT = ("#e34948", "#f2555f")
+
+# SVG geometry (CSS pixels; the page scales the viewBox responsively).
+WIDTH = 960
+PLOT_X0, PLOT_X1 = 64, 948
+PLOT_Y0, PLOT_Y1 = 10, 118
+PANEL_H = 132
+AXIS_PANEL_H = 156  # bottom panel keeps the x-axis labels
+
+MAX_TABLE_ROWS = 256
+
+
+@dataclass
+class PanelSeries:
+    """One plotted line: points in (t_ns, value) form."""
+
+    label: str
+    points: List[Tuple[int, float]]
+    step: bool = False  # render as a step (hold-last) line
+
+
+@dataclass
+class Panel:
+    """One timeline panel; series share the panel's single y-axis."""
+
+    title: str
+    unit: str
+    series: List[PanelSeries] = field(default_factory=list)
+    #: Lines don't need a zero baseline; magnitudes (power, depth) do.
+    zero_base: bool = True
+
+    def has_data(self) -> bool:
+        return any(s.points for s in self.series)
+
+
+def _series_points(series: SeriesData) -> List[Tuple[int, float]]:
+    return list(zip(series.times, series.values))
+
+
+def _rate_points_mbps(series: SeriesData) -> List[Tuple[int, float]]:
+    return [(t, rate * 8 / 1e6) for t, rate in series.rate_points()]
+
+
+def standard_panels(bundle: TimeseriesBundle) -> List[Panel]:
+    """The canonical panel layout for a server flight-recorder bundle.
+
+    Unrecognized series (extra ``RecorderConfig.patterns`` subtrees) each
+    get their own trailing panel — counters as per-second rates.
+    """
+    panels: List[Panel] = []
+    used: set = set()
+
+    def take(name: str) -> Optional[SeriesData]:
+        series = bundle.get(name)
+        if series is not None:
+            used.add(name)
+        return series
+
+    freq = take("cpu.freq_ghz")
+    if freq is not None:
+        panel = Panel("Frequency", "GHz", zero_base=False)
+        panel.series.append(PanelSeries("package", _series_points(freq), step=True))
+        for name in bundle.names():
+            if name.startswith("cpu.domain") and name.endswith(".freq_ghz"):
+                domain = take(name)
+                label = name[len("cpu."):-len(".freq_ghz")]
+                panel.series.append(
+                    PanelSeries(label, _series_points(domain), step=True)
+                )
+        panels.append(panel)
+
+    cstates = [n for n in bundle.names() if n.startswith("core") and n.endswith(".cstate")]
+    if cstates:
+        panel = Panel("C-state", "index")
+        for name in cstates:
+            panel.series.append(
+                PanelSeries(name[:-len(".cstate")], _series_points(take(name)), step=True)
+            )
+        panels.append(panel)
+
+    util = take("cpu.util")
+    if util is not None:
+        panels.append(Panel("Utilization", "U", [PanelSeries("mean util", _series_points(util))]))
+
+    power = take("power.watts")
+    if power is not None:
+        panels.append(Panel("Power", "W", [PanelSeries("package", _series_points(power))]))
+
+    runq = take("runq.depth")
+    ring = take("nic.rx_ring")
+    if runq is not None or ring is not None:
+        panel = Panel("Queues", "depth")
+        if runq is not None:
+            panel.series.append(PanelSeries("run queue", _series_points(runq)))
+        if ring is not None:
+            panel.series.append(PanelSeries("rx ring", _series_points(ring)))
+        panels.append(panel)
+
+    rx = take("nic.rx.bytes")
+    tx = take("nic.tx.bytes")
+    if rx is not None or tx is not None:
+        panel = Panel("Network", "Mb/s")
+        if rx is not None:
+            panel.series.append(PanelSeries("BW(Rx)", _rate_points_mbps(rx)))
+        if tx is not None:
+            panel.series.append(PanelSeries("BW(Tx)", _rate_points_mbps(tx)))
+        panels.append(panel)
+
+    reqs = take("app.requests")
+    resps = take("app.responses")
+    if reqs is not None or resps is not None:
+        panel = Panel("Requests", "req/s")
+        if reqs is not None:
+            panel.series.append(
+                PanelSeries("accepted", [(t, r) for t, r in reqs.rate_points()])
+            )
+        if resps is not None:
+            panel.series.append(
+                PanelSeries("responded", [(t, r) for t, r in resps.rate_points()])
+            )
+        panels.append(panel)
+
+    for name in bundle.names():
+        if name in used:
+            continue
+        series = bundle.get(name)
+        if series.kind == "counter":
+            points = [(t, r) for t, r in series.rate_points()]
+            panels.append(Panel(name, "/s", [PanelSeries(name, points)]))
+        else:
+            panels.append(Panel(name, "", [PanelSeries(name, _series_points(series))]))
+
+    return [p for p in panels if p.has_data()]
+
+
+# -- scales and shapes -----------------------------------------------------
+
+
+def _nice_step(span: float, target: int = 5) -> float:
+    if span <= 0:
+        return 1.0
+    raw = span / target
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        if mult * magnitude >= raw:
+            return mult * magnitude
+    return 10 * magnitude
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        text = f"{value:.1f}"
+    elif abs(value) >= 0.01:
+        text = f"{value:.3f}"
+    else:
+        return f"{value:.2e}"
+    return text.rstrip("0").rstrip(".")
+
+
+class _Scale:
+    def __init__(self, lo: float, hi: float, px0: float, px1: float):
+        self.lo, self.hi = lo, hi
+        self.px0, self.px1 = px0, px1
+        span = hi - lo
+        self._k = (px1 - px0) / span if span else 0.0
+
+    def __call__(self, v: float) -> float:
+        return self.px0 + (v - self.lo) * self._k
+
+
+def _panel_bounds(panel: Panel) -> Tuple[float, float]:
+    values = [v for s in panel.series for _, v in s.points]
+    lo, hi = min(values), max(values)
+    if panel.zero_base:
+        lo = min(0.0, lo)
+    if hi == lo:
+        hi = lo + 1.0
+    pad = (hi - lo) * 0.08
+    return (lo if panel.zero_base and lo == 0.0 else lo - pad), hi + pad
+
+
+def _path(points: Sequence[Tuple[int, float]], sx: _Scale, sy: _Scale, step: bool) -> str:
+    parts: List[str] = []
+    last_y = None
+    for t, v in points:
+        x, y = sx(t), sy(v)
+        if not parts:
+            parts.append(f"M{x:.1f} {y:.1f}")
+        elif step and last_y is not None:
+            parts.append(f"L{x:.1f} {last_y:.1f}")
+            parts.append(f"L{x:.1f} {y:.1f}")
+        else:
+            parts.append(f"L{x:.1f} {y:.1f}")
+        last_y = y
+    return " ".join(parts)
+
+
+# -- SVG assembly ----------------------------------------------------------
+
+
+def _render_panel_svg(
+    panel: Panel,
+    index: int,
+    sx: _Scale,
+    phases: Sequence[Tuple[str, int, int]],
+    windows: Sequence[Tuple[int, int]],
+    fired_ns: Sequence[int],
+    with_x_axis: bool,
+) -> str:
+    height = AXIS_PANEL_H if with_x_axis else PANEL_H
+    lo, hi = _panel_bounds(panel)
+    sy = _Scale(lo, hi, PLOT_Y1, PLOT_Y0)
+    out: List[str] = [
+        f'<svg class="panel-svg" data-panel="{index}" role="img" '
+        f'aria-label="{html.escape(panel.title)} timeline" '
+        f'viewBox="0 0 {WIDTH} {height}" preserveAspectRatio="none">'
+    ]
+    # Run-phase washes (identity by label, not color alone).
+    for name, start, end in phases:
+        if name == "measure":
+            continue
+        x0, x1 = sx(start), sx(end)
+        out.append(
+            f'<rect class="phase-wash" x="{x0:.1f}" y="{PLOT_Y0}" '
+            f'width="{max(0.0, x1 - x0):.1f}" height="{PLOT_Y1 - PLOT_Y0}"/>'
+        )
+    # Watchpoint capture-window washes.
+    for start, end in windows:
+        x0, x1 = sx(start), sx(end)
+        out.append(
+            f'<rect class="window-wash" x="{x0:.1f}" y="{PLOT_Y0}" '
+            f'width="{max(1.0, x1 - x0):.1f}" height="{PLOT_Y1 - PLOT_Y0}"/>'
+        )
+    # Horizontal gridlines + y tick labels.
+    step = _nice_step(hi - lo, target=3)
+    tick = math.ceil(lo / step) * step
+    while tick <= hi:
+        y = sy(tick)
+        out.append(
+            f'<line class="grid" x1="{PLOT_X0}" y1="{y:.1f}" '
+            f'x2="{PLOT_X1}" y2="{y:.1f}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{PLOT_X0 - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+        tick += step
+    # X gridlines (labels only on the bottom panel).
+    x_step = _nice_step((sx.hi - sx.lo) / 1e6, target=6) * 1e6
+    t = math.ceil(sx.lo / x_step) * x_step
+    while t <= sx.hi:
+        x = sx(t)
+        out.append(
+            f'<line class="grid" x1="{x:.1f}" y1="{PLOT_Y0}" '
+            f'x2="{x:.1f}" y2="{PLOT_Y1}"/>'
+        )
+        if with_x_axis:
+            out.append(
+                f'<text class="tick" x="{x:.1f}" y="{PLOT_Y1 + 16}" '
+                f'text-anchor="middle">{_fmt(t / 1e6)}</text>'
+            )
+        t += x_step
+    if with_x_axis:
+        out.append(
+            f'<text class="tick axis-name" x="{(PLOT_X0 + PLOT_X1) / 2:.0f}" '
+            f'y="{PLOT_Y1 + 32}" text-anchor="middle">simulated time (ms)</text>'
+        )
+    # Series: a ~10% area wash under a lone gauge line, then 2px lines.
+    if len(panel.series) == 1 and panel.zero_base:
+        series = panel.series[0]
+        if series.points:
+            d = _path(series.points, sx, sy, series.step)
+            x_last, x_first = sx(series.points[-1][0]), sx(series.points[0][0])
+            out.append(
+                f'<path class="area s0" d="{d} L{x_last:.1f} {PLOT_Y1} '
+                f'L{x_first:.1f} {PLOT_Y1} Z"/>'
+            )
+    for slot, series in enumerate(panel.series[: len(PALETTE)]):
+        if series.points:
+            out.append(
+                f'<path class="line s{slot}" '
+                f'd="{_path(series.points, sx, sy, series.step)}"/>'
+            )
+    # Watchpoint firing markers.
+    for t_ns in fired_ns:
+        x = sx(t_ns)
+        out.append(
+            f'<line class="fired" x1="{x:.1f}" y1="{PLOT_Y0}" '
+            f'x2="{x:.1f}" y2="{PLOT_Y1}"/>'
+        )
+    out.append(
+        f'<line class="xhair" x1="0" y1="{PLOT_Y0}" x2="0" y2="{PLOT_Y1}" '
+        f'visibility="hidden"/>'
+    )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _render_legend(panel: Panel) -> str:
+    if len(panel.series) < 2:
+        return ""
+    chips = "".join(
+        f'<span class="key"><span class="chip s{slot}"></span>'
+        f"{html.escape(series.label)}</span>"
+        for slot, series in enumerate(panel.series[: len(PALETTE)])
+    )
+    return f'<span class="legend">{chips}</span>'
+
+
+def _render_table(panel: Panel) -> str:
+    grid: Dict[int, Dict[str, float]] = {}
+    for series in panel.series:
+        for t, v in series.points:
+            grid.setdefault(t, {})[series.label] = v
+    times = sorted(grid)
+    stride = max(1, math.ceil(len(times) / MAX_TABLE_ROWS))
+    head = "".join(
+        f"<th>{html.escape(s.label)}" + (f" ({panel.unit})" if panel.unit else "") + "</th>"
+        for s in panel.series
+    )
+    rows = []
+    for t in times[::stride]:
+        cells = "".join(
+            f"<td>{_fmt(grid[t][s.label])}</td>" if s.label in grid[t] else "<td></td>"
+            for s in panel.series
+        )
+        rows.append(f"<tr><td>{_fmt(t / 1e6)}</td>{cells}</tr>")
+    note = (
+        f"<p class='muted'>showing every {stride}th sample</p>" if stride > 1 else ""
+    )
+    return (
+        "<details class='table-view'><summary>Data table</summary>"
+        f"{note}<table><thead><tr><th>t (ms)</th>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #1a1a19; --ink-muted: #898781;
+  --grid: #e1e0d9; --panel-border: #e1e0d9;
+  --s0: #2a78d6; --s1: #eb6834; --s2: #1baf7a; --s3: #eda100;
+  --alert: #e34948; --wash: #898781;
+}
+@media (prefers-color-scheme: dark) { :root:not([data-theme="light"]) {
+  --surface: #1a1a19; --ink: #f1f0ec; --ink-muted: #8f8d86;
+  --grid: #2c2c2a; --panel-border: #2c2c2a;
+  --s0: #3987e5; --s1: #d95926; --s2: #199e70; --s3: #c98500;
+  --alert: #f2555f; --wash: #8f8d86;
+} }
+:root[data-theme="dark"] {
+  --surface: #1a1a19; --ink: #f1f0ec; --ink-muted: #8f8d86;
+  --grid: #2c2c2a; --panel-border: #2c2c2a;
+  --s0: #3987e5; --s1: #d95926; --s2: #199e70; --s3: #c98500;
+  --alert: #f2555f; --wash: #8f8d86;
+}
+* { box-sizing: border-box; }
+body { margin: 0 auto; padding: 16px 20px 48px; max-width: 1040px;
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; }
+h1 { font-size: 18px; margin: 8px 0 2px; }
+.meta { color: var(--ink-muted); }
+#theme-toggle { margin-left: auto; background: none; color: var(--ink-muted);
+  border: 1px solid var(--panel-border); border-radius: 6px;
+  padding: 2px 10px; cursor: pointer; font: inherit; }
+.phase-strip { display: flex; gap: 16px; color: var(--ink-muted);
+  font-size: 12px; margin: 4px 0 10px; }
+.panel { margin: 0 0 6px; }
+.panel figcaption { display: flex; align-items: baseline; gap: 10px;
+  font-size: 13px; margin-bottom: 2px; }
+.panel .unit { color: var(--ink-muted); }
+.legend { display: inline-flex; gap: 12px; flex-wrap: wrap; }
+.key { display: inline-flex; align-items: center; gap: 5px;
+  color: var(--ink); font-size: 12px; }
+.chip { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.chip.s0 { background: var(--s0); } .chip.s1 { background: var(--s1); }
+.chip.s2 { background: var(--s2); } .chip.s3 { background: var(--s3); }
+.panel-svg { width: 100%; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick { fill: var(--ink-muted); font-size: 10px; }
+.axis-name { font-size: 11px; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; }
+.line.s0 { stroke: var(--s0); } .line.s1 { stroke: var(--s1); }
+.line.s2 { stroke: var(--s2); } .line.s3 { stroke: var(--s3); }
+.area.s0 { fill: var(--s0); opacity: 0.1; stroke: none; }
+.phase-wash { fill: var(--wash); opacity: 0.08; }
+.window-wash { fill: var(--alert); opacity: 0.08; }
+.fired { stroke: var(--alert); stroke-width: 1.5; stroke-dasharray: 4 3; }
+.xhair { stroke: var(--ink-muted); stroke-width: 1; }
+.watchpoints { border: 1px solid var(--panel-border); border-radius: 8px;
+  padding: 8px 12px; margin: 12px 0; font-size: 13px; }
+.watchpoints .alert { color: var(--alert); font-weight: 600; }
+#tooltip { position: fixed; pointer-events: none; display: none;
+  background: var(--surface); color: var(--ink);
+  border: 1px solid var(--panel-border); border-radius: 6px;
+  box-shadow: 0 2px 10px rgba(0,0,0,.15);
+  padding: 6px 10px; font-size: 12px; z-index: 10; }
+#tooltip .t { color: var(--ink-muted); }
+#tooltip .row { display: flex; gap: 6px; align-items: center; }
+.table-view { margin: 2px 0 14px; font-size: 12px; }
+.table-view summary { cursor: pointer; color: var(--ink-muted); }
+.table-view table { border-collapse: collapse; margin-top: 6px; }
+.table-view th, .table-view td { border: 1px solid var(--panel-border);
+  padding: 2px 8px; text-align: right; }
+.muted { color: var(--ink-muted); margin: 4px 0; }
+"""
+
+_JS = """
+(function () {
+  var data = JSON.parse(document.getElementById("dash-data").textContent);
+  var tooltip = document.getElementById("tooltip");
+  var svgs = Array.prototype.slice.call(
+    document.querySelectorAll(".panel-svg"));
+  var toggle = document.getElementById("theme-toggle");
+  toggle.addEventListener("click", function () {
+    var root = document.documentElement;
+    var dark = root.getAttribute("data-theme") === "dark" ||
+      (root.getAttribute("data-theme") !== "light" &&
+       matchMedia("(prefers-color-scheme: dark)").matches);
+    root.setAttribute("data-theme", dark ? "light" : "dark");
+  });
+  function nearest(times, t) {
+    var lo = 0, hi = times.length - 1;
+    if (hi < 0) return -1;
+    while (lo < hi) {
+      var mid = (lo + hi) >> 1;
+      if (times[mid] < t) lo = mid + 1; else hi = mid;
+    }
+    if (lo > 0 && Math.abs(times[lo - 1] - t) < Math.abs(times[lo] - t)) lo--;
+    return lo;
+  }
+  function fmt(v) {
+    if (v === 0) return "0";
+    if (Math.abs(v) >= 1000) return v.toLocaleString(undefined,
+      {maximumFractionDigits: 0});
+    if (Math.abs(v) >= 10) return v.toFixed(1).replace(/\\.?0+$/, "");
+    if (Math.abs(v) >= 0.01) return v.toFixed(3).replace(/\\.?0+$/, "");
+    return v.toExponential(2);
+  }
+  svgs.forEach(function (svg) {
+    svg.addEventListener("mousemove", function (ev) {
+      var rect = svg.getBoundingClientRect();
+      var sx = rect.width / data.width;
+      var px = (ev.clientX - rect.left) / sx;
+      if (px < data.x0 || px > data.x1) { hide(); return; }
+      var t = data.t0 + (px - data.x0) / (data.x1 - data.x0) *
+        (data.t1 - data.t0);
+      svgs.forEach(function (s) {
+        var line = s.querySelector(".xhair");
+        line.setAttribute("x1", px); line.setAttribute("x2", px);
+        line.setAttribute("visibility", "visible");
+      });
+      var panel = data.panels[+svg.getAttribute("data-panel")];
+      var rows = panel.series.map(function (s, i) {
+        var idx = nearest(s.times, t / 1e6);
+        var v = idx >= 0 ? fmt(s.values[idx]) : "-";
+        return '<div class="row"><span class="chip s' + (i % 4) +
+          '"></span><span>' + s.label + "</span><b>" + v + "</b></div>";
+      }).join("");
+      tooltip.innerHTML = '<div class="t">' + fmt(t / 1e6) + " ms — " +
+        panel.title + "</div>" + rows;
+      tooltip.style.display = "block";
+      var tx = ev.clientX + 14, ty = ev.clientY + 14;
+      if (tx + tooltip.offsetWidth > innerWidth - 8)
+        tx = ev.clientX - tooltip.offsetWidth - 14;
+      tooltip.style.left = tx + "px"; tooltip.style.top = ty + "px";
+    });
+    svg.addEventListener("mouseleave", hide);
+  });
+  function hide() {
+    tooltip.style.display = "none";
+    svgs.forEach(function (s) {
+      s.querySelector(".xhair").setAttribute("visibility", "hidden");
+    });
+  }
+})();
+"""
+
+
+def render_dashboard(
+    bundle: TimeseriesBundle,
+    title: str = "Flight recorder",
+    subtitle: str = "",
+    phases: Optional[Sequence[Tuple[str, int, int]]] = None,
+    panels: Optional[List[Panel]] = None,
+) -> str:
+    """Render a bundle as one self-contained HTML page (returned as str).
+
+    ``phases`` are ``(name, start_ns, end_ns)`` run windows; every phase
+    except ``"measure"`` is shaded across all panels.  ``panels``
+    overrides the :func:`standard_panels` layout.
+    """
+    panels = panels if panels is not None else standard_panels(bundle)
+    if not panels:
+        raise ValueError("bundle holds no plottable series")
+    phases = list(phases or ())
+    t0 = min((s.points[0][0] for p in panels for s in p.series if s.points))
+    t1 = max((s.points[-1][0] for p in panels for s in p.series if s.points))
+    for _, start, end in phases:
+        t0, t1 = min(t0, start), max(t1, end)
+    if t1 <= t0:
+        t1 = t0 + 1
+    sx = _Scale(t0, t1, PLOT_X0, PLOT_X1)
+    windows = [(w.start_ns, w.end_ns) for w in bundle.windows]
+    fired_ns = [f.t_ns for f in bundle.fired]
+
+    body: List[str] = []
+    for index, panel in enumerate(panels):
+        unit = f'<span class="unit">{html.escape(panel.unit)}</span>' if panel.unit else ""
+        body.append(
+            '<figure class="panel">'
+            f"<figcaption><b>{html.escape(panel.title)}</b>{unit}"
+            f"{_render_legend(panel)}</figcaption>"
+            + _render_panel_svg(
+                panel, index, sx, phases, windows, fired_ns,
+                with_x_axis=(index == len(panels) - 1),
+            )
+            + "</figure>"
+            + _render_table(panel)
+        )
+
+    phase_strip = ""
+    if phases:
+        parts = "".join(
+            f"<span>{html.escape(name)}: {_fmt(start / 1e6)}-{_fmt(end / 1e6)} ms</span>"
+            for name, start, end in phases
+        )
+        phase_strip = f'<div class="phase-strip">{parts}</div>'
+
+    watchpoint_block = ""
+    if bundle.fired:
+        items = "".join(
+            f"<li><span class='alert'>{html.escape(f.name)}</span> on "
+            f"{html.escape(f.series)} at {_fmt(f.t_ns / 1e6)} ms "
+            f"(value {_fmt(f.value)}; {html.escape(f.detail)})</li>"
+            for f in bundle.fired
+        )
+        watchpoint_block = (
+            f"<div class='watchpoints'><b>{len(bundle.fired)} watchpoint "
+            f"firing{'s' if len(bundle.fired) != 1 else ''}</b> — shaded "
+            f"regions are high-resolution capture windows<ul>{items}</ul></div>"
+        )
+
+    payload = {
+        "width": WIDTH,
+        "x0": PLOT_X0,
+        "x1": PLOT_X1,
+        "t0": t0,
+        "t1": t1,
+        "panels": [
+            {
+                "title": p.title,
+                "series": [
+                    {
+                        "label": s.label,
+                        "times": [round(t / 1e6, 4) for t, _ in s.points],
+                        "values": [round(v, 6) for _, v in s.points],
+                    }
+                    for s in p.series
+                ],
+            }
+            for p in panels
+        ],
+    }
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<header>
+<div><h1>{html.escape(title)}</h1>
+<div class="meta">{html.escape(subtitle)}</div></div>
+<button id="theme-toggle" type="button">light/dark</button>
+</header>
+{phase_strip}
+{watchpoint_block}
+{''.join(body)}
+<div id="tooltip"></div>
+<script id="dash-data" type="application/json">{json.dumps(payload, separators=(',', ':'))}</script>
+<script>{_JS}</script>
+</body>
+</html>
+"""
+
+
+def dashboard_from_result(
+    result,
+    config=None,
+    title: Optional[str] = None,
+) -> str:
+    """Render any :class:`~repro.cluster.simulation.ExperimentResult` that
+    carries a ``timeseries`` bundle (pass its config for phase shading)."""
+    bundle = getattr(result, "timeseries", None)
+    if bundle is None:
+        raise ValueError(
+            "result has no timeseries; run with record_timeseries="
+            "'coarse' (or a RecorderConfig)"
+        )
+    if isinstance(bundle, dict):
+        bundle = TimeseriesBundle.from_json_dict(bundle)
+    phases = None
+    subtitle = ""
+    if config is not None:
+        warmup = config.warmup_ns
+        measured = warmup + config.measure_ns
+        phases = [
+            ("warmup", 0, warmup),
+            ("measure", warmup, measured),
+            ("drain", measured, config.end_ns),
+        ]
+        subtitle = (
+            f"{config.app} / {result.policy_name} @ "
+            f"{config.target_rps / 1000:g}K rps - seed {config.seed}"
+        )
+    return render_dashboard(
+        bundle,
+        title=title or "Flight recorder",
+        subtitle=subtitle,
+        phases=phases,
+    )
+
+
+def write_dashboard(html_text: str, path: str) -> str:
+    """Write rendered dashboard HTML to ``path`` (creating parents)."""
+    import os
+
+    out_dir = os.path.dirname(path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(html_text)
+    return path

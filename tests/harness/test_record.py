@@ -78,6 +78,63 @@ class TestSchemaV3:
         assert clone.attribution == record.attribution
 
 
+class TestSchemaV4:
+    def test_plain_run_has_empty_timeseries(self, record):
+        assert record.timeseries == {}
+        assert record.to_json_dict()["timeseries"] == {}
+        assert record.timeseries_bundle() is None
+
+    def test_v3_payload_rejected(self, record):
+        data = record.to_json_dict()
+        data["schema"] = 3
+        del data["timeseries"]  # v3 records predate the field
+        with pytest.raises(ValueError, match="schema 3"):
+            ResultRecord.from_json_dict(data)
+
+    def test_v3_cache_entry_invalidated_with_one_warning(
+        self, record, tmp_path, caplog
+    ):
+        import json
+        import logging
+
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(record)
+        # Rewrite the entry as its v3 ancestor.
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["schema"] = 3
+        del data["timeseries"]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.get(record.config_hash) is None
+            assert cache.get(record.config_hash) is None  # warn only once
+        warnings = [r for r in caplog.records if "older record schemas" in r.message]
+        assert len(warnings) == 1
+        assert cache.misses == 2
+
+    def test_recorded_run_round_trips(self):
+        from repro.cluster.simulation import ExperimentConfig, run_experiment
+        from repro.harness.hashing import config_hash
+
+        config = ExperimentConfig.from_settings(
+            TINY, app="apache", policy="ond.idle", target_rps=24_000.0
+        )
+        result = run_experiment(config, record_timeseries="coarse")
+        record = ResultRecord.from_result(
+            result, config_hash=config_hash(config), seed=config.seed
+        )
+        assert record.timeseries["interval_ns"] == 1 * MS
+        clone = ResultRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+        bundle = clone.timeseries_bundle()
+        assert bundle is not None
+        assert "cpu.util" in bundle
+        assert bundle.to_json_dict() == record.timeseries
+
+
 class TestViews:
     def test_latency_and_energy_rebuild(self, record):
         assert record.latency.p95_ns == record.p95_ns

@@ -8,12 +8,53 @@ from repro.sim import Simulator, TraceRecorder
 from repro.sim.units import MS
 
 
+def _sampler(sim, package, trace, bin_ns=MS, channel="cpu.util"):
+    with pytest.warns(DeprecationWarning, match="TimeSeriesRecorder"):
+        return UtilizationSampler(sim, package, trace, bin_ns=bin_ns, channel=channel)
+
+
+class _ReferenceSampler:
+    """The original (pre-recorder) UtilizationSampler, verbatim, as the
+    parity oracle for the deprecated wrapper."""
+
+    def __init__(self, sim, package, trace, bin_ns=1 * MS, channel="cpu.util"):
+        self._sim = sim
+        self._package = package
+        self._channel = trace.event_channel(channel)
+        self.bin_ns = bin_ns
+        self._last_busy = package.busy_ns_per_core()
+        self._running = False
+
+    def start(self):
+        if self._running:
+            return
+        self._running = True
+        self._last_busy = self._package.busy_ns_per_core()
+        self._sim.schedule(self.bin_ns, self._sample)
+
+    def _sample(self):
+        if not self._running:
+            return
+        busy = self._package.busy_ns_per_core()
+        deltas = [b - last for b, last in zip(busy, self._last_busy)]
+        self._last_busy = busy
+        mean_util = sum(deltas) / (len(deltas) * self.bin_ns)
+        self._channel.record(self._sim.now, min(1.0, mean_util))
+        self._sim.schedule(self.bin_ns, self._sample)
+
+
 class TestUtilizationSampler:
+    def test_construction_warns_deprecated(self):
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        with pytest.warns(DeprecationWarning, match="build_server_recorder"):
+            UtilizationSampler(sim, package, TraceRecorder(), bin_ns=MS)
+
     def test_samples_busy_fraction(self):
         sim = Simulator()
         package = ProcessorConfig(n_cores=2).build_package(sim)
         trace = TraceRecorder()
-        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler = _sampler(sim, package, trace, bin_ns=MS)
         sampler.start()
         # Core 0 busy for exactly half of the first bin.
         package.cores[0].dispatch(Job(3.1e9 * 500e-6))
@@ -27,7 +68,7 @@ class TestUtilizationSampler:
         sim = Simulator()
         package = ProcessorConfig(n_cores=1).build_package(sim)
         trace = TraceRecorder()
-        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler = _sampler(sim, package, trace, bin_ns=MS)
         sampler.start()
         sim.schedule_at(int(2.5 * MS), sampler.stop)
         sim.run(until=10 * MS)
@@ -37,11 +78,53 @@ class TestUtilizationSampler:
         sim = Simulator()
         package = ProcessorConfig(n_cores=1).build_package(sim)
         trace = TraceRecorder()
-        sampler = UtilizationSampler(sim, package, trace, bin_ns=MS)
+        sampler = _sampler(sim, package, trace, bin_ns=MS)
         sampler.start()
         sampler.start()
         sim.run(until=MS)
         assert len(trace.event_channel("cpu.util")) == 1
+
+    def test_restart_after_stop_does_not_double_schedule(self):
+        # Regression: the original left its queued callback alive across
+        # stop(), so stop() + start() before the callback fired stacked a
+        # second sampling chain and produced duplicate bins forever.
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        trace = TraceRecorder()
+        sampler = _sampler(sim, package, trace, bin_ns=MS)
+        sampler.start()
+        sim.run(until=int(1.5 * MS))
+        sampler.stop()
+        sampler.start()  # first chain's next tick (t=2ms) still queued
+        sim.run(until=5 * MS)
+        times = list(trace.event_channel("cpu.util").times)
+        assert times == sorted(set(times)), "duplicate bins: two chains"
+        assert times == [MS, int(2.5 * MS), int(3.5 * MS), int(4.5 * MS)]
+
+    def test_parity_with_original_implementation(self):
+        # Wrapper (channel A) and the verbatim original math (channel B)
+        # driven by the same simulation must bin identically.
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=2).build_package(sim)
+        trace = TraceRecorder()
+        wrapper = _sampler(sim, package, trace, bin_ns=MS, channel="a.util")
+        reference = _ReferenceSampler(sim, package, trace, bin_ns=MS, channel="b.util")
+        wrapper.start()
+        reference.start()
+        # Staggered work so bins land at varied fractions.
+        for i, us in enumerate((200, 750, 0, 1000, 333)):
+            if us:
+                sim.schedule_at(
+                    i * MS + 100_000,
+                    (lambda core, n: lambda: core.dispatch(Job(3.1e9 * n * 1e-6)))(
+                        package.cores[i % 2], us * 0.8
+                    ),
+                )
+        sim.run(until=6 * MS)
+        a = trace.event_channel("a.util")
+        b = trace.event_channel("b.util")
+        assert list(a.times) == list(b.times)
+        assert list(a.values) == list(b.values)  # bit-identical bins
 
 
 class TestBandwidthSeries:
