@@ -1,72 +1,35 @@
 """Micro-benchmarks of the simulation substrate itself.
 
-These are conventional pytest-benchmark timings (multiple rounds): event
-kernel throughput, NIC rx-path cost, and a full small cluster run.  They
-guard against performance regressions that would make the figure sweeps
-impractically slow.
+The scenarios — event-kernel throughput, cancel churn (heap
+compaction), NIC rx-path cost, and a full small cluster run — are
+declared once in :data:`repro.harness.suites.MICRO_SUITE` and shared
+with ``repro bench micro``, which CI gates against the committed
+``benchmarks/baselines/micro.json``.  This file runs that same suite
+under pytest, renders the plain-text report from the JSON payload, and
+sanity-checks the scenario counters so a broken workload can't
+masquerade as a fast one.
 """
 
-from repro import ExperimentConfig, run_experiment
-from repro.sim import Simulator
-from repro.sim.units import MS
+from repro.harness import (
+    format_suite_report,
+    run_suite,
+    validate_bench_payload,
+)
+from repro.harness.suites import MICRO_SUITE
 
 
-def test_event_kernel_throughput(benchmark):
-    """Schedule+fire 100K chained events."""
+def test_micro_suite(save_report):
+    payload = run_suite(MICRO_SUITE, repeats=3)
+    validate_bench_payload(payload)
+    scenarios = payload["scenarios"]
 
-    def run():
-        sim = Simulator()
-        count = [0]
+    assert scenarios["event_kernel"]["events"] == 100_000
+    assert scenarios["cancel_churn"]["counters"]["compactions"] >= 1
+    assert scenarios["nic_rx_path"]["counters"]["delivered"] == 2000
+    assert scenarios["small_cluster"]["counters"]["responses_received"] > 0
+    for name, entry in scenarios.items():
+        assert entry["wall_s"]["min"] > 0, name
+        assert entry["events_per_sec"] > 0, name
+        assert entry["top_handlers"], name
 
-        def tick():
-            count[0] += 1
-            if count[0] < 100_000:
-                sim.schedule(10, tick)
-
-        sim.schedule(0, tick)
-        sim.run()
-        return count[0]
-
-    assert benchmark(run) == 100_000
-
-
-def test_nic_rx_path(benchmark):
-    """Deliver 2000 request packets through NIC + driver + scheduler."""
-    from repro.cpu import ProcessorConfig
-    from repro.net import NIC, NICDriver, make_http_request
-    from repro.oskernel import IRQController, NetStackCosts
-
-    def run():
-        sim = Simulator()
-        package = ProcessorConfig(n_cores=4).build_package(sim)
-        irq = IRQController(sim, package)
-        nic = NIC(sim)
-        driver = NICDriver(sim, nic, irq, NetStackCosts())
-        delivered = []
-        driver.packet_sink = delivered.append
-        for i in range(2000):
-            sim.schedule_at(i * 2_000, nic.receive_frame,
-                            make_http_request("c", "s", req_id=i))
-        sim.run()
-        return len(delivered)
-
-    assert benchmark(run) == 2000
-
-
-def test_small_cluster_run(benchmark):
-    """A complete (short) Apache experiment under the NCAP policy."""
-
-    def run():
-        return run_experiment(
-            ExperimentConfig(
-                app="apache",
-                policy="ncap.cons",
-                target_rps=24_000,
-                warmup_ns=5 * MS,
-                measure_ns=30 * MS,
-                drain_ns=20 * MS,
-            )
-        )
-
-    result = benchmark(run)
-    assert result.responses_received > 0
+    save_report("micro_simulator", format_suite_report(payload))

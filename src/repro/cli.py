@@ -11,6 +11,11 @@ Commands:
 - ``trace``    — run one experiment and export Chrome-trace (Perfetto) JSON;
 - ``dashboard``— run one experiment with the flight recorder and write a
   self-contained HTML timeline dashboard;
+- ``bench``    — run a declared benchmark suite, write machine-readable
+  ``BENCH_<suite>.json``, and optionally gate against a committed
+  baseline (``--check``);
+- ``profile``  — run one experiment under the simulator self-profiler
+  and print/export where wall-clock time goes;
 - ``policies`` — list the policy registry.
 
 Every command prints the same plain-text reports the benchmark suite
@@ -338,6 +343,119 @@ def cmd_attribute(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import (
+        baseline_path,
+        compare_to_baseline,
+        format_check_report,
+        format_suite_report,
+        load_bench_json,
+        run_suite,
+        write_bench_json,
+    )
+    from repro.harness.suites import get_suite
+
+    try:
+        suite = get_suite(args.suite)
+    except KeyError as exc:
+        print(f"repro bench: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    payload = run_suite(
+        suite, repeats=args.repeats, profile=not args.no_profile
+    )
+    print(format_suite_report(payload))
+    out = args.out or suite.bench_filename()
+    write_bench_json(payload, out)
+    print(f"\nwrote {out}")
+    base_path = args.baseline or baseline_path(suite.name)
+    if args.update_baseline:
+        write_bench_json(payload, base_path)
+        print(f"updated baseline {base_path}")
+        return 0
+    if args.check:
+        try:
+            baseline = load_bench_json(base_path)
+        except FileNotFoundError:
+            print(
+                f"repro bench: error: no baseline at {base_path} "
+                f"(run with --update-baseline to create one)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"repro bench: error: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        check = compare_to_baseline(
+            payload, baseline, tolerance_scale=args.tolerance_scale
+        )
+        print("\n" + format_check_report(check))
+        return 0 if check.ok else 1
+    return 0
+
+
+#: Named experiment presets for ``repro profile``.
+PROFILE_PRESETS = {
+    "headline": dict(app="apache", policy="ncap.cons", target_rps=24_000.0),
+    "fig4": dict(app="apache", policy="ond.idle", target_rps=24_000.0),
+    "memcached": dict(app="memcached", policy="ond.idle", target_rps=90_000.0),
+}
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.metrics.export import export_chrome_trace
+    from repro.profiling import (
+        SimProfiler,
+        collapsed_stacks,
+        format_top_handlers,
+    )
+    from repro.telemetry import ChromeTraceSink
+
+    settings = _settings(args)
+    params = dict(PROFILE_PRESETS[args.experiment])
+    if args.app is not None:
+        params["app"] = args.app
+    if args.policy is not None:
+        params["policy"] = args.policy
+    if args.rps is not None:
+        params["target_rps"] = args.rps
+    elif args.load is not None:
+        params["target_rps"] = load_level(params["app"], args.load).target_rps
+    config = ExperimentConfig.from_settings(settings, **params)
+    profiler = SimProfiler()
+    sink = ChromeTraceSink() if args.trace_out else None
+    result = run_experiment(
+        config, profile=profiler, sinks=[sink] if sink else None
+    )
+    profile = result.profile
+    assert profile is not None
+    print(format_top_handlers(profile, n=args.top))
+    share = profile.attributed_wall_ns / max(profile.loop_wall_ns, 1)
+    rows = [
+        ["loop wall (s)", round(profile.loop_wall_ns / 1e9, 3)],
+        ["attributed share", f"{100.0 * share:.2f}%"],
+        ["events", profile.events],
+        ["events / wall-s", f"{profile.events_per_wall_s / 1e3:.0f}K"],
+        ["sim-ns / wall-s", f"{profile.sim_ns_per_wall_s / 1e6:.1f}M"],
+        ["max heap depth", profile.max_heap_depth],
+        ["cancelled pops", profile.cancelled_pops],
+        ["heap compactions", profile.compactions],
+        ["peak RSS (MB)", round(profile.peak_rss_bytes / 1e6, 1)],
+    ]
+    print()
+    print(format_table(["metric", "value"], rows, title="Loop health"))
+    if args.stacks_out:
+        with open(args.stacks_out, "w", encoding="utf-8") as fh:
+            fh.write(collapsed_stacks(profile))
+        print(f"wrote collapsed stacks to {args.stacks_out} "
+              f"(feed to flamegraph.pl or speedscope)")
+    if sink is not None:
+        sink.add_profile(profile)
+        count = export_chrome_trace(sink, args.trace_out)
+        print(f"wrote {count} trace events (incl. wall-clock lane) "
+              f"to {args.trace_out}")
+    return 0
+
+
 def cmd_policies(args: argparse.Namespace) -> int:
     rows = []
     for name in POLICY_ORDER:
@@ -439,6 +557,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the invariant auditor")
     p_attr.add_argument("--out", help="also write the report to this path")
     p_attr.set_defaults(fn=cmd_attribute)
+
+    p_bench = add_parser(
+        "bench",
+        help="run a declared benchmark suite and write BENCH_<suite>.json "
+             "(optionally gating against a committed baseline)",
+    )
+    p_bench.add_argument("suite", nargs="?", default="micro",
+                         help="bench suite name (micro, telemetry)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed repeats per scenario (default: the "
+                              "suite's declared count)")
+    p_bench.add_argument("--out", default=None,
+                         help="payload path (default: BENCH_<suite>.json "
+                              "in the working directory)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="diff against the committed baseline and "
+                              "exit 1 on regression")
+    p_bench.add_argument("--baseline", default=None,
+                         help="baseline path (default: "
+                              "benchmarks/baselines/<suite>.json)")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="write this run's payload as the baseline")
+    p_bench.add_argument("--tolerance-scale", type=float, default=1.0,
+                         help="multiply every noise tolerance (e.g. 3.0 "
+                              "for gross-regression-only CI gates)")
+    p_bench.add_argument("--no-profile", action="store_true",
+                         help="skip the profiled attribution run")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_prof = add_parser(
+        "profile",
+        help="run one experiment under the simulator self-profiler and "
+             "report where wall-clock time goes",
+    )
+    p_prof.add_argument("experiment", nargs="?", default="headline",
+                        choices=tuple(PROFILE_PRESETS),
+                        help="experiment preset to profile")
+    p_prof.add_argument("--app", choices=tuple(LOAD_LEVELS),
+                        help="override the preset's application")
+    p_prof.add_argument("--policy", choices=tuple(POLICIES),
+                        help="override the preset's policy")
+    p_prof.add_argument("--load", choices=("low", "medium", "high"),
+                        help="override the preset's load level")
+    p_prof.add_argument("--rps", type=float, help="explicit offered load")
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="handlers to show (default 15)")
+    p_prof.add_argument("--stacks-out",
+                        help="write collapsed-stack text for flamegraph "
+                             "tooling to this path")
+    p_prof.add_argument("--trace-out",
+                        help="write Chrome-trace JSON with a wall-clock "
+                             "profiler lane to this path")
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_pol = add_parser("policies", help="list the policy registry")
     p_pol.set_defaults(fn=cmd_policies)

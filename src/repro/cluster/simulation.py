@@ -33,6 +33,7 @@ from repro.net.interrupts import ModerationConfig
 from repro.net.link import Link
 from repro.net.switch import Switch
 from repro.oskernel.netstack import NetStackCosts
+from repro.profiling.profiler import LoopProfile, SimProfiler
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTraceRecorder, TraceRecorder
@@ -145,6 +146,11 @@ class ExperimentResult:
     #: :class:`~repro.telemetry.recorder.RecorderConfig`).  Plain
     #: JSON-able data — the result stays picklable for pool sweeps.
     timeseries: Optional[TimeseriesBundle] = None
+    #: Simulator self-profile (per-handler wall-time attribution, heap
+    #: health), populated when the run was built with ``profile=``.
+    #: Plain data — picklable for pool sweeps.  Additive: None on plain
+    #: runs.
+    profile: Optional[LoopProfile] = None
     trace: Optional[TraceRecorder] = None
     server: Optional[ServerNode] = None
 
@@ -164,9 +170,18 @@ class Cluster:
         streaming_latency: bool = False,
         record_timeseries: Union[None, bool, str, object] = None,
         watchpoints: Optional[Iterable[Watchpoint]] = None,
+        profile: Union[None, bool, SimProfiler] = None,
     ):
         self.config = config
         self.sim = Simulator()
+        #: Simulator self-profiler — an observer like sinks/audit, never
+        #: a config field (mirroring ``record_timeseries=``): attaching
+        #: it must not invalidate cached results.
+        self.profiler: Optional[SimProfiler] = (
+            (SimProfiler() if profile is True else profile) or None
+        )
+        if self.profiler is not None:
+            self.sim.set_profiler(self.profiler)
         self.trace: TraceRecorder = (
             TraceRecorder() if config.collect_traces else NullTraceRecorder()
         )
@@ -417,6 +432,9 @@ class Cluster:
             timeseries=(
                 self.recorder.bundle() if self._export_timeseries else None
             ),
+            profile=(
+                self.profiler.profile() if self.profiler is not None else None
+            ),
             trace=self.trace if config.collect_traces else None,
             server=self.server if keep_server else None,
         )
@@ -430,6 +448,7 @@ def run_experiment(
     streaming_latency: bool = False,
     record_timeseries: Union[None, bool, str, object] = None,
     watchpoints: Optional[Iterable[Watchpoint]] = None,
+    profile: Union[None, bool, SimProfiler] = None,
 ) -> ExperimentResult:
     """Build and run one cluster experiment.
 
@@ -447,7 +466,11 @@ def run_experiment(
     :class:`~repro.telemetry.recorder.RecorderConfig`) attaches the
     flight recorder and populates ``result.timeseries``; ``watchpoints``
     arms :class:`~repro.telemetry.triggers.Watchpoint` triggers on it.
-    None of these are config fields, so none invalidate cached results.
+    ``profile`` (``True`` or a :class:`~repro.profiling.SimProfiler`)
+    swaps in the instrumented dispatch loop and populates
+    ``result.profile`` with per-handler wall-time attribution and heap
+    health.  None of these are config fields, so none invalidate cached
+    results.
     """
     return Cluster(
         config,
@@ -456,4 +479,5 @@ def run_experiment(
         streaming_latency=streaming_latency,
         record_timeseries=record_timeseries,
         watchpoints=watchpoints,
+        profile=profile,
     ).run(keep_server=keep_server)

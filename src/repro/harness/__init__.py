@@ -16,6 +16,21 @@ keyed by :func:`config_hash` skips points whose configs are unchanged.
     )
 """
 
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCheck,
+    BenchScenario,
+    BenchSuite,
+    ScenarioStats,
+    baseline_path,
+    compare_to_baseline,
+    format_check_report,
+    format_suite_report,
+    load_bench_json,
+    run_suite,
+    validate_bench_payload,
+    write_bench_json,
+)
 from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.harness.hashing import HASH_SCHEMA_VERSION, canonical_json, config_hash
 from repro.harness.record import RECORD_SCHEMA_VERSION, ResultRecord
@@ -29,11 +44,18 @@ from repro.harness.runner import (
 )
 from repro.harness.settings import RunSettings
 from repro.harness.spec import LoadLike, PolicyLike, RunSpec, SweepSpec, policy_label
+from repro.harness.suites import SUITES, get_suite
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCheck",
+    "BenchScenario",
+    "BenchSuite",
     "DEFAULT_CACHE_DIR",
     "HASH_SCHEMA_VERSION",
     "JOBS_ENV",
+    "SUITES",
+    "ScenarioStats",
     "LoadLike",
     "PolicyLike",
     "RECORD_SCHEMA_VERSION",
@@ -44,11 +66,20 @@ __all__ = [
     "RunSettings",
     "RunSpec",
     "SweepSpec",
+    "baseline_path",
     "canonical_json",
+    "compare_to_baseline",
     "config_hash",
     "default_cache_dir",
     "execute_spec",
+    "format_check_report",
+    "format_suite_report",
+    "get_suite",
+    "load_bench_json",
     "policy_label",
     "resolve_jobs",
+    "run_suite",
     "run_sweep",
+    "validate_bench_payload",
+    "write_bench_json",
 ]

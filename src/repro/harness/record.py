@@ -24,7 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: v2: added ``counters`` — the full namespaced stats-registry snapshot.
 #: v3: added ``attribution`` — flattened critical-path tail-blame report.
 #: v4: added ``timeseries`` — the flight recorder's serialized bundle.
-RECORD_SCHEMA_VERSION = 4
+#: v5: added ``profile`` — the simulator self-profile payload.
+RECORD_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -67,6 +68,11 @@ class ResultRecord:
     #: when the run was built with ``record_timeseries=``; empty
     #: otherwise.  Rebuild with :meth:`timeseries_bundle`.
     timeseries: Dict[str, object] = field(default_factory=dict)
+    #: Serialized simulator self-profile
+    #: (:meth:`~repro.profiling.profiler.LoopProfile.to_json_dict`) when
+    #: the run was built with ``profile=``; empty otherwise.  Rebuild
+    #: with :meth:`loop_profile`.
+    profile: Dict[str, object] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -113,6 +119,11 @@ class ResultRecord:
                 if result.timeseries is not None
                 else {}
             ),
+            profile=(
+                result.profile.to_json_dict()
+                if result.profile is not None
+                else {}
+            ),
         )
 
     # -- views ----------------------------------------------------------
@@ -152,6 +163,16 @@ class ResultRecord:
         from repro.telemetry.recorder import TimeseriesBundle
 
         return TimeseriesBundle.from_json_dict(self.timeseries)
+
+    def loop_profile(self):
+        """The simulator self-profile, rebuilt as a
+        :class:`~repro.profiling.profiler.LoopProfile` (None when the run
+        was not profiled)."""
+        if not self.profile:
+            return None
+        from repro.profiling.profiler import LoopProfile
+
+        return LoopProfile.from_json_dict(self.profile)
 
     # -- JSON round-trip ------------------------------------------------
 

@@ -1,0 +1,220 @@
+"""The declared benchmark suites behind ``repro bench``.
+
+Each scenario is a plain callable ``fn(profiler) -> ScenarioStats``: it
+builds its own :class:`~repro.sim.kernel.Simulator` (attaching the
+profiler when given one), runs the workload, and reports event/counter
+totals.  The ``micro`` suite covers the simulation substrate (event
+kernel, cancel churn + heap compaction, NIC rx path, a short cluster
+run); the ``telemetry`` suite times the headline experiment with and
+without the opt-in attribution/audit observers — the macro measurements
+``benchmarks/bench_telemetry_overhead.py`` renders its report from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.harness.bench import BenchScenario, BenchSuite, ScenarioStats
+from repro.profiling.profiler import SimProfiler
+from repro.sim.kernel import Simulator
+from repro.sim.units import MS
+
+
+def _kernel_stats(sim: Simulator, **counters: float) -> ScenarioStats:
+    return ScenarioStats(
+        events=sim.events_executed,
+        sim_ns=sim.now,
+        counters={
+            "cancelled_pops": sim.cancelled_pops,
+            "compactions": sim.compactions,
+            "compacted_events": sim.compacted_events,
+            **counters,
+        },
+    )
+
+
+def event_kernel(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Schedule+fire 100K chained events — raw dispatch throughput."""
+    sim = Simulator()
+    if profiler is not None:
+        sim.set_profiler(profiler)
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < 100_000:
+            sim.schedule(10, tick)
+
+    sim.schedule(0, tick)
+    sim.run()
+    assert count[0] == 100_000
+    return _kernel_stats(sim)
+
+
+def cancel_churn(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Timer-re-arm churn: every tick cancels a far-future event.
+
+    Without heap compaction the 20K dead entries would pile up until the
+    run ends; the scenario's ``compactions``/``compacted_events``
+    counters pin the hygiene behavior as well as its cost.
+    """
+    sim = Simulator()
+    if profiler is not None:
+        sim.set_profiler(profiler)
+    count = [0]
+
+    def noop() -> None:  # pragma: no cover - cancelled before firing
+        raise AssertionError("cancelled event fired")
+
+    def tick() -> None:
+        count[0] += 1
+        sim.schedule(1_000_000_000, noop).cancel()
+        if count[0] < 20_000:
+            sim.schedule(10, tick)
+
+    sim.schedule(0, tick)
+    sim.run()
+    assert count[0] == 20_000
+    stats = _kernel_stats(sim, final_heap=sim.heap_size())
+    return stats
+
+
+def nic_rx_path(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Deliver 2000 request packets through NIC + driver + scheduler."""
+    from repro.cpu import ProcessorConfig
+    from repro.net import NIC, NICDriver, make_http_request
+    from repro.oskernel import IRQController, NetStackCosts
+
+    sim = Simulator()
+    if profiler is not None:
+        sim.set_profiler(profiler)
+    package = ProcessorConfig(n_cores=4).build_package(sim)
+    irq = IRQController(sim, package)
+    nic = NIC(sim)
+    driver = NICDriver(sim, nic, irq, NetStackCosts())
+    delivered = []
+    driver.packet_sink = delivered.append
+    for i in range(2000):
+        sim.schedule_at(
+            i * 2_000, nic.receive_frame, make_http_request("c", "s", req_id=i)
+        )
+    sim.run()
+    assert len(delivered) == 2000
+    return _kernel_stats(sim, delivered=len(delivered))
+
+
+def small_cluster(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """A complete (short) Apache experiment under the NCAP policy."""
+    from repro.cluster.simulation import Cluster, ExperimentConfig
+
+    config = ExperimentConfig(
+        app="apache",
+        policy="ncap.cons",
+        target_rps=24_000,
+        warmup_ns=5 * MS,
+        measure_ns=30 * MS,
+        drain_ns=20 * MS,
+    )
+    cluster = Cluster(config, profile=profiler)
+    result = cluster.run()
+    assert result.responses_received > 0
+    return _kernel_stats(
+        cluster.sim,
+        requests_sent=result.requests_sent,
+        responses_received=result.responses_received,
+    )
+
+
+def _headline(profiler: Optional[SimProfiler], attributed: bool) -> ScenarioStats:
+    from repro.analysis.attribution import AttributionSink
+    from repro.cluster.simulation import Cluster, ExperimentConfig
+    from repro.harness.settings import RunSettings
+
+    config = ExperimentConfig.from_settings(
+        RunSettings.quick(), app="apache", policy="ncap.cons",
+        target_rps=24_000.0,
+    )
+    cluster = Cluster(
+        config,
+        sinks=[AttributionSink()] if attributed else None,
+        audit=attributed,
+        profile=profiler,
+    )
+    result = cluster.run()
+    assert result.responses_received > 0
+    return _kernel_stats(
+        cluster.sim,
+        requests_sent=result.requests_sent,
+        responses_received=result.responses_received,
+    )
+
+
+def headline_plain(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Headline experiment (Apache / ncap.cons @ 24K RPS), no observers."""
+    return _headline(profiler, attributed=False)
+
+
+def headline_attributed(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Headline experiment with AttributionSink + invariant auditor."""
+    return _headline(profiler, attributed=True)
+
+
+MICRO_SUITE = BenchSuite(
+    name="micro",
+    description="Simulation-substrate micro-benchmarks (event kernel, "
+    "cancel churn, NIC rx path, short cluster run)",
+    scenarios=(
+        BenchScenario(
+            "event_kernel", event_kernel, "100K chained events"
+        ),
+        BenchScenario(
+            "cancel_churn", cancel_churn,
+            "20K cancel-heavy timer re-arms (heap compaction)",
+        ),
+        BenchScenario(
+            "nic_rx_path", nic_rx_path, "2000 packets through NIC+driver"
+        ),
+        BenchScenario(
+            "small_cluster", small_cluster, "short Apache/ncap.cons run"
+        ),
+    ),
+    repeats=5,
+)
+
+TELEMETRY_SUITE = BenchSuite(
+    name="telemetry",
+    description="Headline-experiment wall time with and without the "
+    "opt-in attribution/audit observers",
+    scenarios=(
+        BenchScenario(
+            "headline_plain", headline_plain,
+            "headline quick run, no observers",
+        ),
+        BenchScenario(
+            "headline_attributed", headline_attributed,
+            "headline quick run, attribution + audit",
+        ),
+    ),
+    repeats=5,
+)
+
+SUITES: Dict[str, BenchSuite] = {
+    suite.name: suite for suite in (MICRO_SUITE, TELEMETRY_SUITE)
+}
+
+
+def get_suite(name: str) -> BenchSuite:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {name!r}; choose from {sorted(SUITES)}"
+        ) from None
+
+
+__all__ = [
+    "MICRO_SUITE",
+    "SUITES",
+    "TELEMETRY_SUITE",
+    "get_suite",
+]

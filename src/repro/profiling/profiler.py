@@ -1,0 +1,287 @@
+"""The event-loop profiler: per-handler wall-time attribution.
+
+A :class:`SimProfiler` is attached to a
+:class:`~repro.sim.kernel.Simulator` with ``sim.set_profiler(...)``; the
+kernel then dispatches through its instrumented loop, which charges the
+full wall-clock cost of each iteration (heap pop + dispatch + callback)
+to the handler that fired, so the per-handler totals telescope to the
+measured loop total.  Cancelled-event lazy-deletion pops are charged to
+a dedicated bucket.  Attribution state accumulates across ``run()``
+calls; :meth:`SimProfiler.profile` snapshots it into an immutable,
+picklable :class:`LoopProfile`.
+
+Handlers are keyed by the callable itself during the run (one dict
+lookup per event) and folded into ``(qualname, subsystem)`` aggregates
+lazily — at snapshot time, or early whenever the per-callable dict
+exceeds :attr:`SimProfiler.fold_threshold` (so workloads that schedule
+fresh closures per call cannot grow memory without bound).
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bump when the serialized profile payload changes shape.
+PROFILE_SCHEMA_VERSION = 1
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def describe_handler(fn: Callable[..., Any]) -> Tuple[str, str]:
+    """``(qualname, subsystem)`` for a dispatch-loop callable.
+
+    Bound methods report their underlying function; ``functools.partial``
+    chains unwrap to the wrapped callable.  The subsystem is the first
+    package component under ``repro.`` (``net``, ``oskernel``, ``cpu``,
+    ...), or the bare module name for anything else.
+    """
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    target = getattr(fn, "__func__", fn)
+    qualname = getattr(target, "__qualname__", None) or repr(target)
+    module = getattr(target, "__module__", None) or "?"
+    if module.startswith("repro."):
+        parts = module.split(".")
+        subsystem = parts[1] if len(parts) > 1 else "repro"
+    else:
+        subsystem = module
+    return qualname, subsystem
+
+
+@dataclass(frozen=True)
+class HandlerStats:
+    """One handler's aggregate cost."""
+
+    qualname: str
+    subsystem: str
+    calls: int
+    wall_ns: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.subsystem};{self.qualname}"
+
+
+@dataclass
+class LoopProfile:
+    """An immutable snapshot of a profiled dispatch loop.
+
+    Plain data: picklable, JSON-round-trippable, safe to hang off an
+    :class:`~repro.cluster.simulation.ExperimentResult`.
+    """
+
+    #: Per-handler attribution, sorted by descending wall time.
+    handlers: List[HandlerStats] = field(default_factory=list)
+    #: Total wall time spent inside the instrumented loop(s).
+    loop_wall_ns: int = 0
+    #: Wall time charged to lazy-deletion pops of cancelled events.
+    cancelled_wall_ns: int = 0
+    events: int = 0
+    sim_ns: int = 0
+    max_heap_depth: int = 0
+    final_heap_size: int = 0
+    cancelled_pops: int = 0
+    compactions: int = 0
+    compacted_events: int = 0
+    peak_rss_bytes: int = 0
+    #: ``(wall_ns_since_first_loop, sim_ns, events)`` throughput samples.
+    checkpoints: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def attributed_wall_ns(self) -> int:
+        """Handler + cancelled-pop wall time; should telescope to
+        :attr:`loop_wall_ns` within the loop's own bookkeeping residual."""
+        return sum(h.wall_ns for h in self.handlers) + self.cancelled_wall_ns
+
+    @property
+    def events_per_wall_s(self) -> float:
+        if self.loop_wall_ns <= 0:
+            return 0.0
+        return self.events * 1e9 / self.loop_wall_ns
+
+    @property
+    def sim_ns_per_wall_s(self) -> float:
+        """Simulated nanoseconds advanced per wall-clock second."""
+        if self.loop_wall_ns <= 0:
+            return 0.0
+        return self.sim_ns * 1e9 / self.loop_wall_ns
+
+    def top(self, n: int = 10) -> List[HandlerStats]:
+        return self.handlers[:n]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "loop_wall_ns": self.loop_wall_ns,
+            "cancelled_wall_ns": self.cancelled_wall_ns,
+            "events": self.events,
+            "sim_ns": self.sim_ns,
+            "events_per_wall_s": self.events_per_wall_s,
+            "sim_ns_per_wall_s": self.sim_ns_per_wall_s,
+            "max_heap_depth": self.max_heap_depth,
+            "final_heap_size": self.final_heap_size,
+            "cancelled_pops": self.cancelled_pops,
+            "compactions": self.compactions,
+            "compacted_events": self.compacted_events,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "checkpoints": [list(c) for c in self.checkpoints],
+            "handlers": [
+                {
+                    "qualname": h.qualname,
+                    "subsystem": h.subsystem,
+                    "calls": h.calls,
+                    "wall_ns": h.wall_ns,
+                }
+                for h in self.handlers
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "LoopProfile":
+        schema = data.get("schema")
+        if schema != PROFILE_SCHEMA_VERSION:
+            raise ValueError(
+                f"profile schema {schema!r} != {PROFILE_SCHEMA_VERSION}"
+            )
+        return cls(
+            handlers=[
+                HandlerStats(
+                    qualname=h["qualname"],
+                    subsystem=h["subsystem"],
+                    calls=int(h["calls"]),
+                    wall_ns=int(h["wall_ns"]),
+                )
+                for h in data.get("handlers", [])
+            ],
+            loop_wall_ns=int(data["loop_wall_ns"]),
+            cancelled_wall_ns=int(data.get("cancelled_wall_ns", 0)),
+            events=int(data["events"]),
+            sim_ns=int(data["sim_ns"]),
+            max_heap_depth=int(data.get("max_heap_depth", 0)),
+            final_heap_size=int(data.get("final_heap_size", 0)),
+            cancelled_pops=int(data.get("cancelled_pops", 0)),
+            compactions=int(data.get("compactions", 0)),
+            compacted_events=int(data.get("compacted_events", 0)),
+            peak_rss_bytes=int(data.get("peak_rss_bytes", 0)),
+            checkpoints=[tuple(c) for c in data.get("checkpoints", [])],
+        )
+
+
+class SimProfiler:
+    """Accumulates dispatch-loop attribution for one or more ``run()`` calls.
+
+    The hot-loop-facing fields (``_record``, ``_countdown``, the public
+    counters) are deliberately plain attributes the kernel mutates
+    directly — the instrumented loop must stay tight.
+    """
+
+    def __init__(self, checkpoint_every: int = 50_000, fold_threshold: int = 4096):
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        #: Events between throughput checkpoints.
+        self.checkpoint_every = checkpoint_every
+        #: Fold the per-callable dict into string aggregates past this
+        #: size, bounding memory under per-call closure churn.
+        self.fold_threshold = fold_threshold
+        #: callable -> [calls, wall_ns]; folded lazily into ``_agg``.
+        self._record: Dict[Callable[..., Any], List[int]] = {}
+        self._agg: Dict[Tuple[str, str], List[int]] = {}
+        self._countdown = checkpoint_every
+        self._wall0_ns: Optional[int] = None
+        self._sim_ns0: Optional[int] = None
+        self._counters0: Dict[str, int] = {}
+        self.loop_wall_ns = 0
+        self.cancelled_wall_ns = 0
+        self.events = 0
+        self.cancelled_pops = 0
+        self.max_heap_depth = 0
+        self.checkpoints: List[Tuple[int, int, int]] = []
+        self._sim_ns = 0
+        self._final_heap_size = 0
+        self._compactions = 0
+        self._compacted_events = 0
+
+    # -- kernel-facing hooks --------------------------------------------
+
+    def _checkpoint(self, sim_now: int) -> None:
+        from time import perf_counter_ns
+
+        wall = perf_counter_ns() - (self._wall0_ns or 0)
+        self.checkpoints.append((wall, sim_now, self.events))
+
+    def _note_start(self, sim, wall_ns: int) -> None:
+        """Called by the kernel at the start of the first profiled run:
+        baseline the simulator's lifetime counters so the profile reports
+        deltas, not totals that predate the profiler."""
+        self._wall0_ns = wall_ns
+        self._sim_ns0 = sim.now
+        self._counters0 = {
+            "compactions": sim.compactions,
+            "compacted_events": sim.compacted_events,
+        }
+
+    def _note_run(self, sim) -> None:
+        """Called by the kernel at the end of each profiled ``run()``."""
+        self._sim_ns = sim.now - (self._sim_ns0 or 0)
+        self._final_heap_size = sim.heap_size()
+        self._compactions = sim.compactions - self._counters0.get("compactions", 0)
+        self._compacted_events = (
+            sim.compacted_events - self._counters0.get("compacted_events", 0)
+        )
+
+    def _fold(self) -> None:
+        """Collapse the per-callable dict into the string-keyed aggregate."""
+        agg = self._agg
+        for fn, (calls, wall_ns) in self._record.items():
+            key = describe_handler(fn)
+            entry = agg.get(key)
+            if entry is None:
+                agg[key] = [calls, wall_ns]
+            else:
+                entry[0] += calls
+                entry[1] += wall_ns
+        self._record.clear()
+
+    # -- snapshot --------------------------------------------------------
+
+    def profile(self) -> LoopProfile:
+        """Snapshot everything accumulated so far."""
+        self._fold()
+        handlers = sorted(
+            (
+                HandlerStats(
+                    qualname=qualname,
+                    subsystem=subsystem,
+                    calls=calls,
+                    wall_ns=wall_ns,
+                )
+                for (qualname, subsystem), (calls, wall_ns) in self._agg.items()
+            ),
+            key=lambda h: (-h.wall_ns, h.key),
+        )
+        return LoopProfile(
+            handlers=handlers,
+            loop_wall_ns=self.loop_wall_ns,
+            cancelled_wall_ns=self.cancelled_wall_ns,
+            events=self.events,
+            sim_ns=self._sim_ns,
+            max_heap_depth=self.max_heap_depth,
+            final_heap_size=self._final_heap_size,
+            cancelled_pops=self.cancelled_pops,
+            compactions=self._compactions,
+            compacted_events=self._compacted_events,
+            peak_rss_bytes=peak_rss_bytes(),
+            checkpoints=list(self.checkpoints),
+        )

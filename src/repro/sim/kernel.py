@@ -12,12 +12,28 @@ Determinism guarantees:
   increasing sequence number breaks ties).
 - Callbacks scheduled *during* an event at the current time run after all
   previously scheduled events at that time.
+
+Heap hygiene: cancellation only marks an event, so cancel-heavy
+workloads (timer re-arms) would otherwise bloat the heap with dead
+entries until they drift to the top.  The simulator counts live
+cancelled entries and compacts the heap in place — O(n), order
+preserving — once they exceed :attr:`Simulator.COMPACT_FRACTION` of it.
+
+Self-profiling: :meth:`Simulator.set_profiler` swaps the dispatch loop
+for an instrumented twin (:meth:`Simulator._run_profiled`) that
+attributes wall-clock time to each handler.  The uninstrumented loop in
+:meth:`Simulator.run` is untouched — with no profiler attached the only
+cost is one ``is None`` check per ``run()`` call, not per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from time import perf_counter_ns
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.profiling.profiler import SimProfiler
 
 
 class SimulationError(RuntimeError):
@@ -32,18 +48,29 @@ class Event:
     them or to inspect :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        owner: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -58,13 +85,29 @@ class Event:
 class Simulator:
     """Event-driven simulator with an integer-nanosecond clock."""
 
+    #: Compact once cancelled entries exceed this fraction of the heap.
+    COMPACT_FRACTION = 0.5
+    #: ... but never bother below this heap size (compaction is O(n)).
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._now: int = 0
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        self._profiler: Optional["SimProfiler"] = None
         self.events_executed: int = 0
+        #: Cancelled events lazily discarded off the top of the heap.
+        self.cancelled_pops: int = 0
+        #: In-place heap rebuilds triggered by cancellation pressure.
+        self.compactions: int = 0
+        #: Cancelled events removed by those compactions.
+        self.compacted_events: int = 0
+        #: Best-effort count of cancelled events still in the heap.  May
+        #: overcount when an already-fired event is cancelled; compaction
+        #: re-derives the truth.
+        self._cancelled_in_heap: int = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -88,7 +131,7 @@ class Simulator:
                 f"cannot schedule at t={time} ns; now is t={self._now} ns"
             )
         self._seq += 1
-        event = Event(int(time), self._seq, fn, args)
+        event = Event(int(time), self._seq, fn, args, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -96,11 +139,57 @@ class Simulator:
         """Schedule ``fn(*args)`` at the current time (after pending ties)."""
         return self.schedule_at(self._now, fn, *args)
 
+    # -- heap hygiene ----------------------------------------------------
+
+    def heap_size(self) -> int:
+        """Entries currently in the heap, cancelled ones included."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Estimated cancelled events still occupying heap slots."""
+        return self._cancelled_in_heap
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            len(heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap >= len(heap) * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: the dispatch loops hold a local alias to the
+        heap list, so the list object must survive compaction.
+        """
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self.compactions += 1
+        self.compacted_events += before - len(heap)
+        self._cancelled_in_heap = 0
+
     # -- execution -------------------------------------------------------
 
     def stop(self) -> None:
         """Stop the currently running :meth:`run` after the current event."""
         self._stopped = True
+
+    def set_profiler(self, profiler: Optional["SimProfiler"]) -> None:
+        """Attach (or detach, with ``None``) a dispatch-loop profiler.
+
+        Subsequent :meth:`run` calls go through the instrumented loop,
+        which attributes wall time per handler into ``profiler``.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional["SimProfiler"]:
+        return self._profiler
 
     def run(self, until: Optional[int] = None) -> int:
         """Run events until the heap empties or the clock passes ``until``.
@@ -111,6 +200,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running")
+        if self._profiler is not None:
+            return self._run_profiled(until)
         self._running = True
         self._stopped = False
         try:
@@ -119,6 +210,8 @@ class Simulator:
                 event = heap[0]
                 if event.cancelled:
                     heapq.heappop(heap)
+                    self.cancelled_pops += 1
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     break
@@ -132,11 +225,91 @@ class Simulator:
             self._running = False
         return self._now
 
+    def _run_profiled(self, until: Optional[int] = None) -> int:
+        """Instrumented twin of :meth:`run`.
+
+        Identical event semantics; additionally attributes wall time per
+        handler.  One ``perf_counter_ns()`` reading per iteration: each
+        handler is charged the interval from the previous reading to the
+        one taken right after it fires (heap pop and the *previous*
+        iteration's bookkeeping included), so the per-handler totals plus
+        the cancelled-pop bucket telescope to the measured loop total.
+        """
+        profiler = self._profiler
+        self._running = True
+        self._stopped = False
+        perf = perf_counter_ns
+        record = profiler._record
+        checkpoint = profiler._checkpoint
+        every = profiler.checkpoint_every
+        countdown = profiler._countdown
+        max_depth = profiler.max_heap_depth
+        cancelled_ns = 0
+        loop_start = perf()
+        if profiler._wall0_ns is None:
+            profiler._note_start(self, loop_start)
+        t_prev = loop_start
+        try:
+            heap = self._heap
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    self.cancelled_pops += 1
+                    self._cancelled_in_heap -= 1
+                    profiler.cancelled_pops += 1
+                    t_now = perf()
+                    cancelled_ns += t_now - t_prev
+                    t_prev = t_now
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                self._now = event.time
+                self.events_executed += 1
+                event.fn(*event.args)
+                t_now = perf()
+                elapsed = t_now - t_prev
+                t_prev = t_now
+                entry = record.get(event.fn)
+                if entry is None:
+                    record[event.fn] = [1, elapsed]
+                    if len(record) >= profiler.fold_threshold:
+                        profiler._fold()
+                else:
+                    entry[0] += 1
+                    entry[1] += elapsed
+                depth = len(heap)
+                if depth > max_depth:
+                    max_depth = depth
+                profiler.events += 1
+                countdown -= 1
+                if countdown <= 0:
+                    checkpoint(self._now)
+                    countdown = every
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+            loop_wall = perf() - loop_start
+            profiler.loop_wall_ns += loop_wall
+            profiler.cancelled_wall_ns += cancelled_ns
+            profiler.max_heap_depth = max_depth
+            profiler._countdown = countdown
+            profiler._note_run(self)
+        return self._now
+
     def peek_next_time(self) -> Optional[int]:
-        """Timestamp of the next pending event, or None if the heap is empty."""
+        """Timestamp of the next pending event, or None if the heap is empty.
+
+        Drains (physically pops) any cancelled events sitting at the top
+        of the heap on the way.
+        """
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            self.cancelled_pops += 1
+            self._cancelled_in_heap -= 1
         return heap[0].time if heap else None
 
     def pending_count(self) -> int:

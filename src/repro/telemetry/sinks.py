@@ -261,6 +261,20 @@ class ChromeTraceSink:
         else:
             self._add({"name": event.phase, "ph": "n", **base}, event.t_ns, 0)
 
+    # -- wall-clock lane -------------------------------------------------
+
+    def add_profile(self, profile) -> None:
+        """Merge a simulator self-profile as a wall-clock lane (pid 2).
+
+        ``profile`` is a :class:`~repro.profiling.profiler.LoopProfile`;
+        its throughput checkpoints and top-handler bar render on a
+        separate process track so wall microseconds are never conflated
+        with the simulated-time lanes.
+        """
+        from repro.profiling.export import wall_clock_trace_events
+
+        self._events.extend(wall_clock_trace_events(profile))
+
     # -- export ----------------------------------------------------------
 
     def trace_events(self) -> List[Dict[str, Any]]:

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,8 +53,6 @@ class TestRunCommand:
         assert "Figure 1" in capsys.readouterr().out
 
     def test_export_trace(self, capsys, tmp_path):
-        import os
-
         out = os.path.join(str(tmp_path), "series")
         code = main([
             "--settings", "quick",
@@ -63,3 +64,115 @@ class TestRunCommand:
         files = os.listdir(out)
         assert any("freq" in f for f in files)
         assert any("rx_bytes" in f for f in files)
+
+
+def _fast_suite():
+    """A synthetic one-scenario suite so check-path tests stay cheap."""
+    from repro.harness.bench import BenchScenario, BenchSuite, ScenarioStats
+    from repro.sim import Simulator
+
+    def scenario(profiler):
+        sim = Simulator()
+        if profiler is not None:
+            sim.set_profiler(profiler)
+        for i in range(2_000):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        return ScenarioStats(events=sim.events_executed, sim_ns=sim.now)
+
+    return BenchSuite(
+        name="tinycli", description="cli fixture",
+        scenarios=(BenchScenario("burst", scenario, "2K events"),),
+        repeats=2,
+    )
+
+
+class TestBenchCommand:
+    def test_micro_suite_writes_valid_bench_json(self, capsys, tmp_path):
+        from repro.harness.bench import load_bench_json
+
+        out = os.path.join(str(tmp_path), "BENCH_micro.json")
+        assert main(["bench", "micro", "--repeats", "1", "--out", out]) == 0
+        payload = load_bench_json(out)  # schema-validates on load
+        assert payload["suite"] == "micro"
+        assert set(payload["scenarios"]) == {
+            "event_kernel", "cancel_churn", "nic_rx_path", "small_cluster",
+        }
+        text = capsys.readouterr().out
+        assert "top handlers" in text
+        assert "wrote " + out in text
+
+    def test_default_output_name(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setitem(_suites(), "tinycli", _fast_suite())
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "tinycli"]) == 0
+        assert os.path.exists(str(tmp_path / "BENCH_tinycli.json"))
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_check_lifecycle(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setitem(_suites(), "tinycli", _fast_suite())
+        out = os.path.join(str(tmp_path), "BENCH_tinycli.json")
+        base = os.path.join(str(tmp_path), "baseline.json")
+        common = ["bench", "tinycli", "--out", out, "--baseline", base]
+
+        # 1. No baseline yet: --check is an error, not a silent pass.
+        assert main(common + ["--check"]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+        # 2. Seed the baseline.
+        assert main(common + ["--update-baseline"]) == 0
+        assert os.path.exists(base)
+
+        # 3. Unmodified rerun passes.  The fixture scenario runs in tens of
+        #    microseconds, where timer noise dwarfs the 18% wall tolerance
+        #    that guards real suites, so scale it up; the exit-code
+        #    plumbing, not the tolerance value, is under test here.
+        assert main(common + ["--check", "--tolerance-scale", "50"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        # 4. Make the baseline pretend it was twice as fast: flagged.
+        with open(base, "r", encoding="utf-8") as fh:
+            doctored = json.load(fh)
+        wall = doctored["scenarios"]["burst"]["wall_s"]
+        for key in ("median", "min"):
+            wall[key] /= 1e3
+        wall["samples"] = [s / 1e3 for s in wall["samples"]]
+        with open(base, "w", encoding="utf-8") as fh:
+            json.dump(doctored, fh)
+        assert main(common + ["--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+        # 5. A corrupt baseline is an error, not a pass or a crash.
+        with open(base, "w", encoding="utf-8") as fh:
+            fh.write("{}")
+        assert main(common + ["--check"]) == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+
+def _suites():
+    from repro.harness.suites import SUITES
+
+    return SUITES
+
+
+class TestProfileCommand:
+    def test_profile_reports_and_exports(self, capsys, tmp_path):
+        stacks = os.path.join(str(tmp_path), "stacks.txt")
+        trace = os.path.join(str(tmp_path), "trace.json")
+        code = main([
+            "--settings", "quick", "profile", "headline",
+            "--top", "5", "--stacks-out", stacks, "--trace-out", trace,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Loop health" in out
+        assert "attributed share" in out
+        with open(stacks, encoding="utf-8") as fh:
+            lines = fh.read().strip().splitlines()
+        assert lines and all(int(l.rpartition(" ")[2]) >= 1 for l in lines)
+        with open(trace, encoding="utf-8") as fh:
+            events = json.load(fh)["traceEvents"]
+        assert any(e.get("pid") == 2 for e in events)

@@ -135,6 +135,40 @@ class TestSchemaV4:
         assert bundle.to_json_dict() == record.timeseries
 
 
+class TestSchemaV5:
+    def test_plain_run_has_empty_profile(self, record):
+        assert record.profile == {}
+        assert record.to_json_dict()["profile"] == {}
+        assert record.loop_profile() is None
+
+    def test_v4_payload_rejected(self, record):
+        data = record.to_json_dict()
+        data["schema"] = 4
+        del data["profile"]  # v4 records predate the field
+        with pytest.raises(ValueError, match="schema 4"):
+            ResultRecord.from_json_dict(data)
+
+    def test_profiled_run_round_trips(self):
+        from repro.cluster.simulation import ExperimentConfig, run_experiment
+        from repro.harness.hashing import config_hash
+
+        config = ExperimentConfig.from_settings(
+            TINY, app="apache", policy="ond.idle", target_rps=24_000.0
+        )
+        result = run_experiment(config, profile=True)
+        record = ResultRecord.from_result(
+            result, config_hash=config_hash(config), seed=config.seed
+        )
+        assert record.profile["events"] > 0
+        assert record.profile["handlers"]
+        clone = ResultRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+        profile = clone.loop_profile()
+        assert profile is not None
+        assert profile.events == record.profile["events"]
+        assert profile.to_json_dict() == record.profile
+
+
 class TestViews:
     def test_latency_and_energy_rebuild(self, record):
         assert record.latency.p95_ns == record.p95_ns

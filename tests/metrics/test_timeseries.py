@@ -50,6 +50,28 @@ class TestUtilizationSampler:
         with pytest.warns(DeprecationWarning, match="build_server_recorder"):
             UtilizationSampler(sim, package, TraceRecorder(), bin_ns=MS)
 
+    def test_deprecation_contract_pinned(self):
+        # Pin the shim's full warning contract: exact category (a plain
+        # UserWarning would slip through `-W error::DeprecationWarning`
+        # gates), a message naming both the replacement class and the
+        # factory to migrate to, and stacklevel=2 so the warning points
+        # at the caller's line, not the shim's.
+        import warnings
+
+        sim = Simulator()
+        package = ProcessorConfig(n_cores=1).build_package(sim)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            UtilizationSampler(sim, package, TraceRecorder(), bin_ns=MS)
+        assert len(caught) == 1
+        warning = caught[0]
+        assert warning.category is DeprecationWarning
+        message = str(warning.message)
+        assert "UtilizationSampler is deprecated" in message
+        assert "TimeSeriesRecorder" in message
+        assert "repro.cluster.recording.build_server_recorder" in message
+        assert warning.filename == __file__
+
     def test_samples_busy_fraction(self):
         sim = Simulator()
         package = ProcessorConfig(n_cores=2).build_package(sim)

@@ -1,0 +1,308 @@
+"""Tests for the simulator self-profiler."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.profiling import (
+    HandlerStats,
+    LoopProfile,
+    SimProfiler,
+    collapsed_stacks,
+    format_top_handlers,
+    peak_rss_bytes,
+    wall_clock_trace_events,
+)
+from repro.profiling.profiler import describe_handler
+from repro.sim import Simulator
+
+
+def _chained(sim, n, delay=10):
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(delay, tick)
+
+    sim.schedule(0, tick)
+    return count
+
+
+class _Handler:
+    def __init__(self):
+        self.calls = 0
+
+    def on_event(self):
+        self.calls += 1
+
+
+class TestAttribution:
+    def test_per_handler_counts(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        a, b = _Handler(), _Handler()
+        for i in range(30):
+            sim.schedule(i, a.on_event)
+        for i in range(12):
+            sim.schedule(i, b.on_event)
+        sim.run()
+        profile = profiler.profile()
+        by_name = {h.qualname: h for h in profile.handlers}
+        assert by_name["_Handler.on_event"].calls == 42
+        assert profile.events == 42
+        assert sim.events_executed == 42
+
+    def test_attribution_telescopes_to_loop_total(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        _chained(sim, 50_000)
+        sim.run()
+        profile = profiler.profile()
+        assert profile.loop_wall_ns > 0
+        share = profile.attributed_wall_ns / profile.loop_wall_ns
+        # The acceptance bound: per-handler attribution (plus the
+        # cancelled-pop bucket) sums to the measured loop total within 1%.
+        assert share == pytest.approx(1.0, abs=0.01)
+
+    def test_accumulates_across_runs(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        handler = _Handler()
+        sim.schedule(10, handler.on_event)
+        sim.schedule(100, handler.on_event)
+        sim.run(until=50)
+        sim.run(until=200)
+        profile = profiler.profile()
+        assert profile.events == 2
+        assert profile.sim_ns == 200
+        by_name = {h.qualname: h for h in profile.handlers}
+        assert by_name["_Handler.on_event"].calls == 2
+
+    def test_detached_profiler_restores_plain_loop(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        sim.schedule(1, lambda: None)
+        sim.run(until=5)
+        sim.set_profiler(None)
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert profiler.events == 1  # second run was unprofiled
+        assert sim.events_executed == 2
+
+    def test_fold_bounds_per_callable_memory(self):
+        sim = Simulator()
+        profiler = SimProfiler(fold_threshold=16)
+        sim.set_profiler(profiler)
+
+        def make_closure(i):
+            return lambda: None
+
+        for i in range(200):
+            sim.schedule(i, make_closure(i))
+        sim.run()
+        assert len(profiler._record) < 16
+        profile = profiler.profile()
+        by_name = {h.qualname: h for h in profile.handlers}
+        key = "TestAttribution.test_fold_bounds_per_callable_memory.<locals>.make_closure.<locals>.<lambda>"
+        assert by_name[key].calls == 200
+
+    def test_same_semantics_as_unprofiled_run(self):
+        def drive(sim):
+            fired = []
+            ev = sim.schedule(10, fired.append, "dead")
+            sim.schedule(5, ev.cancel)
+            sim.schedule(7, fired.append, "a")
+            sim.schedule(7, fired.append, "b")
+
+            def nested():
+                fired.append("outer")
+                sim.call_now(fired.append, "nested")
+
+            sim.schedule(20, nested)
+            sim.run(until=15)
+            sim.run(until=40)
+            return fired, sim.now, sim.events_executed
+
+        plain = drive(Simulator())
+        profiled_sim = Simulator()
+        profiled_sim.set_profiler(SimProfiler())
+        profiled = drive(profiled_sim)
+        assert profiled == plain
+
+
+class TestHeapHealth:
+    def test_cancelled_pop_accounting(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        dead = [sim.schedule(5, lambda: None) for _ in range(8)]
+        sim.schedule(50, lambda: None)
+        for event in dead:
+            event.cancel()
+        sim.run()
+        profile = profiler.profile()
+        assert profile.cancelled_pops == 8
+        assert profile.cancelled_wall_ns > 0
+        assert profile.events == 1
+
+    def test_heap_depth_and_compactions(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+
+        def churn():
+            for _ in range(400):
+                sim.schedule(1_000_000, lambda: None).cancel()
+
+        sim.schedule(0, churn)
+        sim.run()
+        profile = profiler.profile()
+        assert profile.compactions >= 1
+        assert profile.compacted_events > 0
+        assert profile.max_heap_depth >= 1
+        assert profile.final_heap_size == sim.heap_size()
+
+    def test_counters_are_deltas_not_lifetime_totals(self):
+        sim = Simulator()
+        # Unprofiled churn first: compactions predate the profiler.
+        for _ in range(200):
+            sim.schedule(1_000_000, lambda: None).cancel()
+        before = sim.compactions
+        assert before >= 1
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        sim.schedule(1, lambda: None)
+        sim.run(until=10)
+        profile = profiler.profile()
+        assert profile.compactions == sim.compactions - before
+
+    def test_throughput_rates(self):
+        sim = Simulator()
+        profiler = SimProfiler(checkpoint_every=100)
+        sim.set_profiler(profiler)
+        _chained(sim, 1_000)
+        sim.run()
+        profile = profiler.profile()
+        assert profile.events_per_wall_s > 0
+        assert profile.sim_ns_per_wall_s > 0
+        assert len(profile.checkpoints) == 10
+        walls = [c[0] for c in profile.checkpoints]
+        assert walls == sorted(walls)
+
+    def test_peak_rss_positive_on_linux(self):
+        assert peak_rss_bytes() > 0
+
+
+class TestSerialization:
+    def _profile(self):
+        sim = Simulator()
+        profiler = SimProfiler(checkpoint_every=100)
+        sim.set_profiler(profiler)
+        _chained(sim, 500)
+        sim.run()
+        return profiler.profile()
+
+    def test_json_round_trip(self):
+        profile = self._profile()
+        payload = json.loads(json.dumps(profile.to_json_dict()))
+        clone = LoopProfile.from_json_dict(payload)
+        assert clone == profile
+
+    def test_schema_mismatch_rejected(self):
+        payload = self._profile().to_json_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            LoopProfile.from_json_dict(payload)
+
+    def test_picklable(self):
+        profile = self._profile()
+        assert pickle.loads(pickle.dumps(profile)) == profile
+
+
+class TestDescribeHandler:
+    def test_bound_method(self):
+        handler = _Handler()
+        qualname, subsystem = describe_handler(handler.on_event)
+        assert qualname == "_Handler.on_event"
+
+    def test_repro_subsystem(self):
+        sim = Simulator()
+        qualname, subsystem = describe_handler(sim.stop)
+        assert qualname == "Simulator.stop"
+        assert subsystem == "sim"
+
+    def test_partial_unwrapped(self):
+        import functools
+
+        def fn(a, b):
+            pass
+
+        qualname, _ = describe_handler(functools.partial(fn, 1))
+        assert qualname.endswith("fn")
+
+
+class TestExporters:
+    def _profile(self):
+        sim = Simulator()
+        profiler = SimProfiler(checkpoint_every=50)
+        sim.set_profiler(profiler)
+        handler = _Handler()
+        for i in range(200):
+            sim.schedule(i, handler.on_event)
+        dead = sim.schedule(500, lambda: None)
+        dead.cancel()
+        sim.run()
+        return profiler.profile()
+
+    def test_top_handler_table(self):
+        text = format_top_handlers(self._profile(), n=5)
+        assert "_Handler.on_event" in text
+        assert "cancelled-event pops" in text
+        assert "share" in text
+
+    def test_collapsed_stacks_format(self):
+        text = collapsed_stacks(self._profile())
+        lines = [line for line in text.strip().splitlines()]
+        assert lines
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames  # at least one frame
+            assert int(weight) >= 1
+        assert any("_Handler.on_event" in line for line in lines)
+
+    def test_wall_clock_trace_events(self):
+        events = wall_clock_trace_events(self._profile())
+        json.dumps(events)  # must be JSON-able
+        assert all(e["pid"] == 2 for e in events)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "events/sec" for e in counters)
+        assert any(e["name"] == "sim-ns/wall-s" for e in counters)
+        bars = [e for e in events if e["ph"] == "X"]
+        assert bars and bars[0]["name"] == "_Handler.on_event"
+        # The stacked bar lays handlers end to end.
+        assert bars[0]["ts"] == 0.0
+
+    def test_chrome_sink_merges_wall_lane(self):
+        from repro.telemetry import ChromeTraceSink
+
+        sink = ChromeTraceSink()
+        sink.add_profile(self._profile())
+        events = sink.to_json_dict()["traceEvents"]
+        assert any(
+            e.get("args", {}).get("name") == "wall-clock (simulator profile)"
+            for e in events
+            if e.get("ph") == "M"
+        )
+        assert any(e.get("pid") == 2 and e.get("ph") == "X" for e in events)
+
+
+class TestHandlerStats:
+    def test_key(self):
+        stats = HandlerStats("A.b", "net", 1, 2)
+        assert stats.key == "net;A.b"

@@ -152,3 +152,120 @@ def test_args_passed_through():
     sim.schedule(1, lambda a, b: seen.append((a, b)), 1, "two")
     sim.run()
     assert seen == [(1, "two")]
+
+
+class TestRunEdgeCases:
+    def test_stop_then_rerun_resumes_where_it_left_off(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, sim.stop)
+        sim.schedule(30, fired.append, "b")
+        sim.schedule(40, fired.append, "c")
+        assert sim.run(until=100) == 20  # stopped mid-window, clock NOT advanced
+        assert fired == ["a"]
+        assert sim.run(until=100) == 100  # resumes, drains, advances to window edge
+        assert fired == ["a", "b", "c"]
+
+    def test_stop_then_rerun_without_until_drains(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, sim.stop)
+        sim.schedule(2, fired.append, "late")
+        sim.run()
+        assert fired == []
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 2
+
+    def test_until_before_next_event_advances_clock_exactly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "later")
+        assert sim.run(until=40) == 40
+        assert sim.now == 40
+        assert fired == []
+        # The pending event is untouched and fires on the next window.
+        assert sim.run(until=100) == 100
+        assert fired == ["later"]
+
+    def test_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=70) == 70
+        assert sim.now == 70
+
+    def test_peek_next_time_drains_leading_cancelled(self):
+        sim = Simulator()
+        dead = [sim.schedule(5 + i, lambda: None) for i in range(3)]
+        sim.schedule(50, lambda: None)
+        for event in dead:
+            event.cancel()
+        assert sim.heap_size() == 4
+        assert sim.peek_next_time() == 50
+        # Drained, not just skipped: the cancelled entries left the heap.
+        assert sim.heap_size() == 1
+        assert sim.cancelled_pops == 3
+
+    def test_peek_next_time_empty_after_draining(self):
+        sim = Simulator()
+        event = sim.schedule(5, lambda: None)
+        event.cancel()
+        assert sim.peek_next_time() is None
+        assert sim.heap_size() == 0
+
+
+class TestHeapCompaction:
+    def test_cancel_heavy_workload_compacts(self):
+        sim = Simulator()
+        events = [sim.schedule(1_000 + i, lambda: None) for i in range(1_000)]
+        for event in events[:900]:
+            event.cancel()
+        assert sim.compactions >= 1
+        assert sim.compacted_events >= 800
+        # Dead entries are gone; live ones still fire.
+        assert sim.heap_size() < 200
+        assert sim.pending_count() == 100
+        sim.run()
+        assert sim.events_executed == 100
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(200):
+            keep.append(sim.schedule(10 + i, fired.append, i))
+            sim.schedule(5_000, lambda: None).cancel()
+        for i in range(0, 200, 2):  # cancel interleaved survivors too
+            keep[i].cancel()
+        sim.run()
+        assert fired == list(range(1, 200, 2))
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        for _ in range(Simulator.COMPACT_MIN_SIZE // 2):
+            sim.schedule(10, lambda: None).cancel()
+        assert sim.compactions == 0
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.run()
+        event.cancel()  # already fired; counter overcount is tolerated...
+        live = [sim.schedule(10 + i, lambda: None) for i in range(100)]
+        for entry in live[:80]:
+            entry.cancel()
+        # ...because compaction re-derives the truth.
+        assert sim.pending_count() == 20
+        sim.run()
+        assert sim.events_executed == 21
+
+    def test_cancelled_pops_counted_during_run(self):
+        sim = Simulator()
+        # Cancelled events at the heap top are lazily popped by run().
+        dead = [sim.schedule(5, lambda: None) for _ in range(10)]
+        sim.schedule(50, lambda: None)
+        for event in dead:
+            event.cancel()
+        sim.run()
+        assert sim.cancelled_pops == 10
+        assert sim.events_executed == 1
