@@ -438,7 +438,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         ["sim-ns / wall-s", f"{profile.sim_ns_per_wall_s / 1e6:.1f}M"],
         ["max heap depth", profile.max_heap_depth],
         ["cancelled pops", profile.cancelled_pops],
-        ["heap compactions", profile.compactions],
+        ["cancelled unlinked", profile.cancelled_unlinked],
+        ["queue compactions", profile.compactions],
         ["peak RSS (MB)", round(profile.peak_rss_bytes / 1e6, 1)],
     ]
     print()

@@ -10,7 +10,7 @@ window), and a drain window so in-flight requests can complete.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.analysis.attribution import AttributionReport, AttributionSink
 from repro.analysis.audit import InvariantAuditor
@@ -171,9 +171,14 @@ class Cluster:
         record_timeseries: Union[None, bool, str, object] = None,
         watchpoints: Optional[Iterable[Watchpoint]] = None,
         profile: Union[None, bool, SimProfiler] = None,
+        sim_factory: Optional[Callable[[], Simulator]] = None,
     ):
         self.config = config
-        self.sim = Simulator()
+        #: ``sim_factory`` is an observer-style knob like ``profile=`` —
+        #: never a config field: it must not change results (the parity
+        #: tests prove it) so it must not invalidate cached ones.  Used
+        #: to rerun experiments on the retained HeapScheduler reference.
+        self.sim = sim_factory() if sim_factory is not None else Simulator()
         #: Simulator self-profiler — an observer like sinks/audit, never
         #: a config field (mirroring ``record_timeseries=``): attaching
         #: it must not invalidate cached results.

@@ -125,6 +125,7 @@ def run_suite(
                 "max_heap_depth": prof.max_heap_depth,
                 "final_heap_size": prof.final_heap_size,
                 "cancelled_pops": prof.cancelled_pops,
+                "cancelled_unlinked": prof.cancelled_unlinked,
                 "compactions": prof.compactions,
                 "compacted_events": prof.compacted_events,
             }
@@ -257,10 +258,19 @@ class BenchCheck:
     regressions: List[str] = field(default_factory=list)
     improvements: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Per-scenario events/s vs the baseline — informational, always
+    #: emitted so throughput claims are visible in the CI gate log.
+    throughput: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.regressions
+
+
+def _format_rate(events_per_s: float) -> str:
+    if events_per_s >= 1e6:
+        return f"{events_per_s / 1e6:.2f}M"
+    return f"{events_per_s / 1e3:.0f}K"
 
 
 def _metric(entry: Dict[str, Any], path: str) -> float:
@@ -324,6 +334,13 @@ def compare_to_baseline(
                     f"({base_value:.4g} -> {cand_value:.4g}) — "
                     f"consider refreshing the baseline"
                 )
+        base_eps = float(base.get("events_per_sec") or 0.0)
+        cand_eps = float(cand.get("events_per_sec") or 0.0)
+        if base_eps > 0 and cand_eps > 0:
+            check.throughput.append(
+                f"{name}: events_per_s {_format_rate(base_eps)} -> "
+                f"{_format_rate(cand_eps)} ({cand_eps / base_eps:.2f}x)"
+            )
         if cand.get("events") != base.get("events"):
             check.notes.append(
                 f"{name}: events {base.get('events')} -> {cand.get('events')} "
@@ -414,6 +431,8 @@ def format_check_report(check: BenchCheck) -> str:
         lines.append(f"  REGRESSION  {regression}")
     for improvement in check.improvements:
         lines.append(f"  improved    {improvement}")
+    for rate in check.throughput:
+        lines.append(f"  events/s    {rate}")
     for note in check.notes:
         lines.append(f"  note        {note}")
     return "\n".join(lines)

@@ -3,10 +3,14 @@
 Each scenario is a plain callable ``fn(profiler) -> ScenarioStats``: it
 builds its own :class:`~repro.sim.kernel.Simulator` (attaching the
 profiler when given one), runs the workload, and reports event/counter
-totals.  The ``micro`` suite covers the simulation substrate (event
-kernel, cancel churn + heap compaction, NIC rx path, a short cluster
-run); the ``telemetry`` suite times the headline experiment with and
-without the opt-in attribution/audit observers — the macro measurements
+totals.  Kernel scenarios also take a ``sim_cls`` keyword so the
+differential-parity tests can rerun them on the retained
+:class:`~repro.sim.kernel.HeapScheduler` reference.  The ``micro``
+suite covers the simulation substrate (batched event kernel, timer
+re-arm/cancel churn, a single-event timer chain, schedule_many burst
+fan-out, NIC rx path, a short cluster run); the ``telemetry`` suite
+times the headline experiment with and without the opt-in
+attribution/audit observers — the macro measurements
 ``benchmarks/bench_telemetry_overhead.py`` renders its report from.
 """
 
@@ -26,6 +30,7 @@ def _kernel_stats(sim: Simulator, **counters: float) -> ScenarioStats:
         sim_ns=sim.now,
         counters={
             "cancelled_pops": sim.cancelled_pops,
+            "cancelled_unlinked": sim.cancelled_unlinked,
             "compactions": sim.compactions,
             "compacted_events": sim.compacted_events,
             **counters,
@@ -33,9 +38,96 @@ def _kernel_stats(sim: Simulator, **counters: float) -> ScenarioStats:
     )
 
 
-def event_kernel(profiler: Optional[SimProfiler]) -> ScenarioStats:
-    """Schedule+fire 100K chained events — raw dispatch throughput."""
-    sim = Simulator()
+def event_kernel(
+    profiler: Optional[SimProfiler], sim_cls: type = Simulator
+) -> ScenarioStats:
+    """100K events as chained same-timestamp batches — peak dispatch rate.
+
+    500 rounds of ``schedule_batch(10, 200, tick)``: the shape the
+    vectorized burst clients feed the kernel, and the scenario behind
+    the headline events/s claim.
+    """
+    sim = sim_cls()
+    if profiler is not None:
+        sim.set_profiler(profiler)
+    count = [0]
+    total = 100_000
+
+    def tick() -> None:
+        count[0] += 1
+
+    def arm() -> None:
+        if count[0] < total:
+            sim.schedule_batch(10, 200, tick)
+            sim.schedule(10, arm)
+
+    arm()
+    sim.run()
+    assert count[0] == total
+    return _kernel_stats(sim)
+
+
+def cancel_churn(
+    profiler: Optional[SimProfiler], sim_cls: type = Simulator
+) -> ScenarioStats:
+    """Timer re-arm/cancel churn: 40K batched ticks re-arming a
+    far-future timer every 8th tick, plus interior + tail cancels every
+    round (~5K re-arms and 1.6K explicit cancels per run).
+
+    The re-arms take the :meth:`~repro.sim.kernel.Simulator.reschedule`
+    fast path (tail unlink + object reuse); each of the 200 rounds also
+    cancels interior events (lazy tombstones — keeps the compaction
+    machinery hot) and tail events (eager unlink).  The counters pin
+    all three cancellation paths as well as their cost.
+    """
+    sim = sim_cls()
+    if profiler is not None:
+        sim.set_profiler(profiler)
+    count = [0]
+    rounds, batch = 200, 200
+    total = rounds * batch
+    far = 1_000_000_000
+
+    def noop() -> None:
+        pass
+
+    def cancelled_noop() -> None:  # pragma: no cover - cancelled
+        raise AssertionError("cancelled event fired")
+
+    cell = [sim.schedule(far, noop)]
+    resched = sim.reschedule
+
+    def tick() -> None:
+        count[0] += 1
+        if not count[0] & 7:
+            cell[0] = resched(cell[0], far)
+
+    def arm() -> None:
+        if count[0] < total:
+            for _ in range(4):
+                interior = sim.schedule(far, cancelled_noop)
+                tail = sim.schedule(far, cancelled_noop)
+                interior.cancel()  # lazy tombstone (tail sits behind it)
+                tail.cancel()  # eager tail unlink
+            sim.schedule_batch(10, batch, tick)
+            sim.schedule(10, arm)
+
+    arm()
+    sim.run()
+    assert count[0] == total
+    return _kernel_stats(sim, final_heap=sim.heap_size())
+
+
+def chained_timers(
+    profiler: Optional[SimProfiler], sim_cls: type = Simulator
+) -> ScenarioStats:
+    """100K chained single events — the pre-batch dispatch baseline.
+
+    One event in flight at a time, rescheduling itself: the worst case
+    for any calendar scheduler (no batching to amortize) and the shape
+    of the old ``event_kernel`` scenario, kept for continuity.
+    """
+    sim = sim_cls()
     if profiler is not None:
         sim.set_profiler(profiler)
     count = [0]
@@ -51,32 +143,25 @@ def event_kernel(profiler: Optional[SimProfiler]) -> ScenarioStats:
     return _kernel_stats(sim)
 
 
-def cancel_churn(profiler: Optional[SimProfiler]) -> ScenarioStats:
-    """Timer-re-arm churn: every tick cancels a far-future event.
-
-    Without heap compaction the 20K dead entries would pile up until the
-    run ends; the scenario's ``compactions``/``compacted_events``
-    counters pin the hygiene behavior as well as its cost.
-    """
-    sim = Simulator()
+def burst_fanout(
+    profiler: Optional[SimProfiler], sim_cls: type = Simulator
+) -> ScenarioStats:
+    """50 bursts of 2000 arrivals via ``schedule_many`` — the vectorized
+    open-loop client's bulk path, timestamps spread inside each burst."""
+    sim = sim_cls()
     if profiler is not None:
         sim.set_profiler(profiler)
-    count = [0]
+    seen = [0]
 
-    def noop() -> None:  # pragma: no cover - cancelled before firing
-        raise AssertionError("cancelled event fired")
+    def arrival() -> None:
+        seen[0] += 1
 
-    def tick() -> None:
-        count[0] += 1
-        sim.schedule(1_000_000_000, noop).cancel()
-        if count[0] < 20_000:
-            sim.schedule(10, tick)
-
-    sim.schedule(0, tick)
+    for b in range(50):
+        base = b * 1_000_000
+        sim.schedule_many(range(base, base + 2000 * 10, 10), arrival)
     sim.run()
-    assert count[0] == 20_000
-    stats = _kernel_stats(sim, final_heap=sim.heap_size())
-    return stats
+    assert seen[0] == 100_000
+    return _kernel_stats(sim)
 
 
 def nic_rx_path(profiler: Optional[SimProfiler]) -> ScenarioStats:
@@ -161,15 +246,24 @@ def headline_attributed(profiler: Optional[SimProfiler]) -> ScenarioStats:
 
 MICRO_SUITE = BenchSuite(
     name="micro",
-    description="Simulation-substrate micro-benchmarks (event kernel, "
-    "cancel churn, NIC rx path, short cluster run)",
+    description="Simulation-substrate micro-benchmarks (batched event "
+    "kernel, timer re-arm churn, single-event chain, schedule_many "
+    "fan-out, NIC rx path, short cluster run)",
     scenarios=(
         BenchScenario(
-            "event_kernel", event_kernel, "100K chained events"
+            "event_kernel", event_kernel, "100K events in 500 batches"
         ),
         BenchScenario(
             "cancel_churn", cancel_churn,
-            "20K cancel-heavy timer re-arms (heap compaction)",
+            "40K timer re-arms + interior/tail cancels (compaction)",
+        ),
+        BenchScenario(
+            "chained_timers", chained_timers,
+            "100K chained single events (no batching)",
+        ),
+        BenchScenario(
+            "burst_fanout", burst_fanout,
+            "50x2000 arrivals via schedule_many",
         ),
         BenchScenario(
             "nic_rx_path", nic_rx_path, "2000 packets through NIC+driver"

@@ -63,8 +63,9 @@ class PeriodicKernelTask:
             return
         self.expirations += 1
         # Re-arm first so the period is stable even if the body is delayed
-        # by queueing on a busy core.
-        self._next = self._sim.schedule(self.period_ns, self._expire)
+        # by queueing on a busy core.  The just-fired event is reused via
+        # the kernel's O(1) reschedule fast path — no allocation per tick.
+        self._next = self._sim.reschedule(self._next, self.period_ns)
         self._irq.raise_softirq(
             self._body, self.cycles, core_id=self._core_id, name=self.name
         )

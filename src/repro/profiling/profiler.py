@@ -93,6 +93,9 @@ class LoopProfile:
     max_heap_depth: int = 0
     final_heap_size: int = 0
     cancelled_pops: int = 0
+    #: Cancelled events eagerly unlinked by the wheel's tail fast path
+    #: (never entered the lazy-tombstone machinery).
+    cancelled_unlinked: int = 0
     compactions: int = 0
     compacted_events: int = 0
     peak_rss_bytes: int = 0
@@ -133,6 +136,7 @@ class LoopProfile:
             "max_heap_depth": self.max_heap_depth,
             "final_heap_size": self.final_heap_size,
             "cancelled_pops": self.cancelled_pops,
+            "cancelled_unlinked": self.cancelled_unlinked,
             "compactions": self.compactions,
             "compacted_events": self.compacted_events,
             "peak_rss_bytes": self.peak_rss_bytes,
@@ -172,6 +176,7 @@ class LoopProfile:
             max_heap_depth=int(data.get("max_heap_depth", 0)),
             final_heap_size=int(data.get("final_heap_size", 0)),
             cancelled_pops=int(data.get("cancelled_pops", 0)),
+            cancelled_unlinked=int(data.get("cancelled_unlinked", 0)),
             compactions=int(data.get("compactions", 0)),
             compacted_events=int(data.get("compacted_events", 0)),
             peak_rss_bytes=int(data.get("peak_rss_bytes", 0)),
@@ -212,6 +217,7 @@ class SimProfiler:
         self._final_heap_size = 0
         self._compactions = 0
         self._compacted_events = 0
+        self._cancelled_unlinked = 0
 
     # -- kernel-facing hooks --------------------------------------------
 
@@ -230,6 +236,7 @@ class SimProfiler:
         self._counters0 = {
             "compactions": sim.compactions,
             "compacted_events": sim.compacted_events,
+            "cancelled_unlinked": getattr(sim, "cancelled_unlinked", 0),
         }
 
     def _note_run(self, sim) -> None:
@@ -240,6 +247,9 @@ class SimProfiler:
         self._compacted_events = (
             sim.compacted_events - self._counters0.get("compacted_events", 0)
         )
+        self._cancelled_unlinked = getattr(
+            sim, "cancelled_unlinked", 0
+        ) - self._counters0.get("cancelled_unlinked", 0)
 
     def _fold(self) -> None:
         """Collapse the per-callable dict into the string-keyed aggregate."""
@@ -280,6 +290,7 @@ class SimProfiler:
             max_heap_depth=self.max_heap_depth,
             final_heap_size=self._final_heap_size,
             cancelled_pops=self.cancelled_pops,
+            cancelled_unlinked=self._cancelled_unlinked,
             compactions=self._compactions,
             compacted_events=self._compacted_events,
             peak_rss_bytes=peak_rss_bytes(),

@@ -1,36 +1,69 @@
 """Deterministic discrete-event simulation kernel.
 
-The kernel is a classic event-heap design:
+The kernel is a two-tier calendar queue (a timing-wheel / calendar-queue
+hybrid) with same-timestamp batch dispatch:
 
-- :class:`Event` — a scheduled callback, cancellable in O(1) (lazy deletion).
-- :class:`Simulator` — owns the clock (integer nanoseconds) and the heap.
+- :class:`Event` — a scheduled callback, cancellable in O(1).
+- :class:`Simulator` — the production scheduler.  Near-future events
+  (before the *overflow horizon*) live in exact-timestamp buckets — a
+  dict keyed by firing time plus an int min-heap of bucket times — so
+  the inner loop pops one integer per *timestamp*, not one Python object
+  per *event*.  Far-future events (at or past the horizon) sit in an
+  unsorted overflow list with O(1) append and O(1) tail removal; the
+  overflow is sorted and folded into the wheel only when the wheel
+  drains, advancing the horizon.
+- :class:`HeapScheduler` — the classic binary-heap scheduler the wheel
+  replaced, retained as the differential-parity reference.  Same API,
+  same observable behaviour (event order, seq consumption, results).
 
-Determinism guarantees:
+Determinism guarantees (both schedulers):
 
 - Time is an integer; no float drift can reorder events.
 - Ties at the same timestamp fire in scheduling order (a monotonically
-  increasing sequence number breaks ties).
-- Callbacks scheduled *during* an event at the current time run after all
-  previously scheduled events at that time.
+  increasing sequence number breaks ties; bucket order is insertion
+  order, which is seq order).
+- Callbacks scheduled *during* an event at the current time run after
+  all previously scheduled events at that time.
+- ``stop()`` halts dispatch after the current event — mid-bucket and
+  mid-batch included; the unconsumed remainder is requeued ahead of any
+  same-timestamp events scheduled while the bucket was dispatching.
 
-Heap hygiene: cancellation only marks an event, so cancel-heavy
-workloads (timer re-arms) would otherwise bloat the heap with dead
-entries until they drift to the top.  The simulator counts live
-cancelled entries and compacts the heap in place — O(n), order
-preserving — once they exceed :attr:`Simulator.COMPACT_FRACTION` of it.
+Bulk entrypoints (the batch layer):
+
+- :meth:`Simulator.schedule_many` — bulk fire-and-forget scheduling of
+  one callback at many timestamps; entries share a single tuple, no
+  per-event :class:`Event` allocation.
+- :meth:`Simulator.schedule_batch` — ``count`` same-timestamp calls as
+  one bucket entry with a precomputed handler binding; the dispatch
+  loop does one clock update (and, when profiled, one timer read) for
+  the whole batch.
+- :meth:`Simulator.reschedule` — re-arm an event in O(1): a fired or
+  tail-resident event is unlinked and its object reused; an interior
+  event falls back to tombstone-plus-fresh-event.  Semantically
+  identical to ``cancel()`` + ``schedule()``.
+
+Cancellation hygiene: a cancelled event that is the *tail* of its
+bucket (or of the overflow) is unlinked immediately (counted in
+:attr:`Simulator.cancelled_unlinked`); anything interior becomes a lazy
+tombstone skipped at dispatch (:attr:`Simulator.cancelled_pops`).  The
+simulator counts live tombstones and compacts all tiers in place —
+O(n), order preserving — once they exceed
+:attr:`Simulator.COMPACT_FRACTION` of the queue.
 
 Self-profiling: :meth:`Simulator.set_profiler` swaps the dispatch loop
 for an instrumented twin (:meth:`Simulator._run_profiled`) that
-attributes wall-clock time to each handler.  The uninstrumented loop in
-:meth:`Simulator.run` is untouched — with no profiler attached the only
-cost is one ``is None`` check per ``run()`` call, not per event.
+attributes wall-clock time to each handler — one timer read per single
+event, one per *batch* for batch entries (the whole interval is charged
+to the batch's handler, so attribution still telescopes to the loop
+total).  The uninstrumented loop is untouched — with no profiler
+attached the only cost is one ``is None`` check per ``run()`` call.
 """
 
 from __future__ import annotations
 
 import heapq
 from time import perf_counter_ns
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.profiling.profiler import SimProfiler
@@ -45,10 +78,10 @@ class Event:
 
     Events are created via :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at`; users only hold them to :meth:`cancel`
-    them or to inspect :attr:`time`.
+    or :meth:`Simulator.reschedule` them, or to inspect :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner", "_queued")
 
     def __init__(
         self,
@@ -64,13 +97,16 @@ class Event:
         self.args = args
         self.cancelled = False
         self.owner = owner
+        #: Physically linked into the owner's queue.  Cleared on dispatch
+        #: and on unlink, so cancellation accounting is exact.
+        self._queued = True
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
         if not self.cancelled:
             self.cancelled = True
             if self.owner is not None:
-                self.owner._note_cancel()
+                self.owner._note_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -82,12 +118,795 @@ class Event:
         return f"Event(t={self.time}, seq={self.seq}, {state}, fn={self.fn!r})"
 
 
-class Simulator:
-    """Event-driven simulator with an integer-nanosecond clock."""
+class _Batch:
+    """``count`` same-timestamp fire-and-forget calls as one bucket entry."""
 
-    #: Compact once cancelled entries exceed this fraction of the heap.
+    __slots__ = ("fn", "args", "count")
+
+    def __init__(self, fn: Callable[..., None], args: tuple, count: int):
+        self.fn = fn
+        self.args = args
+        self.count = count
+
+
+_TUPLE = tuple
+_EVENT = Event
+
+
+class Simulator:
+    """Event-driven simulator with an integer-nanosecond clock.
+
+    Two-tier calendar scheduler: exact-timestamp wheel buckets indexed
+    by an int min-heap for everything before :attr:`_horizon`, an
+    unsorted overflow list for everything at or past it.  The horizon
+    only ever advances inside :meth:`_migrate` — all wheel times stay
+    strictly below it and all overflow times at or above it, so the two
+    tiers never interleave.
+    """
+
+    #: Compact once cancelled tombstones exceed this fraction of the queue.
     COMPACT_FRACTION = 0.5
-    #: ... but never bother below this heap size (compaction is O(n)).
+    #: ... but never bother below this queue size (compaction is O(n)).
+    COMPACT_MIN_SIZE = 64
+    #: Width of the near-future window serviced by the wheel.  Events
+    #: scheduled further out stage in the overflow list until the wheel
+    #: drains.  ~2.1 simulated milliseconds: wide enough to hold every
+    #: periodic timer in the model (ITR, governor ticks, burst periods),
+    #: narrow enough that the due-heap stays small.
+    OVERFLOW_SPAN_NS = 1 << 21
+
+    def __init__(self) -> None:
+        #: firing time -> list of entries (Event | (fn, args) | _Batch),
+        #: in seq order.  Only times < _horizon.
+        self._wheel: Dict[int, list] = {}
+        #: Min-heap of (possibly stale) wheel bucket times.
+        self._due: List[int] = []
+        #: Unsorted far-future staging: (time, seq, entry) records.
+        self._overflow: List[Tuple[int, int, Any]] = []
+        self._horizon: int = self.OVERFLOW_SPAN_NS
+        self._now: int = 0
+        self._seq: int = 0
+        #: Scheduled call units physically queued (tombstones included;
+        #: a _Batch counts as its ``count``).
+        self._size: int = 0
+        self._running = False
+        self._stopped = False
+        self._profiler: Optional["SimProfiler"] = None
+        self.events_executed: int = 0
+        #: Cancelled tombstones lazily skipped by the dispatch loop.
+        self.cancelled_pops: int = 0
+        #: Cancelled events unlinked eagerly (tail-of-bucket fast path).
+        self.cancelled_unlinked: int = 0
+        #: In-place queue rebuilds triggered by cancellation pressure.
+        self.compactions: int = 0
+        #: Cancelled events removed by those compactions.
+        self.compacted_events: int = 0
+        #: Exact count of cancelled tombstones still linked in the queue.
+        self._cancelled_in_heap: int = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        time = self._now + int(delay)
+        self._seq += 1
+        event = Event(time, self._seq, fn, args, self)
+        if time < self._horizon:
+            bucket = self._wheel.get(time)
+            if bucket is None:
+                self._wheel[time] = [event]
+                heapq.heappush(self._due, time)
+            else:
+                bucket.append(event)
+        else:
+            self._overflow.append((time, self._seq, event))
+        self._size += 1
+        return event
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time`` ns."""
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} ns; now is t={self._now} ns"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args, self)
+        if time < self._horizon:
+            bucket = self._wheel.get(time)
+            if bucket is None:
+                self._wheel[time] = [event]
+                heapq.heappush(self._due, time)
+            else:
+                bucket.append(event)
+        else:
+            self._overflow.append((time, self._seq, event))
+        self._size += 1
+        return event
+
+    def call_now(self, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    def schedule_many(
+        self, times: Iterable[int], fn: Callable[..., None], *args: Any
+    ) -> int:
+        """Bulk fire-and-forget scheduling of ``fn(*args)`` at ``times``.
+
+        Each timestamp consumes one sequence number, exactly as the
+        equivalent loop of :meth:`schedule_at` calls would, so ordering
+        against individually scheduled events is identical.  No
+        :class:`Event` objects are created — the entries cannot be
+        cancelled.  Returns the number of calls scheduled.
+        """
+        wheel = self._wheel
+        due = self._due
+        overflow = self._overflow
+        push = heapq.heappush
+        horizon = self._horizon
+        now = self._now
+        entry = (fn, args)
+        seq = self._seq
+        n = 0
+        for t in times:
+            t = int(t)
+            if t < now:
+                self._seq = seq
+                self._size += n
+                raise SimulationError(
+                    f"cannot schedule at t={t} ns; now is t={now} ns"
+                )
+            seq += 1
+            if t < horizon:
+                bucket = wheel.get(t)
+                if bucket is None:
+                    wheel[t] = [entry]
+                    push(due, t)
+                else:
+                    bucket.append(entry)
+            else:
+                overflow.append((t, seq, entry))
+            n += 1
+        self._seq = seq
+        self._size += n
+        return n
+
+    def schedule_batch(
+        self, delay: int, count: int, fn: Callable[..., None], *args: Any
+    ) -> int:
+        """Schedule ``count`` fire-and-forget ``fn(*args)`` calls ``delay``
+        ns from now, as a single bucket entry.
+
+        Consumes ``count`` sequence numbers (the batch occupies the same
+        ordering slots as ``count`` individual ``schedule`` calls) and
+        dispatches with one clock update — and, under the profiler, one
+        timer read — for the whole batch.  Returns ``count``.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        if count <= 0:
+            raise SimulationError(f"batch count must be positive, got {count}")
+        time = self._now + int(delay)
+        first_seq = self._seq + 1
+        self._seq += count
+        entry = _Batch(fn, args, count)
+        if time < self._horizon:
+            bucket = self._wheel.get(time)
+            if bucket is None:
+                self._wheel[time] = [entry]
+                heapq.heappush(self._due, time)
+            else:
+                bucket.append(entry)
+        else:
+            self._overflow.append((time, first_seq, entry))
+        self._size += count
+        return count
+
+    def reschedule(self, event: Event, delay: int) -> Event:
+        """Re-arm ``event`` to fire ``delay`` ns from now.
+
+        Semantically identical to ``event.cancel()`` followed by
+        ``schedule(delay, event.fn, *event.args)`` — one sequence number
+        is consumed either way — but O(1) when the event has already
+        fired or sits at the tail of its bucket: the Event object is
+        unlinked and reused with no allocation and no tombstone.  Always
+        use the *returned* event for the next re-arm.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        time = self._now + int(delay)
+        if event._queued:
+            if event.cancelled:
+                # Tombstone still linked elsewhere: reusing the object
+                # would resurrect it in place.  Schedule fresh.
+                return self.schedule_at(time, event.fn, *event.args)
+            etime = event.time
+            if etime >= self._horizon:
+                overflow = self._overflow
+                if overflow and overflow[-1][2] is event:
+                    # Tail unlink + reuse: net queue size is unchanged
+                    # and the event's flags are already clean.
+                    overflow.pop()
+                    seq = self._seq + 1
+                    self._seq = seq
+                    event.time = time
+                    event.seq = seq
+                    if time < self._horizon:
+                        bucket = self._wheel.get(time)
+                        if bucket is None:
+                            self._wheel[time] = [event]
+                            heapq.heappush(self._due, time)
+                        else:
+                            bucket.append(event)
+                    else:
+                        overflow.append((time, seq, event))
+                    return event
+            else:
+                bucket = self._wheel.get(etime)
+                if bucket is not None and bucket[-1] is event:
+                    bucket.pop()
+                    if not bucket:
+                        del self._wheel[etime]
+                    seq = self._seq + 1
+                    self._seq = seq
+                    event.time = time
+                    event.seq = seq
+                    if time < self._horizon:
+                        bucket = self._wheel.get(time)
+                        if bucket is None:
+                            self._wheel[time] = [event]
+                            heapq.heappush(self._due, time)
+                        else:
+                            bucket.append(event)
+                    else:
+                        self._overflow.append((time, seq, event))
+                    return event
+            # Interior: tombstone in place, arm a fresh event.
+            event.cancelled = True
+            self._lazy_cancel()
+            return self.schedule_at(time, event.fn, *event.args)
+        # Previously fired or cancelled-and-unlinked: reuse the object.
+        self._seq += 1
+        event.time = time
+        event.seq = self._seq
+        event.cancelled = False
+        event._queued = True
+        if time < self._horizon:
+            bucket = self._wheel.get(time)
+            if bucket is None:
+                self._wheel[time] = [event]
+                heapq.heappush(self._due, time)
+            else:
+                bucket.append(event)
+        else:
+            self._overflow.append((time, self._seq, event))
+        self._size += 1
+        return event
+
+    # -- queue hygiene ---------------------------------------------------
+
+    def heap_size(self) -> int:
+        """Call units currently queued, cancelled tombstones included."""
+        return self._size
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled tombstones still occupying queue slots."""
+        return self._cancelled_in_heap
+
+    def _note_cancel(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel` (``event.cancelled`` already set)."""
+        if not event._queued:
+            return  # already fired or unlinked; nothing to remove
+        time = event.time
+        if time >= self._horizon:
+            overflow = self._overflow
+            if overflow and overflow[-1][2] is event:
+                overflow.pop()
+                event._queued = False
+                self._size -= 1
+                self.cancelled_unlinked += 1
+                return
+        else:
+            bucket = self._wheel.get(time)
+            if bucket is not None and bucket[-1] is event:
+                bucket.pop()
+                event._queued = False
+                self._size -= 1
+                self.cancelled_unlinked += 1
+                if not bucket:
+                    del self._wheel[time]
+                return
+        self._lazy_cancel()
+
+    def _lazy_cancel(self) -> None:
+        """Account one interior tombstone; compact under pressure."""
+        self._cancelled_in_heap += 1
+        if (
+            self._size >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap >= self._size * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones from every tier, in place.
+
+        In place matters: the dispatch loop holds local aliases to the
+        wheel dict, due heap, and overflow list, so those objects must
+        survive compaction.  Bucket order is preserved, so live-event
+        ordering is unchanged.
+        """
+        removed = 0
+        wheel = self._wheel
+        for time in list(wheel):
+            bucket = wheel[time]
+            kept = [
+                e
+                for e in bucket
+                if e.__class__ is not Event or not e.cancelled
+            ]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                if kept:
+                    wheel[time] = kept
+                else:
+                    del wheel[time]
+        # Rebuild the due-heap from live bucket times; stale times from
+        # emptied buckets drop out here.
+        self._due[:] = list(wheel)
+        heapq.heapify(self._due)
+        overflow = self._overflow
+        kept_overflow = [
+            rec
+            for rec in overflow
+            if rec[2].__class__ is not Event or not rec[2].cancelled
+        ]
+        removed += len(overflow) - len(kept_overflow)
+        overflow[:] = kept_overflow
+        self._size -= removed
+        self.compactions += 1
+        self.compacted_events += removed
+        self._cancelled_in_heap = 0
+
+    def _migrate(self) -> None:
+        """Fold the nearest overflow span into the wheel.
+
+        Only called when the wheel is empty, so ordering cannot be
+        violated: the horizon advances to ``min(overflow time) + span``
+        and exactly the records below it move, sorted by (time, seq) so
+        bucket insertion order remains seq order.  This is the *only*
+        place the horizon changes.
+        """
+        overflow = self._overflow
+        t_min = min(rec[0] for rec in overflow)
+        new_horizon = t_min + self.OVERFLOW_SPAN_NS
+        moved = []
+        kept = []
+        for rec in overflow:
+            if rec[0] < new_horizon:
+                moved.append(rec)
+            else:
+                kept.append(rec)
+        moved.sort(key=lambda rec: (rec[0], rec[1]))
+        wheel = self._wheel
+        due = self._due
+        push = heapq.heappush
+        for time, _seq, entry in moved:
+            bucket = wheel.get(time)
+            if bucket is None:
+                wheel[time] = [entry]
+                push(due, time)
+            else:
+                bucket.append(entry)
+        overflow[:] = kept
+        self._horizon = new_horizon
+
+    # -- execution -------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the currently running :meth:`run` after the current event."""
+        self._stopped = True
+
+    def set_profiler(self, profiler: Optional["SimProfiler"]) -> None:
+        """Attach (or detach, with ``None``) a dispatch-loop profiler.
+
+        Subsequent :meth:`run` calls go through the instrumented loop,
+        which attributes wall time per handler into ``profiler``.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional["SimProfiler"]:
+        return self._profiler
+
+    def _requeue(self, time: int, rest: list) -> None:
+        """Put an unconsumed bucket remainder back at the front of ``time``.
+
+        Entries scheduled at ``time`` *during* the dispatch of this
+        bucket carry higher seqs, so the remainder is prepended.
+        """
+        bucket = self._wheel.get(time)
+        if bucket is None:
+            self._wheel[time] = rest
+            heapq.heappush(self._due, time)
+        else:
+            bucket[:0] = rest
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run events until the queue empties or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given, the
+        clock is advanced to exactly ``until`` even if the last event fired
+        earlier (so rate/energy integrations over the window are exact).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if self._profiler is not None:
+            return self._run_profiled(until)
+        self._running = True
+        self._stopped = False
+        wheel = self._wheel
+        due = self._due
+        pop_due = heapq.heappop
+        executed = self.events_executed
+        try:
+            while not self._stopped:
+                if not due:
+                    if not self._overflow:
+                        break
+                    self._migrate()
+                    continue
+                time = due[0]
+                bucket = wheel.get(time)
+                if bucket is None:
+                    pop_due(due)  # stale: bucket emptied by unlink/compact
+                    continue
+                if until is not None and time > until:
+                    break
+                pop_due(due)
+                del wheel[time]
+                # Drain leading tombstones before touching the clock: a
+                # bucket that turns out to be all-cancelled must not
+                # advance ``now`` (parity with the heap, where cancelled
+                # pops never set the clock).
+                i = 0
+                n = len(bucket)
+                consumed = 0
+                while i < n:
+                    e = bucket[i]
+                    if e.__class__ is not _EVENT or not e.cancelled:
+                        break
+                    i += 1
+                    consumed += 1
+                    self.cancelled_pops += 1
+                    if self._cancelled_in_heap > 0:
+                        self._cancelled_in_heap -= 1
+                if i == n:
+                    self._size -= consumed
+                    continue
+                self._now = time
+                try:
+                    while i < n:
+                        e = bucket[i]
+                        cls = e.__class__
+                        if cls is _TUPLE:
+                            i += 1
+                            consumed += 1
+                            executed += 1
+                            e[0](*e[1])
+                            if self._stopped:
+                                break
+                        elif cls is _Batch:
+                            fn = e.fn
+                            args = e.args
+                            k = e.count
+                            j = 0
+                            try:
+                                while j < k:
+                                    fn(*args)
+                                    j += 1
+                                    if self._stopped:
+                                        break
+                            finally:
+                                consumed += j
+                                executed += j
+                                if j < k:
+                                    e.count = k - j
+                            if j < k:
+                                break  # stopped mid-batch; e stays at bucket[i]
+                            i += 1
+                            if self._stopped:
+                                break
+                        else:
+                            i += 1
+                            if e.cancelled:
+                                consumed += 1
+                                self.cancelled_pops += 1
+                                if self._cancelled_in_heap > 0:
+                                    self._cancelled_in_heap -= 1
+                                continue
+                            e._queued = False
+                            consumed += 1
+                            executed += 1
+                            e.fn(*e.args)
+                            if self._stopped:
+                                break
+                finally:
+                    self.events_executed = executed
+                    self._size -= consumed
+                    if i < n:
+                        self._requeue(time, bucket[i:])
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self.events_executed = executed
+            self._running = False
+        return self._now
+
+    def _run_profiled(self, until: Optional[int] = None) -> int:
+        """Instrumented twin of :meth:`run`.
+
+        Identical event semantics; additionally attributes wall time per
+        handler.  One ``perf_counter_ns()`` reading per single event and
+        one per *batch* entry: each handler is charged the interval from
+        the previous reading to the one taken right after it fires
+        (bucket bookkeeping and the *previous* iteration's accounting
+        included), so the per-handler totals plus the cancelled-pop
+        bucket telescope to the measured loop total.
+        """
+        profiler = self._profiler
+        self._running = True
+        self._stopped = False
+        perf = perf_counter_ns
+        record = profiler._record
+        checkpoint = profiler._checkpoint
+        every = profiler.checkpoint_every
+        countdown = profiler._countdown
+        max_depth = profiler.max_heap_depth
+        cancelled_ns = 0
+        loop_start = perf()
+        if profiler._wall0_ns is None:
+            profiler._note_start(self, loop_start)
+        t_prev = loop_start
+        wheel = self._wheel
+        due = self._due
+        pop_due = heapq.heappop
+        executed = self.events_executed
+        try:
+            while not self._stopped:
+                if not due:
+                    if not self._overflow:
+                        break
+                    self._migrate()
+                    continue
+                time = due[0]
+                bucket = wheel.get(time)
+                if bucket is None:
+                    pop_due(due)
+                    continue
+                if until is not None and time > until:
+                    break
+                pop_due(due)
+                del wheel[time]
+                # Mirror run(): drain leading tombstones (charged to the
+                # cancelled bucket) before the clock moves, so an
+                # all-cancelled bucket never advances ``now``.
+                i = 0
+                n = len(bucket)
+                consumed = 0
+                while i < n:
+                    e = bucket[i]
+                    if e.__class__ is not _EVENT or not e.cancelled:
+                        break
+                    i += 1
+                    consumed += 1
+                    self.cancelled_pops += 1
+                    profiler.cancelled_pops += 1
+                    if self._cancelled_in_heap > 0:
+                        self._cancelled_in_heap -= 1
+                    t_now = perf()
+                    cancelled_ns += t_now - t_prev
+                    t_prev = t_now
+                if i == n:
+                    self._size -= consumed
+                    continue
+                self._now = time
+                try:
+                    while i < n:
+                        e = bucket[i]
+                        cls = e.__class__
+                        if cls is _TUPLE:
+                            i += 1
+                            consumed += 1
+                            executed += 1
+                            fn = e[0]
+                            fn(*e[1])
+                            t_now = perf()
+                            elapsed = t_now - t_prev
+                            t_prev = t_now
+                            entry = record.get(fn)
+                            if entry is None:
+                                record[fn] = [1, elapsed]
+                                if len(record) >= profiler.fold_threshold:
+                                    profiler._fold()
+                            else:
+                                entry[0] += 1
+                                entry[1] += elapsed
+                            profiler.events += 1
+                            countdown -= 1
+                            stopped = self._stopped
+                        elif cls is _Batch:
+                            fn = e.fn
+                            args = e.args
+                            k = e.count
+                            j = 0
+                            try:
+                                while j < k:
+                                    fn(*args)
+                                    j += 1
+                                    if self._stopped:
+                                        break
+                            finally:
+                                consumed += j
+                                executed += j
+                                if j < k:
+                                    e.count = k - j
+                            t_now = perf()
+                            elapsed = t_now - t_prev
+                            t_prev = t_now
+                            entry = record.get(fn)
+                            if entry is None:
+                                record[fn] = [j, elapsed]
+                                if len(record) >= profiler.fold_threshold:
+                                    profiler._fold()
+                            else:
+                                entry[0] += j
+                                entry[1] += elapsed
+                            profiler.events += j
+                            countdown -= j
+                            if j < k:
+                                break
+                            i += 1
+                            stopped = self._stopped
+                        else:
+                            i += 1
+                            if e.cancelled:
+                                consumed += 1
+                                self.cancelled_pops += 1
+                                profiler.cancelled_pops += 1
+                                if self._cancelled_in_heap > 0:
+                                    self._cancelled_in_heap -= 1
+                                t_now = perf()
+                                cancelled_ns += t_now - t_prev
+                                t_prev = t_now
+                                continue
+                            e._queued = False
+                            consumed += 1
+                            executed += 1
+                            fn = e.fn
+                            fn(*e.args)
+                            t_now = perf()
+                            elapsed = t_now - t_prev
+                            t_prev = t_now
+                            entry = record.get(fn)
+                            if entry is None:
+                                record[fn] = [1, elapsed]
+                                if len(record) >= profiler.fold_threshold:
+                                    profiler._fold()
+                            else:
+                                entry[0] += 1
+                                entry[1] += elapsed
+                            profiler.events += 1
+                            countdown -= 1
+                            stopped = self._stopped
+                        depth = self._size - consumed
+                        if depth > max_depth:
+                            max_depth = depth
+                        if countdown <= 0:
+                            checkpoint(self._now)
+                            countdown = every
+                        if stopped:
+                            break
+                finally:
+                    self.events_executed = executed
+                    self._size -= consumed
+                    if i < n:
+                        self._requeue(time, bucket[i:])
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self.events_executed = executed
+            self._running = False
+            loop_wall = perf() - loop_start
+            profiler.loop_wall_ns += loop_wall
+            profiler.cancelled_wall_ns += cancelled_ns
+            profiler.max_heap_depth = max_depth
+            profiler._countdown = countdown
+            profiler._note_run(self)
+        return self._now
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if the queue is empty.
+
+        Drains (physically unlinks) any cancelled tombstones at the
+        front of the queue on the way, migrating the overflow if the
+        wheel is empty.
+        """
+        wheel = self._wheel
+        due = self._due
+        while True:
+            while due:
+                time = due[0]
+                bucket = wheel.get(time)
+                if bucket is None:
+                    heapq.heappop(due)
+                    continue
+                i = 0
+                n = len(bucket)
+                while (
+                    i < n
+                    and bucket[i].__class__ is Event
+                    and bucket[i].cancelled
+                ):
+                    i += 1
+                if i:
+                    del bucket[:i]
+                    self.cancelled_pops += i
+                    self._cancelled_in_heap -= min(i, self._cancelled_in_heap)
+                    self._size -= i
+                if bucket:
+                    return time
+                del wheel[time]
+                heapq.heappop(due)
+            if not self._overflow:
+                return None
+            self._migrate()
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled call units still queued (O(n))."""
+        total = 0
+        for bucket in self._wheel.values():
+            for e in bucket:
+                cls = e.__class__
+                if cls is Event:
+                    if not e.cancelled:
+                        total += 1
+                elif cls is _Batch:
+                    total += e.count
+                else:
+                    total += 1
+        for _time, _seq, e in self._overflow:
+            cls = e.__class__
+            if cls is Event:
+                if not e.cancelled:
+                    total += 1
+            elif cls is _Batch:
+                total += e.count
+            else:
+                total += 1
+        return total
+
+
+class HeapScheduler:
+    """The classic binary-heap scheduler, retained as the parity reference.
+
+    Byte-for-byte the pre-wheel dispatch semantics (lazy cancellation,
+    in-place compaction, one heap pop per event), extended with naive
+    equivalents of the wheel's bulk API — same sequence-number
+    consumption, so event order is bit-identical to :class:`Simulator`
+    and differential tests can diff the two directly.
+    """
+
+    COMPACT_FRACTION = 0.5
     COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
@@ -100,6 +919,8 @@ class Simulator:
         self.events_executed: int = 0
         #: Cancelled events lazily discarded off the top of the heap.
         self.cancelled_pops: int = 0
+        #: The heap has no unlink fast path; kept for a uniform stats API.
+        self.cancelled_unlinked: int = 0
         #: In-place heap rebuilds triggered by cancellation pressure.
         self.compactions: int = 0
         #: Cancelled events removed by those compactions.
@@ -139,6 +960,35 @@ class Simulator:
         """Schedule ``fn(*args)`` at the current time (after pending ties)."""
         return self.schedule_at(self._now, fn, *args)
 
+    def schedule_many(
+        self, times: Iterable[int], fn: Callable[..., None], *args: Any
+    ) -> int:
+        """Naive loop equivalent of :meth:`Simulator.schedule_many`."""
+        n = 0
+        for t in times:
+            self.schedule_at(int(t), fn, *args)
+            n += 1
+        return n
+
+    def schedule_batch(
+        self, delay: int, count: int, fn: Callable[..., None], *args: Any
+    ) -> int:
+        """Naive loop equivalent of :meth:`Simulator.schedule_batch`."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        if count <= 0:
+            raise SimulationError(f"batch count must be positive, got {count}")
+        time = self._now + int(delay)
+        for _ in range(count):
+            self.schedule_at(time, fn, *args)
+        return count
+
+    def reschedule(self, event: Event, delay: int) -> Event:
+        """Cancel-plus-schedule equivalent of :meth:`Simulator.reschedule`."""
+        if event._queued and not event.cancelled:
+            event.cancel()
+        return self.schedule(delay, event.fn, *event.args)
+
     # -- heap hygiene ----------------------------------------------------
 
     def heap_size(self) -> int:
@@ -150,7 +1000,7 @@ class Simulator:
         """Estimated cancelled events still occupying heap slots."""
         return self._cancelled_in_heap
 
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, _event: Event) -> None:
         self._cancelled_in_heap += 1
         heap = self._heap
         if (
@@ -180,11 +1030,7 @@ class Simulator:
         self._stopped = True
 
     def set_profiler(self, profiler: Optional["SimProfiler"]) -> None:
-        """Attach (or detach, with ``None``) a dispatch-loop profiler.
-
-        Subsequent :meth:`run` calls go through the instrumented loop,
-        which attributes wall time per handler into ``profiler``.
-        """
+        """Attach (or detach, with ``None``) a dispatch-loop profiler."""
         self._profiler = profiler
 
     @property
@@ -192,12 +1038,7 @@ class Simulator:
         return self._profiler
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run events until the heap empties or the clock passes ``until``.
-
-        Returns the final simulated time.  When ``until`` is given, the
-        clock is advanced to exactly ``until`` even if the last event fired
-        earlier (so rate/energy integrations over the window are exact).
-        """
+        """Run events until the heap empties or the clock passes ``until``."""
         if self._running:
             raise SimulationError("simulator is already running")
         if self._profiler is not None:
@@ -210,12 +1051,14 @@ class Simulator:
                 event = heap[0]
                 if event.cancelled:
                     heapq.heappop(heap)
+                    event._queued = False
                     self.cancelled_pops += 1
                     self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(heap)
+                event._queued = False
                 self._now = event.time
                 self.events_executed += 1
                 event.fn(*event.args)
@@ -226,15 +1069,7 @@ class Simulator:
         return self._now
 
     def _run_profiled(self, until: Optional[int] = None) -> int:
-        """Instrumented twin of :meth:`run`.
-
-        Identical event semantics; additionally attributes wall time per
-        handler.  One ``perf_counter_ns()`` reading per iteration: each
-        handler is charged the interval from the previous reading to the
-        one taken right after it fires (heap pop and the *previous*
-        iteration's bookkeeping included), so the per-handler totals plus
-        the cancelled-pop bucket telescope to the measured loop total.
-        """
+        """Instrumented twin of :meth:`run` (one timer read per event)."""
         profiler = self._profiler
         self._running = True
         self._stopped = False
@@ -255,6 +1090,7 @@ class Simulator:
                 event = heap[0]
                 if event.cancelled:
                     heapq.heappop(heap)
+                    event._queued = False
                     self.cancelled_pops += 1
                     self._cancelled_in_heap -= 1
                     profiler.cancelled_pops += 1
@@ -265,6 +1101,7 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(heap)
+                event._queued = False
                 self._now = event.time
                 self.events_executed += 1
                 event.fn(*event.args)

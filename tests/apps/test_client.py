@@ -158,3 +158,50 @@ class TestFactories:
         a = http_request_factory("a", "s")(0)
         b = memcached_request_factory("b", "s")(0)
         assert a.req_id != b.req_id
+
+
+class TestBulkBurstPaths:
+    """The three burst-emission strategies (single, zero-gap batch,
+    vectorized schedule_many) must be externally indistinguishable."""
+
+    def test_large_burst_send_times_exact(self):
+        # burst_size >= 32 takes the vectorized schedule_many path.
+        sim, client, port = make_client(burst_size=100, period=MS, gap=500)
+        client.start()
+        sim.run(until=MS - 1)
+        times = [f.created_ns for f in port.sent]
+        assert times == [i * 500 for i in range(100)]
+
+    def test_zero_gap_burst_sends_all_at_once(self):
+        # gap == 0 takes the schedule_batch same-timestamp path.
+        sim, client, port = make_client(burst_size=50, period=MS, gap=0)
+        client.start()
+        sim.run(until=MS - 1)
+        assert [f.created_ns for f in port.sent] == [0] * 50
+        assert client.requests_sent == 50
+
+    def test_burst_paths_agree_on_cadence(self):
+        # Same aggregate traffic regardless of which strategy fires.
+        for size, gap in ((1, 1_000), (10, 1_000), (64, 1_000), (64, 0)):
+            sim, client, port = make_client(burst_size=size, period=MS, gap=gap)
+            client.start()
+            sim.run(until=4 * MS - 1)
+            assert client.requests_sent == 4 * size
+
+    def test_stop_mid_large_burst_halts_remainder(self):
+        sim, client, port = make_client(burst_size=100, period=MS, gap=1_000)
+        client.start()
+        sim.schedule_at(10_500, client.stop)
+        sim.run(until=MS)
+        # Requests at 0..10_000 fired (11 of them); the rest were pending
+        # when stop() flipped the running flag.
+        assert client.requests_sent == 11
+
+    def test_rearm_reuses_burst_timer(self):
+        # The periodic re-arm goes through reschedule(): no queue growth
+        # across many periods.
+        sim, client, port = make_client(burst_size=2, period=MS, gap=100)
+        client.start()
+        sim.run(until=50 * MS - 1)
+        assert client.requests_sent == 100
+        assert sim.heap_size() <= 2

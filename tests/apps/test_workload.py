@@ -8,6 +8,7 @@ from repro.apps.workload import (
     MEMCACHED_SLA_NS,
     PAPER_APACHE_SLA_NS,
     PAPER_MEMCACHED_SLA_NS,
+    burst_arrival_times,
     burst_period_ns,
     default_burst_size,
     load_level,
@@ -72,3 +73,26 @@ class TestBurstMath:
             burst_period_ns(0, 3, 100)
         with pytest.raises(ValueError):
             burst_period_ns(1000, 0, 100)
+
+
+class TestBurstArrivalTimes:
+    def test_small_burst_arithmetic(self):
+        assert burst_arrival_times(100, 3, 7) == [100, 107, 114]
+
+    def test_single_request(self):
+        assert burst_arrival_times(42, 1, 1_000) == [42]
+
+    def test_zero_gap_collapses_to_now(self):
+        assert burst_arrival_times(10, 4, 0) == [10, 10, 10, 10]
+
+    def test_vectorized_matches_scalar_fallback(self):
+        # Above _VECTORIZE_MIN_BURST the numpy path kicks in; it must be
+        # bit-identical to the pure-python formula, ints included.
+        for size in (1, 31, 32, 200, 1_000):
+            times = burst_arrival_times(123_456_789, size, 5_000)
+            assert times == [123_456_789 + i * 5_000 for i in range(size)]
+            assert all(type(t) is int for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_arrival_times(0, 0, 1_000)

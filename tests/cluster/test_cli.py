@@ -96,7 +96,8 @@ class TestBenchCommand:
         payload = load_bench_json(out)  # schema-validates on load
         assert payload["suite"] == "micro"
         assert set(payload["scenarios"]) == {
-            "event_kernel", "cancel_churn", "nic_rx_path", "small_cluster",
+            "event_kernel", "cancel_churn", "chained_timers", "burst_fanout",
+            "nic_rx_path", "small_cluster",
         }
         text = capsys.readouterr().out
         assert "top handlers" in text

@@ -198,5 +198,6 @@ class TestDeclaredSuites:
     def test_micro_scenario_names(self):
         names = [s.name for s in get_suite("micro").scenarios]
         assert names == [
-            "event_kernel", "cancel_churn", "nic_rx_path", "small_cluster",
+            "event_kernel", "cancel_churn", "chained_timers", "burst_fanout",
+            "nic_rx_path", "small_cluster",
         ]

@@ -74,6 +74,19 @@ class TestPeriodicKernelTask:
         sim.run(until=3 * MS)
         assert task.expirations == 3
 
+    def test_rearm_reuses_timer_event(self):
+        # _expire re-arms via reschedule(): the just-fired event object is
+        # reused, so a long-lived periodic task never grows the queue.
+        sim, package, irq = make()
+        task = PeriodicKernelTask(sim, irq, MS, 0, lambda: None)
+        task.start()
+        first = task._next
+        sim.run(until=100 * MS + 1)
+        assert task.expirations == 100
+        assert task._next is first  # same Event object, re-armed in place
+        task.stop()
+        assert sim.pending_count() == 0
+
     def test_rejects_nonpositive_period(self):
         sim, package, irq = make()
         with pytest.raises(ValueError):

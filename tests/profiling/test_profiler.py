@@ -68,6 +68,39 @@ class TestAttribution:
         # cancelled-pop bucket) sums to the measured loop total within 1%.
         assert share == pytest.approx(1.0, abs=0.01)
 
+    def test_batch_dispatch_telescopes_to_loop_total(self):
+        # Same 1% acceptance bound, but driven through the batch path:
+        # schedule_batch dispatches whole same-timestamp buckets with one
+        # timestamp read per batch, and charges the elapsed wall time to
+        # the precomputed handler binding.
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        def arm():
+            if count[0] < 50_000:
+                sim.schedule_batch(10, 500, tick)
+                sim.schedule(10, arm)
+
+        sim.schedule(0, arm)
+        sim.run()
+        profile = profiler.profile()
+        assert count[0] == 50_000
+        assert profile.events == sim.events_executed
+        assert profile.loop_wall_ns > 0
+        share = profile.attributed_wall_ns / profile.loop_wall_ns
+        assert share == pytest.approx(1.0, abs=0.01)
+        by_name = {h.qualname: h for h in profile.handlers}
+        tick_key = (
+            "TestAttribution.test_batch_dispatch_telescopes_to_loop_total."
+            "<locals>.tick"
+        )
+        assert by_name[tick_key].calls == 50_000
+
     def test_accumulates_across_runs(self):
         sim = Simulator()
         profiler = SimProfiler()
@@ -136,12 +169,26 @@ class TestAttribution:
         assert profiled == plain
 
 
+def _interior_churn(sim, rounds, t=1_000_000):
+    """Schedule triples at ``t`` and cancel the first two: the live third
+    entry keeps the cancelled ones *interior*, forcing the lazy tombstone
+    path (a lone or trailing cancel would be eagerly unlinked by the
+    wheel's tail fast path and never compact), and the 2/3 dead ratio
+    keeps the queue above the compaction threshold."""
+    for _ in range(rounds):
+        doomed = [sim.schedule(t, lambda: None) for _ in range(2)]
+        sim.schedule(t, lambda: None)
+        for event in doomed:
+            event.cancel()
+
+
 class TestHeapHealth:
     def test_cancelled_pop_accounting(self):
         sim = Simulator()
         profiler = SimProfiler()
         sim.set_profiler(profiler)
         dead = [sim.schedule(5, lambda: None) for _ in range(8)]
+        sim.schedule(5, lambda: None)  # live tail keeps the dead interior
         sim.schedule(50, lambda: None)
         for event in dead:
             event.cancel()
@@ -149,6 +196,25 @@ class TestHeapHealth:
         profile = profiler.profile()
         assert profile.cancelled_pops == 8
         assert profile.cancelled_wall_ns > 0
+        assert profile.events == 2
+
+    def test_cancelled_unlinked_accounting(self):
+        # The unlink counter is baselined at the start of the first
+        # profiled run, so the cancels must happen *during* the run to
+        # show up in the profile delta.
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+
+        def churn():
+            for i in range(5):
+                sim.schedule(5 + i, lambda: None).cancel()  # tail: unlink
+
+        sim.schedule(1, churn)
+        sim.run()
+        profile = profiler.profile()
+        assert profile.cancelled_unlinked == 5
+        assert profile.cancelled_pops == 0
         assert profile.events == 1
 
     def test_heap_depth_and_compactions(self):
@@ -157,8 +223,7 @@ class TestHeapHealth:
         sim.set_profiler(profiler)
 
         def churn():
-            for _ in range(400):
-                sim.schedule(1_000_000, lambda: None).cancel()
+            _interior_churn(sim, 400)
 
         sim.schedule(0, churn)
         sim.run()
@@ -171,8 +236,7 @@ class TestHeapHealth:
     def test_counters_are_deltas_not_lifetime_totals(self):
         sim = Simulator()
         # Unprofiled churn first: compactions predate the profiler.
-        for _ in range(200):
-            sim.schedule(1_000_000, lambda: None).cancel()
+        _interior_churn(sim, 200)
         before = sim.compactions
         assert before >= 1
         profiler = SimProfiler()

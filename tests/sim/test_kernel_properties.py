@@ -1,15 +1,28 @@
-"""Property-based tests for the event kernel."""
+"""Property-based tests for the event kernel.
 
+Every ordering property is checked on both the timing-wheel ``Simulator``
+and the ``HeapScheduler`` reference; the differential property at the
+bottom drives randomized op sequences through both kernels at once and
+asserts identical traces.
+"""
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Simulator
+from repro.sim import HeapScheduler, Simulator
+
+KERNELS = [Simulator, HeapScheduler]
+kernel_param = pytest.mark.parametrize(
+    "sim_cls", KERNELS, ids=["wheel", "heap"]
+)
 
 
+@kernel_param
 @given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
 @settings(max_examples=50, deadline=None)
-def test_events_fire_in_nondecreasing_time_order(delays):
-    sim = Simulator()
+def test_events_fire_in_nondecreasing_time_order(sim_cls, delays):
+    sim = sim_cls()
     fired = []
     for delay in delays:
         sim.schedule(delay, lambda d=delay: fired.append(sim.now))
@@ -19,10 +32,11 @@ def test_events_fire_in_nondecreasing_time_order(delays):
     assert sim.now == max(delays)
 
 
+@kernel_param
 @given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
 @settings(max_examples=50, deadline=None)
-def test_equal_time_events_fire_in_submission_order(delays):
-    sim = Simulator()
+def test_equal_time_events_fire_in_submission_order(sim_cls, delays):
+    sim = sim_cls()
     order = []
     common = max(delays)
     for i, _ in enumerate(delays):
@@ -31,13 +45,14 @@ def test_equal_time_events_fire_in_submission_order(delays):
     assert order == list(range(len(delays)))
 
 
+@kernel_param
 @given(
     delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=100),
     cancel_mask=st.lists(st.booleans(), min_size=2, max_size=100),
 )
 @settings(max_examples=50, deadline=None)
-def test_cancelled_events_never_fire(delays, cancel_mask):
-    sim = Simulator()
+def test_cancelled_events_never_fire(sim_cls, delays, cancel_mask):
+    sim = sim_cls()
     fired = []
     events = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
     expected = []
@@ -50,22 +65,99 @@ def test_cancelled_events_never_fire(delays, cancel_mask):
     assert sorted(fired) == expected
 
 
+@kernel_param
 @given(
     delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60),
     split=st.integers(min_value=0, max_value=10**6),
 )
 @settings(max_examples=50, deadline=None)
-def test_run_until_is_equivalent_to_one_run(delays, split):
-    one = Simulator()
+def test_run_until_is_equivalent_to_one_run(sim_cls, delays, split):
+    one = sim_cls()
     fired_one = []
     for delay in delays:
         one.schedule(delay, lambda d=delay: fired_one.append((one.now, d)))
     one.run()
 
-    two = Simulator()
+    two = sim_cls()
     fired_two = []
     for delay in delays:
         two.schedule(delay, lambda d=delay: fired_two.append((two.now, d)))
     two.run(until=split)
     two.run()
     assert fired_one == fired_two
+
+
+@kernel_param
+@given(
+    times=st.lists(
+        st.integers(min_value=0, max_value=1 << 23), min_size=1, max_size=80
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_many_equals_loop_of_schedule_at(sim_cls, times):
+    # Times straddle the wheel's overflow horizon (1 << 21) on purpose.
+    bulk = sim_cls()
+    fired_bulk = []
+    bulk.schedule_many(times, lambda: fired_bulk.append(bulk.now))
+    bulk.run()
+
+    loop = sim_cls()
+    fired_loop = []
+    for t in times:
+        loop.schedule_at(t, lambda: fired_loop.append(loop.now))
+    loop.run()
+    assert fired_bulk == fired_loop
+    assert bulk.events_executed == loop.events_executed
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: random op sequences, wheel vs heap, identical traces
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(0, 1 << 23)),
+        st.tuples(st.just("many"), st.lists(st.integers(0, 1 << 22), max_size=8)),
+        st.tuples(st.just("batch"), st.integers(0, 10**6), st.integers(1, 6)),
+        st.tuples(st.just("cancel"), st.integers(0, 63)),
+        st.tuples(st.just("reschedule"), st.integers(0, 63), st.integers(0, 10**6)),
+        st.tuples(st.just("run_until"), st.integers(0, 1 << 23)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _apply_ops(sim_cls, ops):
+    sim = sim_cls()
+    trace = []
+    handles = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == "schedule":
+            handles.append(sim.schedule(op[1], fire, i))
+        elif kind == "many":
+            sim.schedule_many([sim.now + t for t in op[1]], fire, i)
+        elif kind == "batch":
+            sim.schedule_batch(op[1], op[2], fire, i)
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "reschedule":
+            if handles:
+                idx = op[1] % len(handles)
+                handles[idx] = sim.reschedule(handles[idx], op[2])
+        elif kind == "run_until":
+            sim.run(until=max(sim.now, op[1]))
+    sim.run()
+    return trace, sim.now, sim.events_executed
+
+
+@given(ops=_OPS)
+@settings(max_examples=100, deadline=None)
+def test_differential_wheel_matches_heap(ops):
+    assert _apply_ops(Simulator, ops) == _apply_ops(HeapScheduler, ops)
