@@ -15,7 +15,7 @@ Load is spread over ``n_clients`` open-loop clients, each emitting bursts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.sim.units import MS
 
@@ -105,6 +105,43 @@ def burst_arrival_times(now_ns: int, burst_size: int, gap_ns: int) -> List[int]:
             now_ns + gap_ns * _np.arange(burst_size, dtype=_np.int64)
         ).tolist()
     return [now_ns + i * gap_ns for i in range(burst_size)]
+
+
+def generate_load_shares(profile: str, n_servers: int) -> Tuple[float, ...]:
+    """Generate a normalized per-server load-share vector.
+
+    Hand-written share tuples do not scale past a handful of servers, so
+    datacenter-sized configs name a profile instead:
+
+    - ``"uniform"`` — every server gets ``1/n``;
+    - ``"zipf:<s>"`` — server ``i`` (0-based) gets weight ``1/(i+1)**s``,
+      the skewed rank-frequency shape of the paper's Section 7 load
+      imbalance argument (``s > 0``; larger ``s`` = more skew).
+
+    The result always sums to 1.0 (up to float rounding) and every share
+    is strictly positive.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be at least 1")
+    if profile == "uniform":
+        weights = [1.0] * n_servers
+    elif profile.startswith("zipf:"):
+        try:
+            s = float(profile.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad zipf exponent in load-share profile {profile!r}"
+            ) from None
+        if s <= 0:
+            raise ValueError("zipf exponent must be positive")
+        weights = [1.0 / (i + 1) ** s for i in range(n_servers)]
+    else:
+        raise ValueError(
+            f"unknown load-share profile {profile!r}; "
+            "expected 'uniform' or 'zipf:<s>'"
+        )
+    total = sum(weights)
+    return tuple(w / total for w in weights)
 
 
 def default_burst_size(app: str) -> int:

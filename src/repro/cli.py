@@ -457,6 +457,67 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_datacenter(args: argparse.Namespace) -> int:
+    from repro.experiments import datacenter as dc_experiment
+
+    overrides: dict = {}
+    if args.policy is not None:
+        overrides["policy"] = args.policy
+    if args.servers is not None:
+        overrides["n_servers"] = args.servers
+    if args.shards is not None:
+        overrides["n_shards"] = args.shards
+    if args.rps is not None:
+        overrides["total_rps"] = args.rps
+    if args.shares is not None:
+        overrides["load_shares"] = args.shares
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    preset = dc_experiment.PRESETS[args.preset]
+    if preset.frontend is not None and (
+        args.spray is not None or args.users is not None
+    ):
+        from dataclasses import replace as dc_replace
+
+        fe = preset.frontend
+        if args.spray is not None:
+            fe = dc_replace(fe, spray=args.spray)
+        if args.users is not None:
+            fe = dc_replace(fe, n_users=args.users)
+        overrides["frontend"] = fe
+    try:
+        result = dc_experiment.run_preset(
+            args.preset,
+            overrides=overrides,
+            jobs=args.jobs,
+            record_timeseries=args.record,
+            profile=True,
+        )
+    except ValueError as exc:
+        print(f"repro datacenter: error: {exc}", file=sys.stderr)
+        return 2
+    print(dc_experiment.format_fleet_report(result))
+    if args.out:
+        import json
+        import os
+
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.record.to_json_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote fleet record to {args.out}")
+    if args.dashboard:
+        from repro.viz import dashboard_from_datacenter, write_dashboard
+
+        page = dashboard_from_datacenter(
+            result, title=f"Datacenter - {args.preset}"
+        )
+        path = write_dashboard(page, args.dashboard)
+        print(f"wrote fleet dashboard to {path}")
+    return 0
+
+
 def cmd_policies(args: argparse.Namespace) -> int:
     rows = []
     for name in POLICY_ORDER:
@@ -611,6 +672,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write Chrome-trace JSON with a wall-clock "
                              "profiler lane to this path")
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_dc = add_parser(
+        "datacenter",
+        help="run a (sharded) multi-server fleet preset and report "
+             "fleet metrics plus per-shard wall time and speedup",
+    )
+    from repro.cluster.frontend import SPRAY_POLICIES
+    from repro.experiments.datacenter import PRESETS as DC_PRESETS
+
+    p_dc.add_argument("preset", nargs="?", default="imbalance",
+                      choices=tuple(DC_PRESETS),
+                      help="cluster shape preset")
+    p_dc.add_argument("--policy", choices=tuple(POLICIES),
+                      help="override the preset's power policy")
+    p_dc.add_argument("--servers", type=int, help="override n_servers")
+    p_dc.add_argument("--shards", type=int, help="override n_shards")
+    p_dc.add_argument("--rps", type=float, help="override total offered RPS")
+    p_dc.add_argument("--shares",
+                      help="load-share profile: 'uniform' or 'zipf:<s>'")
+    p_dc.add_argument("--spray", choices=SPRAY_POLICIES,
+                      help="frontend spray policy (frontend presets only)")
+    p_dc.add_argument("--users", type=int,
+                      help="frontend user population (frontend presets only)")
+    p_dc.add_argument("--record", choices=("coarse", "fine"),
+                      help="record flight-recorder series on the first "
+                           "few servers")
+    p_dc.add_argument("--dashboard",
+                      help="write the merged-fleet HTML dashboard here "
+                           "(needs --record)")
+    p_dc.add_argument("--out", help="write the fleet ResultRecord JSON here")
+    p_dc.set_defaults(fn=cmd_datacenter)
 
     p_pol = add_parser("policies", help="list the policy registry")
     p_pol.set_defaults(fn=cmd_policies)

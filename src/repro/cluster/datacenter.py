@@ -7,34 +7,46 @@ fraction of underutilized servers even at a high overall load level and
 NCAP can achieve energy reduction for such underutilized servers."
 
 This builder scales the four-node experiment out pd-gem5 style: N servers
-behind one switch, each with its own set of open-loop clients, and an
-uneven share of the total offered load.  Per-server energy, latency, and
-utilization come back side by side so the utilization-versus-saving
-relationship can be measured.
+behind switches, each with its own share of the offered load, and
+per-server energy/latency/utilization reported side by side.  Two things
+make datacenter scale reachable:
+
+- **Sharding** (``n_shards > 1``): servers are partitioned across worker
+  processes advanced in conservative time windows by
+  :mod:`repro.cluster.sharding`.  A sharded run merges to a
+  :class:`~repro.harness.record.ResultRecord` bit-identical to the
+  single-process run.
+- **A frontend tier** (``frontend=FrontendConfig(...)``): instead of
+  per-server client pools, an open-loop population of users is sprayed
+  across servers by a load-balancing policy
+  (:mod:`repro.cluster.frontend`), which is how millions of simulated
+  users reach a thousand servers.
+
+Load shares may be a literal per-server tuple (the classic four-node
+shape), or a generated profile name (``"uniform"``, ``"zipf:<s>"``) so
+``n_servers=1000`` works out of the box.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.apps.client import (
-    OpenLoopClient,
-    http_request_factory,
-    memcached_request_factory,
-)
-from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
+from repro.apps.client import OpenLoopClient
+from repro.apps.workload import generate_load_shares
+from repro.cluster.frontend import FrontendConfig
 from repro.cluster.node import ServerNode
 from repro.cluster.policies import PolicyConfig
 from repro.cpu.energy import EnergyReport
-from repro.metrics.energy import energy_delta
+from repro.harness.record import ResultRecord
 from repro.metrics.latency import LatencyStats
-from repro.net.link import Link
 from repro.net.switch import Switch
 from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.sim.trace import NullTraceRecorder
-from repro.sim.units import MS, US, gbps
+from repro.sim.units import MS
+
+#: The classic four-node imbalance shape, kept as the default so existing
+#: configs (and their validation behaviour) are unchanged.
+_LEGACY_SHARES = (0.45, 0.30, 0.15, 0.10)
 
 
 @dataclass
@@ -44,20 +56,62 @@ class DatacenterConfig:
     app: str = "apache"
     policy: Union[str, PolicyConfig] = "ncap.cons"
     n_servers: int = 4
-    #: Each server's share of ``total_rps`` (normalized internally).
-    load_shares: Sequence[float] = (0.45, 0.30, 0.15, 0.10)
+    #: Each server's share of ``total_rps``: a per-server sequence
+    #: (normalized internally), a generated profile name (``"uniform"`` or
+    #: ``"zipf:<s>"``), or None for the default (the legacy four-node
+    #: tuple when ``n_servers == 4``, else ``"uniform"``).
+    load_shares: Union[str, Sequence[float], None] = _LEGACY_SHARES
     total_rps: float = 120_000.0
     clients_per_server: int = 3
     warmup_ns: int = 20 * MS
     measure_ns: int = 150 * MS
     drain_ns: int = 80 * MS
     seed: int = 1
+    #: Number of conservative time-window shards the servers are split
+    #: over.  Results are independent of the shard count (and of whether
+    #: shards run serially or in worker processes).
+    n_shards: int = 1
+    #: When set, the per-server client pools are replaced by the frontend
+    #: load-balancer tier spraying an open-loop user population.
+    frontend: Optional[FrontendConfig] = None
 
     def __post_init__(self) -> None:
-        if len(self.load_shares) != self.n_servers:
-            raise ValueError("one load share per server is required")
-        if any(s <= 0 for s in self.load_shares):
-            raise ValueError("load shares must be positive")
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be at least 1")
+        shares = self.load_shares
+        if shares is None or isinstance(shares, str):
+            if shares is not None:
+                generate_load_shares(shares, self.n_servers)  # validate spec
+        else:
+            if len(shares) != self.n_servers:
+                raise ValueError("one load share per server is required")
+            if any(s <= 0 for s in shares):
+                raise ValueError("load shares must be positive")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.n_shards > self.n_servers:
+            raise ValueError("n_shards cannot exceed n_servers")
+        if self.frontend is not None and not isinstance(
+            self.frontend, FrontendConfig
+        ):
+            raise TypeError("frontend must be a FrontendConfig (or None)")
+
+    def resolved_shares(self) -> Tuple[float, ...]:
+        """The normalized per-server load shares."""
+        shares = self.load_shares
+        if shares is None:
+            if self.n_servers == len(_LEGACY_SHARES):
+                shares = _LEGACY_SHARES
+            else:
+                return generate_load_shares("uniform", self.n_servers)
+        if isinstance(shares, str):
+            return generate_load_shares(shares, self.n_servers)
+        total = sum(shares)
+        return tuple(s / total for s in shares)
+
+    @property
+    def end_ns(self) -> int:
+        return self.warmup_ns + self.measure_ns + self.drain_ns
 
 
 @dataclass
@@ -71,119 +125,101 @@ class ServerOutcome:
 
 
 @dataclass
+class ShardStats:
+    """Execution statistics of one shard (never part of the merged record:
+    wall time depends on the machine, not on the simulated system)."""
+
+    shard_index: int
+    server_indices: List[int]
+    events: int
+    wall_s: float
+    profile: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
 class DatacenterResult:
     config: DatacenterConfig
     servers: List[ServerOutcome]
+    #: Per-shard execution stats (empty for the legacy in-process path).
+    shards: List[ShardStats] = field(default_factory=list)
+    #: The merged fleet-level record — bit-identical across shard counts.
+    record: Optional[ResultRecord] = None
 
     @property
     def total_energy_j(self) -> float:
         return sum(s.energy.energy_j for s in self.servers)
 
+    @property
+    def shard_speedup(self) -> float:
+        """Estimated parallel speedup: total shard work / critical path."""
+        if not self.shards:
+            return 1.0
+        slowest = max(s.wall_s for s in self.shards)
+        if slowest <= 0:
+            return 1.0
+        return sum(s.wall_s for s in self.shards) / slowest
+
 
 class DatacenterCluster:
-    """N servers, each with its own client pool, behind one switch."""
+    """N servers, each with its own client pool, behind one switch.
+
+    Retained as the in-process view over a (serially executed) sharded
+    run: ``.sim`` / ``.switch`` / ``.servers`` / ``.clients`` expose the
+    built topology for tests and interactive use.  With ``n_shards > 1``
+    the per-shard topologies are concatenated (``.switch`` is shard 0's).
+    """
 
     def __init__(self, config: DatacenterConfig):
+        from repro.cluster.sharding import ShardedDatacenterRun
+
         self.config = config
-        self.sim = Simulator()
-        self.rng = RngRegistry(config.seed)
-        trace = NullTraceRecorder()
-        self.switch = Switch(self.sim)
-        self.servers: List[ServerNode] = []
+        self._coordinator = ShardedDatacenterRun(config, jobs=1)
+        shards = self._coordinator.inline_shards()
+        self.sim: Simulator = shards[0].sim
+        self.switch: Switch = shards[0].switch
+        self.rng = shards[0].rng
+        self.servers: List[ServerNode] = [
+            server for shard in shards for server in shard.servers
+        ]
         self.clients: Dict[str, List[OpenLoopClient]] = {}
-
-        shares = [s / sum(config.load_shares) for s in config.load_shares]
-        burst_size = default_burst_size(config.app)
-        for i in range(config.n_servers):
-            server_name = f"server{i}"
-            server = ServerNode(
-                self.sim, server_name, config.policy, config.app, self.rng,
-                trace=trace,
-            )
-            link = Link(self.sim, gbps(10), 1 * US)
-            link.attach(server, self.switch)
-            server.attach_port(link.endpoint_port(server))
-            self.switch.attach_link(link, server_name)
-            self.servers.append(server)
-
-            rps = config.total_rps * shares[i]
-            period = burst_period_ns(rps, config.clients_per_server, burst_size)
-            pool: List[OpenLoopClient] = []
-            for j in range(config.clients_per_server):
-                client_name = f"client{i}_{j}"
-                if config.app == "apache":
-                    factory = http_request_factory(client_name, server_name)
-                else:
-                    factory = memcached_request_factory(
-                        client_name, server_name,
-                        rng=self.rng.stream(f"{client_name}.keys"),
-                    )
-                client = OpenLoopClient(
-                    self.sim, client_name, factory,
-                    burst_size=burst_size, burst_period_ns=period,
-                    jitter_rng=self.rng.stream(f"{client_name}.jitter"),
-                    jitter_fraction=0.30,
-                )
-                client_link = Link(self.sim, gbps(10), 1 * US)
-                client_link.attach(client, self.switch)
-                client.attach_port(client_link.endpoint_port(client))
-                self.switch.attach_link(client_link, client_name)
-                pool.append(client)
-            self.clients[server_name] = pool
+        for shard in shards:
+            self.clients.update(shard.clients)
 
     def run(self) -> DatacenterResult:
-        config = self.config
-        for server in self.servers:
-            server.start()
-        for pool in self.clients.values():
-            for client in pool:
-                client.start()
-
-        window_start = config.warmup_ns
-        window_end = config.warmup_ns + config.measure_ns
-        snapshots: Dict[str, EnergyReport] = {}
-        busy_marks: Dict[str, List[int]] = {}
-
-        def snap(tag: str) -> None:
-            for server in self.servers:
-                snapshots[f"{server.name}.{tag}"] = server.package.energy_report()
-                busy_marks[f"{server.name}.{tag}"] = server.package.busy_ns_per_core()
-
-        self.sim.schedule_at(window_start, snap, "a")
-        self.sim.schedule_at(window_end, snap, "b")
-        for pool in self.clients.values():
-            for client in pool:
-                self.sim.schedule_at(window_end, client.stop)
-        self.sim.run(until=window_end + config.drain_ns)
-
-        shares = [s / sum(config.load_shares) for s in config.load_shares]
-        sla_ns = sla_for(config.app)
-        outcomes = []
-        for i, server in enumerate(self.servers):
-            rtts: List[int] = []
-            for client in self.clients[server.name]:
-                rtts.extend(client.rtts_in_window(window_start, window_end))
-            latency = LatencyStats.from_values(rtts)
-            energy = energy_delta(
-                snapshots[f"{server.name}.a"], snapshots[f"{server.name}.b"]
-            )
-            busy_a = busy_marks[f"{server.name}.a"]
-            busy_b = busy_marks[f"{server.name}.b"]
-            utilization = sum(
-                b - a for a, b in zip(busy_a, busy_b)
-            ) / (len(busy_a) * config.measure_ns)
-            outcomes.append(
-                ServerOutcome(
-                    server=server.name,
-                    target_rps=config.total_rps * shares[i],
-                    utilization=utilization,
-                    latency=latency,
-                    energy=energy,
-                    meets_sla=latency.meets_sla(sla_ns),
-                )
-            )
-        return DatacenterResult(config=config, servers=outcomes)
+        return self._coordinator.execute()
 
 
-def run_datacenter(config: DatacenterConfig) -> DatacenterResult:
-    return DatacenterCluster(config).run()
+def run_datacenter(
+    config: DatacenterConfig,
+    *,
+    jobs: Optional[int] = None,
+    record_timeseries: Union[None, bool, str, object] = None,
+    profile: Union[None, bool, object] = None,
+    bulk_datapath: bool = True,
+    window_ns: Optional[int] = None,
+) -> DatacenterResult:
+    """Run a datacenter config, sharded when ``config.n_shards > 1``.
+
+    Everything after ``config`` is an observer/execution knob in the
+    sweep-harness tradition — never part of the config hash, never able
+    to change the simulated outcome:
+
+    - ``jobs``: worker processes for the shards (None = machine default;
+      1 forces serial in-process execution, which is bit-identical).
+    - ``record_timeseries``: flight-recorder spec; the first few servers
+      are recorded and their bundles merged with node-name prefixes.
+    - ``profile``: per-shard simulator self-profiles on the result.
+    - ``bulk_datapath``: vectorize frontend bursts through the link/
+      switch/NIC ``receive_burst`` path (frontend mode only).
+    - ``window_ns``: override the conservative sync window (testing).
+    """
+    from repro.cluster.sharding import ShardedDatacenterRun
+
+    return ShardedDatacenterRun(
+        config,
+        jobs=jobs,
+        record_timeseries=record_timeseries,
+        profile=profile,
+        bulk_datapath=bulk_datapath,
+        window_ns=window_ns,
+    ).execute()

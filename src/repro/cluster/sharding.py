@@ -1,0 +1,786 @@
+"""Conservative time-window sharded execution of a datacenter run.
+
+pd-gem5 — the simulator NCAP was evaluated on — parallelizes a cluster
+by giving every node its own simulator process and synchronizing them in
+fixed time quanta no larger than the minimum cross-node latency.  This
+module is that shape in Python:
+
+- a :class:`ShardRun` owns one :class:`~repro.sim.kernel.Simulator` with
+  a contiguous slice of the fleet's servers (plus their client pools or
+  frontend ports and a shard-local switch);
+- a :class:`ShardedDatacenterRun` coordinator advances every shard to
+  the same boundary, window by window, injecting the frontend tier's
+  planned dispatches at the top of each window.
+
+**Why windows are safe.**  In classic (per-server client pool) mode there
+are *no* inter-shard events at all — the star topology gives every
+server its own links, clients and RNG streams — so windows are pure sync
+points and any window size gives the same result.  In frontend mode the
+only inter-shard events are frontend dispatches, every one of which
+leaves the frontend ``dispatch_latency_ns`` after its spray decision;
+with a window no larger than that latency, decisions for a window are
+always complete before the window executes (the classic conservative
+lookahead argument).  The window defaults to
+:func:`conservative_window_ns`: the dispatch latency in frontend mode,
+the minimum client burst period otherwise.
+
+**Why results are bit-identical across shard counts.**  Shard placement
+never changes what any server's simulator executes: per-server event
+streams are decoupled (own links/ports, name-derived RNG streams,
+per-server telemetry), the frontend plan is computed coordinator-side as
+a pure function of the config seed, and collection merges per-server
+measurements in server-index order (fixing float summation order).  A
+``n_shards=8`` run in 8 worker processes therefore merges to a
+:class:`~repro.harness.record.ResultRecord` byte-identical — JSON and
+sha256 — to the ``n_shards=1`` in-process run.  The recorder's
+serial==pool byte-identical contract (PR 4) is the template, extended to
+whole simulators.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.client import (
+    OpenLoopClient,
+    http_request_factory,
+    memcached_request_factory,
+)
+from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
+from repro.cluster.datacenter import (
+    DatacenterConfig,
+    DatacenterResult,
+    ServerOutcome,
+    ShardStats,
+)
+from repro.cluster.frontend import Dispatch, FrontendPlanner, FrontendPort
+from repro.cluster.node import ServerNode
+from repro.cluster.recording import build_server_recorder
+from repro.cpu.energy import EnergyReport
+from repro.harness.hashing import config_hash
+from repro.harness.record import ResultRecord
+from repro.harness.runner import resolve_jobs
+from repro.metrics.energy import average_power_w, energy_delta
+from repro.metrics.latency import LatencyStats
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.profiling.profiler import SimProfiler
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullTraceRecorder
+from repro.sim.units import US, gbps
+from repro.telemetry.recorder import (
+    RecorderConfig,
+    TimeseriesBundle,
+    merge_timeseries_bundles,
+    resolve_recorder_config,
+)
+
+#: At most this many servers get a flight recorder in a recorded run
+#: (always the lowest indices, independent of sharding).
+MAX_RECORDED_SERVERS = 4
+
+
+def shard_plan(n_servers: int, n_shards: int) -> List[List[int]]:
+    """Partition server indices into ``n_shards`` contiguous slices."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if n_shards > n_servers:
+        raise ValueError("n_shards cannot exceed n_servers")
+    base, extra = divmod(n_servers, n_shards)
+    plan: List[List[int]] = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        plan.append(list(range(start, start + size)))
+        start += size
+    return plan
+
+
+def conservative_window_ns(config: DatacenterConfig) -> int:
+    """The default synchronization window for ``config``.
+
+    Frontend mode: the frontend dispatch latency (the lookahead bound —
+    every cross-shard event is planned at least this long before it
+    lands).  Classic mode: the minimum client burst period across the
+    fleet — there are no cross-shard events, so this is purely a sync
+    cadence, chosen to match the natural granularity of the workload.
+    """
+    if config.frontend is not None:
+        return config.frontend.dispatch_latency_ns
+    burst_size = default_burst_size(config.app)
+    periods = [
+        burst_period_ns(
+            config.total_rps * share, config.clients_per_server, burst_size
+        )
+        for share in config.resolved_shares()
+    ]
+    return max(1, min(periods))
+
+
+@dataclass
+class ServerMeasure:
+    """Raw per-server measurements, picklable across the worker boundary."""
+
+    index: int
+    name: str
+    policy_name: str
+    rtts: List[int]
+    sent: int
+    responses: int
+    energy: EnergyReport
+    utilization: float
+    cstate_entries: Dict[str, int]
+    ncap_stats: Dict[str, int]
+    counters: Dict[str, float]
+    #: Serialized per-server recorder bundle, when this server was recorded.
+    timeseries: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard reports after its final window."""
+
+    shard_index: int
+    server_indices: List[int]
+    measures: List[ServerMeasure]
+    events: int
+    wall_s: float
+    profile: Dict[str, object] = field(default_factory=dict)
+
+
+class ShardRun:
+    """One shard: a simulator owning a slice of the fleet's servers.
+
+    The build replicates the classic single-process datacenter topology
+    for exactly the servers in ``server_indices`` (global names are
+    kept: shard placement is invisible to the simulated system).
+    """
+
+    def __init__(
+        self,
+        config: DatacenterConfig,
+        shard_index: int,
+        server_indices: Sequence[int],
+        *,
+        record_indices: Sequence[int] = (),
+        recorder_config: Optional[RecorderConfig] = None,
+        profiler: Optional[SimProfiler] = None,
+        bulk_datapath: bool = True,
+    ):
+        self.config = config
+        self.shard_index = shard_index
+        self.server_indices = list(server_indices)
+        self.sim = Simulator()
+        self.profiler = profiler
+        if profiler is not None:
+            self.sim.set_profiler(profiler)
+        self.rng = RngRegistry(config.seed)
+        self._trace = NullTraceRecorder()
+        self.switch = Switch(self.sim)
+        self.servers: List[ServerNode] = []
+        self.clients: Dict[str, List[OpenLoopClient]] = {}
+        self.frontend_ports: Dict[int, FrontendPort] = {}
+        self.recorders: Dict[str, object] = {}
+        self.wall_s = 0.0
+
+        shares = config.resolved_shares()
+        burst_size = default_burst_size(config.app)
+        for i in self.server_indices:
+            server_name = f"server{i}"
+            server = ServerNode(
+                self.sim, server_name, config.policy, config.app, self.rng,
+                trace=self._trace,
+            )
+            link = Link(self.sim, gbps(10), 1 * US)
+            link.attach(server, self.switch)
+            server.attach_port(link.endpoint_port(server))
+            self.switch.attach_link(link, server_name)
+            self.servers.append(server)
+
+            if config.frontend is not None:
+                port = FrontendPort(
+                    self.sim, f"frontend{i}", bulk=bulk_datapath
+                )
+                fe_link = Link(self.sim, gbps(10), 1 * US)
+                fe_link.attach(port, self.switch)
+                port.attach_port(fe_link.endpoint_port(port))
+                self.switch.attach_link(fe_link, port.name)
+                self.frontend_ports[i] = port
+            else:
+                rps = config.total_rps * shares[i]
+                period = burst_period_ns(
+                    rps, config.clients_per_server, burst_size
+                )
+                pool: List[OpenLoopClient] = []
+                for j in range(config.clients_per_server):
+                    client_name = f"client{i}_{j}"
+                    if config.app == "apache":
+                        factory = http_request_factory(client_name, server_name)
+                    else:
+                        factory = memcached_request_factory(
+                            client_name, server_name,
+                            rng=self.rng.stream(f"{client_name}.keys"),
+                        )
+                    client = OpenLoopClient(
+                        self.sim, client_name, factory,
+                        burst_size=burst_size, burst_period_ns=period,
+                        jitter_rng=self.rng.stream(f"{client_name}.jitter"),
+                        jitter_fraction=0.30,
+                    )
+                    client_link = Link(self.sim, gbps(10), 1 * US)
+                    client_link.attach(client, self.switch)
+                    client.attach_port(client_link.endpoint_port(client))
+                    self.switch.attach_link(client_link, client_name)
+                    pool.append(client)
+                self.clients[server_name] = pool
+
+            if i in record_indices:
+                self.recorders[server_name] = build_server_recorder(
+                    self.sim, server, recorder_config, trace=self._trace
+                )
+
+        self._snapshots: Dict[str, EnergyReport] = {}
+        self._busy_marks: Dict[str, List[int]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start servers/clients/recorders and arm the measurement hooks."""
+        config = self.config
+        for server in self.servers:
+            server.start()
+        for pool in self.clients.values():
+            for client in pool:
+                client.start()
+        for recorder in self.recorders.values():
+            recorder.start()
+        window_start = config.warmup_ns
+        window_end = config.warmup_ns + config.measure_ns
+        self.sim.schedule_at(window_start, self._snap, "a")
+        self.sim.schedule_at(window_end, self._snap, "b")
+        for pool in self.clients.values():
+            for client in pool:
+                self.sim.schedule_at(window_end, client.stop)
+
+    def _snap(self, tag: str) -> None:
+        for server in self.servers:
+            self._snapshots[f"{server.name}.{tag}"] = (
+                server.package.energy_report()
+            )
+            self._busy_marks[f"{server.name}.{tag}"] = (
+                server.package.busy_ns_per_core()
+            )
+
+    def advance(
+        self,
+        until_ns: int,
+        injections: Sequence[Tuple[int, int, object]] = (),
+    ) -> Dict[int, int]:
+        """Inject planned dispatches and run to ``until_ns``.
+
+        ``injections`` is ``(send_ns, server_index, frame)``, time-ordered,
+        every send inside ``(now, until_ns]``.  Returns the per-server
+        outstanding-request counts at the boundary (frontend mode; empty
+        otherwise) — the load view the spray policies consume.
+        """
+        t0 = time.perf_counter()
+        if injections:
+            grouped: Dict[int, List[Tuple[int, object]]] = {}
+            for send_ns, server_index, frame in injections:
+                grouped.setdefault(server_index, []).append((send_ns, frame))
+            for server_index, dispatches in grouped.items():
+                self.frontend_ports[server_index].inject(dispatches)
+        self.sim.run(until=until_ns)
+        self.wall_s += time.perf_counter() - t0
+        if self.frontend_ports:
+            return {
+                i: port.outstanding for i, port in self.frontend_ports.items()
+            }
+        return {}
+
+    # -- collection ------------------------------------------------------
+
+    def collect(self) -> ShardResult:
+        """Per-server measurements after the final window."""
+        config = self.config
+        window_start = config.warmup_ns
+        window_end = config.warmup_ns + config.measure_ns
+        measures: List[ServerMeasure] = []
+        for i, server in zip(self.server_indices, self.servers):
+            if config.frontend is not None:
+                sources = [self.frontend_ports[i]]
+            else:
+                sources = self.clients[server.name]
+            rtts: List[int] = []
+            sent = 0
+            for source in sources:
+                rtts.extend(source.rtts_in_window(window_start, window_end))
+                sent += source.sent_in_window(window_start, window_end)
+            energy = energy_delta(
+                self._snapshots[f"{server.name}.a"],
+                self._snapshots[f"{server.name}.b"],
+            )
+            busy_a = self._busy_marks[f"{server.name}.a"]
+            busy_b = self._busy_marks[f"{server.name}.b"]
+            utilization = sum(
+                b - a for a, b in zip(busy_a, busy_b)
+            ) / (len(busy_a) * config.measure_ns)
+            ncap_stats: Dict[str, int] = {}
+            engine = server.engine
+            if engine is not None:
+                ncap_stats = {
+                    "it_high_posts": engine.it_high_posts,
+                    "it_low_posts": engine.it_low_posts,
+                    "immediate_rx_posts": engine.immediate_rx_posts,
+                }
+            cstate_entries: Dict[str, int] = {}
+            for core in server.package.cores:
+                for state, count in core.cstate_entries.items():
+                    cstate_entries[state] = cstate_entries.get(state, 0) + count
+            recorder = self.recorders.get(server.name)
+            timeseries = None
+            if recorder is not None:
+                recorder.stop()
+                timeseries = recorder.bundle().to_json_dict()
+            measures.append(
+                ServerMeasure(
+                    index=i,
+                    name=server.name,
+                    policy_name=server.policy.name,
+                    rtts=rtts,
+                    sent=sent,
+                    responses=len(rtts),
+                    energy=energy,
+                    utilization=utilization,
+                    cstate_entries=cstate_entries,
+                    ncap_stats=ncap_stats,
+                    counters=server.telemetry.stats.snapshot(),
+                    timeseries=timeseries,
+                )
+            )
+        return ShardResult(
+            shard_index=self.shard_index,
+            server_indices=list(self.server_indices),
+            measures=measures,
+            events=self.sim.events_executed,
+            wall_s=self.wall_s,
+            profile=(
+                self.profiler.profile().to_json_dict()
+                if self.profiler is not None
+                else {}
+            ),
+        )
+
+
+class _ShardHost:
+    """Several ShardRuns hosted in one process (the whole fleet in serial
+    mode; one slot's share of the shards in pool mode)."""
+
+    def __init__(
+        self,
+        config: DatacenterConfig,
+        assignments: Dict[int, List[int]],
+        *,
+        record_indices: Sequence[int] = (),
+        recorder_config: Optional[RecorderConfig] = None,
+        profile: bool = False,
+        profiler: Optional[SimProfiler] = None,
+        bulk_datapath: bool = True,
+    ):
+        self.shards: Dict[int, ShardRun] = {}
+        for shard_index in sorted(assignments):
+            shard_profiler: Optional[SimProfiler] = None
+            if profiler is not None and shard_index == min(assignments):
+                shard_profiler = profiler
+            elif profile:
+                shard_profiler = SimProfiler()
+            self.shards[shard_index] = ShardRun(
+                config,
+                shard_index,
+                assignments[shard_index],
+                record_indices=record_indices,
+                recorder_config=recorder_config,
+                profiler=shard_profiler,
+                bulk_datapath=bulk_datapath,
+            )
+
+    def start(self) -> None:
+        for shard in self.shards.values():
+            shard.start()
+
+    def advance(
+        self,
+        until_ns: int,
+        injections: Dict[int, List[Tuple[int, int, object]]],
+    ) -> Dict[int, int]:
+        outstanding: Dict[int, int] = {}
+        for shard_index, shard in self.shards.items():
+            outstanding.update(
+                shard.advance(until_ns, injections.get(shard_index, ()))
+            )
+        return outstanding
+
+    def collect(self) -> List[ShardResult]:
+        return [self.shards[k].collect() for k in sorted(self.shards)]
+
+
+# -- process-pool worker plumbing ---------------------------------------
+#
+# Each pool slot is a single-worker ProcessPoolExecutor whose one process
+# hosts a fixed subset of the shards as module-global state, pd-gem5
+# style: the simulators persist across window calls.
+
+_WORKER_HOST: Optional[_ShardHost] = None
+
+
+def _worker_init(payload: Dict[str, object]) -> None:
+    global _WORKER_HOST
+    _WORKER_HOST = _ShardHost(**payload)
+
+
+def _worker_start() -> None:
+    _WORKER_HOST.start()
+
+
+def _worker_advance(until_ns, injections) -> Dict[int, int]:
+    return _WORKER_HOST.advance(until_ns, injections)
+
+
+def _worker_collect() -> List[ShardResult]:
+    return _WORKER_HOST.collect()
+
+
+class _PoolWorkers:
+    """P persistent single-worker pools, each hosting n_shards/P shards."""
+
+    def __init__(self, payloads: List[Dict[str, object]]):
+        self._slots = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=_worker_init, initargs=(payload,)
+            )
+            for payload in payloads
+        ]
+
+    def start_all(self) -> None:
+        for f in [slot.submit(_worker_start) for slot in self._slots]:
+            f.result()
+
+    def advance_all(
+        self,
+        until_ns: int,
+        injections_by_shard: Dict[int, List[Tuple[int, int, object]]],
+        slot_of_shard: Dict[int, int],
+    ) -> Dict[int, int]:
+        per_slot: List[Dict[int, List[Tuple[int, int, object]]]] = [
+            {} for _ in self._slots
+        ]
+        for shard_index, dispatches in injections_by_shard.items():
+            per_slot[slot_of_shard[shard_index]][shard_index] = dispatches
+        futures = [
+            slot.submit(_worker_advance, until_ns, inj)
+            for slot, inj in zip(self._slots, per_slot)
+        ]
+        outstanding: Dict[int, int] = {}
+        for f in futures:
+            outstanding.update(f.result())
+        return outstanding
+
+    def collect_all(self) -> List[ShardResult]:
+        results: List[ShardResult] = []
+        for f in [slot.submit(_worker_collect) for slot in self._slots]:
+            results.extend(f.result())
+        results.sort(key=lambda r: r.shard_index)
+        return results
+
+    def close(self) -> None:
+        for slot in self._slots:
+            slot.shutdown(wait=False, cancel_futures=True)
+
+
+class ShardedDatacenterRun:
+    """The window coordinator: builds, advances and merges the shards."""
+
+    def __init__(
+        self,
+        config: DatacenterConfig,
+        *,
+        jobs: Optional[int] = None,
+        record_timeseries: Union[None, bool, str, object] = None,
+        profile: Union[None, bool, SimProfiler] = None,
+        bulk_datapath: bool = True,
+        window_ns: Optional[int] = None,
+    ):
+        self.config = config
+        self.plan = shard_plan(config.n_servers, config.n_shards)
+        self.window_ns = window_ns or conservative_window_ns(config)
+        if config.frontend is not None:
+            self._dispatch_ns = config.frontend.dispatch_latency_ns
+            if self.window_ns > self._dispatch_ns:
+                raise ValueError(
+                    "sync window must not exceed the frontend dispatch "
+                    "latency (the conservative lookahead bound)"
+                )
+        else:
+            self._dispatch_ns = 0
+        self._recorder_config = resolve_recorder_config(record_timeseries)
+        self._record_indices: Tuple[int, ...] = ()
+        if self._recorder_config is not None:
+            self._record_indices = tuple(
+                range(min(MAX_RECORDED_SERVERS, config.n_servers))
+            )
+        self._profiler = profile if isinstance(profile, SimProfiler) else None
+        self._profile = bool(profile) and self._profiler is None
+        self._bulk = bulk_datapath
+        n_jobs = resolve_jobs(jobs)
+        self._use_pool = (
+            config.n_shards > 1 and n_jobs > 1 and self._profiler is None
+        )
+        self._n_slots = min(n_jobs, config.n_shards)
+        self._shard_of: Dict[int, int] = {}
+        for shard_index, indices in enumerate(self.plan):
+            for i in indices:
+                self._shard_of[i] = shard_index
+        self._inline_host: Optional[_ShardHost] = None
+        if not self._use_pool:
+            self._inline_host = _ShardHost(
+                config,
+                {k: idx for k, idx in enumerate(self.plan)},
+                record_indices=self._record_indices,
+                recorder_config=self._recorder_config,
+                profile=self._profile,
+                profiler=self._profiler,
+                bulk_datapath=self._bulk,
+            )
+
+    def inline_shards(self) -> List[ShardRun]:
+        """The in-process ShardRuns (serial mode only), in shard order."""
+        if self._inline_host is None:
+            raise RuntimeError("shards live in worker processes (jobs > 1)")
+        return [
+            self._inline_host.shards[k]
+            for k in sorted(self._inline_host.shards)
+        ]
+
+    # -- the window loop -------------------------------------------------
+
+    def execute(self) -> DatacenterResult:
+        config = self.config
+        planner: Optional[FrontendPlanner] = None
+        if config.frontend is not None:
+            planner = FrontendPlanner(
+                config.frontend,
+                n_servers=config.n_servers,
+                total_rps=config.total_rps,
+                app=config.app,
+                warmup_ns=config.warmup_ns,
+                measure_ns=config.measure_ns,
+                seed=config.seed,
+            )
+
+        pool: Optional[_PoolWorkers] = None
+        slot_of_shard: Dict[int, int] = {}
+        if self._use_pool:
+            payload_base = dict(
+                config=config,
+                record_indices=self._record_indices,
+                recorder_config=self._recorder_config,
+                profile=self._profile,
+                bulk_datapath=self._bulk,
+            )
+            payloads: List[Dict[str, object]] = []
+            for slot in range(self._n_slots):
+                assignments = {
+                    k: self.plan[k]
+                    for k in range(slot, config.n_shards, self._n_slots)
+                }
+                for k in assignments:
+                    slot_of_shard[k] = slot
+                payloads.append(dict(payload_base, assignments=assignments))
+            pool = _PoolWorkers(payloads)
+
+        try:
+            if pool is not None:
+                pool.start_all()
+            else:
+                self._inline_host.start()
+
+            pending: Deque[Dispatch] = deque()
+            end_ns = config.end_ns
+            window = self.window_ns
+            t = 0
+            while t < end_ns:
+                w_end = min(t + window, end_ns)
+                if planner is not None:
+                    pending.extend(
+                        planner.plan_until(w_end - self._dispatch_ns)
+                    )
+                injections: Dict[int, List[Tuple[int, int, object]]] = {}
+                while pending and pending[0].send_ns <= w_end:
+                    d = pending.popleft()
+                    injections.setdefault(
+                        self._shard_of[d.server_index], []
+                    ).append((d.send_ns, d.server_index, d.frame))
+                if pool is not None:
+                    outstanding = pool.advance_all(
+                        w_end, injections, slot_of_shard
+                    )
+                else:
+                    outstanding = self._inline_host.advance(w_end, injections)
+                if planner is not None:
+                    view = [0] * config.n_servers
+                    for server_index, count in outstanding.items():
+                        view[server_index] = count
+                    planner.observe(w_end, view)
+                t = w_end
+
+            if pool is not None:
+                shard_results = pool.collect_all()
+            else:
+                shard_results = self._inline_host.collect()
+        finally:
+            if pool is not None:
+                pool.close()
+
+        return self._merge(shard_results, planner)
+
+    # -- merge -----------------------------------------------------------
+
+    def _merge(
+        self,
+        shard_results: List[ShardResult],
+        planner: Optional[FrontendPlanner],
+    ) -> DatacenterResult:
+        config = self.config
+        measures: List[ServerMeasure] = [
+            m for r in shard_results for m in r.measures
+        ]
+        measures.sort(key=lambda m: m.index)
+        shares = config.resolved_shares()
+        sla_ns = sla_for(config.app)
+
+        outcomes: List[ServerOutcome] = []
+        for m in measures:
+            if planner is not None:
+                target = (
+                    planner.dispatched_in_measure[m.index]
+                    * 1e9 / config.measure_ns
+                )
+            else:
+                target = config.total_rps * shares[m.index]
+            latency = LatencyStats.from_values(m.rtts)
+            outcomes.append(
+                ServerOutcome(
+                    server=m.name,
+                    target_rps=target,
+                    utilization=m.utilization,
+                    latency=latency,
+                    energy=m.energy,
+                    meets_sla=latency.meets_sla(sla_ns),
+                )
+            )
+
+        shard_stats = [
+            ShardStats(
+                shard_index=r.shard_index,
+                server_indices=list(r.server_indices),
+                events=r.events,
+                wall_s=r.wall_s,
+                profile=r.profile,
+            )
+            for r in shard_results
+        ]
+        return DatacenterResult(
+            config=config,
+            servers=outcomes,
+            shards=shard_stats,
+            record=build_fleet_record(config, measures),
+        )
+
+
+def build_fleet_record(
+    config: DatacenterConfig, measures: Sequence[ServerMeasure]
+) -> ResultRecord:
+    """Merge per-server measurements into one fleet ResultRecord.
+
+    Deterministic by construction: inputs arrive sorted by server index
+    and every float reduction runs in that order, so the record — JSON
+    and sha256 — is independent of shard count and worker placement.
+    ``n_shards`` is an execution detail, not an experiment identity, so
+    the config hash is taken with it normalized to 1; wall-clock facts
+    live on :class:`~repro.cluster.datacenter.ShardStats` instead.
+    """
+    if not measures:
+        raise ValueError("cannot build a fleet record from zero servers")
+    rtts: List[int] = []
+    for m in measures:
+        rtts.extend(m.rtts)
+    latency = LatencyStats.from_values(rtts)
+    sent = sum(m.sent for m in measures)
+    responses = sum(m.responses for m in measures)
+    energy = measures[0].energy
+    for m in measures[1:]:
+        energy = energy.merge(m.energy)
+    counters: Dict[str, float] = {}
+    cstate_entries: Dict[str, int] = {}
+    ncap_stats: Dict[str, int] = {}
+    for m in measures:
+        for key, value in m.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+        for key, value in m.cstate_entries.items():
+            cstate_entries[key] = cstate_entries.get(key, 0) + value
+        for key, value in m.ncap_stats.items():
+            ncap_stats[key] = ncap_stats.get(key, 0) + value
+    bundles = {
+        m.name: TimeseriesBundle.from_json_dict(m.timeseries)
+        for m in measures
+        if m.timeseries is not None
+    }
+    timeseries: Dict[str, object] = {}
+    if bundles:
+        timeseries = merge_timeseries_bundles(bundles).to_json_dict()
+    sla_ns = sla_for(config.app)
+    return ResultRecord(
+        config_hash=config_hash(replace(config, n_shards=1)),
+        app=config.app,
+        policy=measures[0].policy_name,
+        target_rps=config.total_rps,
+        seed=config.seed,
+        sla_ns=sla_ns,
+        meets_sla=latency.meets_sla(sla_ns),
+        requests_sent=sent,
+        responses_received=responses,
+        incomplete=sent - responses,
+        achieved_rps=sent * 1e9 / config.measure_ns,
+        avg_power_w=average_power_w(energy, config.measure_ns),
+        latency_count=latency.count,
+        mean_ns=latency.mean_ns,
+        p50_ns=latency.p50_ns,
+        p90_ns=latency.p90_ns,
+        p95_ns=latency.p95_ns,
+        p99_ns=latency.p99_ns,
+        max_ns=latency.max_ns,
+        energy_j=energy.energy_j,
+        residency_ns=dict(energy.residency_ns),
+        energy_by_mode_j=dict(energy.energy_by_mode_j),
+        cstate_entries=cstate_entries,
+        ncap_stats=ncap_stats,
+        counters=counters,
+        timeseries=timeseries,
+    )
+
+
+__all__ = [
+    "MAX_RECORDED_SERVERS",
+    "ServerMeasure",
+    "ShardResult",
+    "ShardRun",
+    "ShardedDatacenterRun",
+    "build_fleet_record",
+    "conservative_window_ns",
+    "shard_plan",
+]

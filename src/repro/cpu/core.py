@@ -102,6 +102,13 @@ class Core:
         self.meter = meter
         self.state: CoreState = CoreState.IDLE
         self.on_idle: Optional[Callable[["Core"], None]] = None
+        #: Optional fast-path pull hook installed by the scheduler: on job
+        #: completion the core asks for the next queued job directly,
+        #: skipping the zero-length IDLE_POLL meter segment and the
+        #: ``on_idle`` -> dispatch round trip (the top cost in
+        #: ``small_cluster`` profiles).  Idle-period statistics still see a
+        #: zero-length idle period, exactly as the round trip produced.
+        self.take_next: Optional[Callable[[], Optional[Job]]] = None
 
         self._current: Optional[Job] = None
         self._stack: List[Job] = []
@@ -279,6 +286,17 @@ class Core:
         elif self._stack:
             self._start(self._stack.pop())
         else:
+            if self.take_next is not None:
+                job = self.take_next()
+                if job is not None:
+                    # Zero-length idle handoff: _start books the idle
+                    # period (duration 0); the skipped IDLE_POLL meter
+                    # segment would also have had zero duration.
+                    self.state = CoreState.IDLE
+                    self._idle_since = self._sim.now
+                    self._cstate = None
+                    self._start(job)
+                    return
             self.state = CoreState.IDLE
             self._idle_since = self._sim.now
             self._cstate = None

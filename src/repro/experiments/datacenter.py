@@ -9,11 +9,57 @@ majority in a real datacenter) are exactly where NCAP's savings live.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.cluster.datacenter import DatacenterConfig, run_datacenter
+from repro.cluster.datacenter import (
+    DatacenterConfig,
+    DatacenterResult,
+    run_datacenter,
+)
+from repro.cluster.frontend import FrontendConfig
 from repro.harness import Runner
 from repro.metrics.report import format_table
+from repro.sim.units import MS
+
+#: Named cluster shapes for ``repro datacenter``.
+#:
+#: - ``imbalance``: the paper's four-node Section 7 shape (the default);
+#: - ``zipf200``: 200 servers on a generated Zipf(1.2) load profile,
+#:   exercising generated shares + sharding with classic client pools;
+#: - ``datacenter_1000``: 1000 servers behind the frontend tier spraying
+#:   an open-loop population of one million users — the scale the paper
+#:   argues NCAP is for ("a production datacenter consists of hundreds
+#:   or thousands of servers").
+PRESETS: Dict[str, DatacenterConfig] = {
+    "imbalance": DatacenterConfig(),
+    "zipf200": DatacenterConfig(
+        n_servers=200,
+        load_shares="zipf:1.2",
+        total_rps=600_000.0,
+        clients_per_server=2,
+        warmup_ns=10 * MS,
+        measure_ns=60 * MS,
+        drain_ns=30 * MS,
+        n_shards=4,
+    ),
+    "datacenter_1000": DatacenterConfig(
+        app="memcached",
+        n_servers=1000,
+        load_shares="uniform",
+        total_rps=2_000_000.0,
+        warmup_ns=10 * MS,
+        measure_ns=60 * MS,
+        drain_ns=30 * MS,
+        n_shards=8,
+        frontend=FrontendConfig(
+            n_users=1_000_000,
+            spray="po2",
+            burst_size=500,
+            intra_burst_gap_ns=400,
+            dispatch_latency_ns=1 * MS,
+        ),
+    ),
+}
 
 
 @dataclass
@@ -76,3 +122,82 @@ def format_report(rows: List[ImbalanceRow]) -> str:
         f"({(1 - total_ncap / total_base) * 100:.1f}% saved)"
     )
     return table
+
+
+def run_preset(
+    name: str,
+    *,
+    overrides: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    record_timeseries=None,
+    profile=None,
+) -> DatacenterResult:
+    """Run one named cluster preset (optionally with config overrides)."""
+    try:
+        config = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown datacenter preset {name!r} "
+            f"(available: {', '.join(sorted(PRESETS))})"
+        ) from None
+    if overrides:
+        config = replace(config, **overrides)
+    return run_datacenter(
+        config,
+        jobs=jobs,
+        record_timeseries=record_timeseries,
+        profile=profile,
+    )
+
+
+def format_fleet_report(result: DatacenterResult) -> str:
+    """Fleet summary + per-shard execution table for a sharded run."""
+    config = result.config
+    record = result.record
+    utils = [s.utilization for s in result.servers]
+    violators = sum(1 for s in result.servers if not s.meets_sla)
+    rows = [
+        ["servers", config.n_servers],
+        ["policy", record.policy if record else config.policy],
+        ["offered RPS", f"{config.total_rps / 1000:.0f}K"],
+    ]
+    if record is not None:
+        rows += [
+            ["achieved RPS", f"{record.achieved_rps / 1000:.1f}K"],
+            ["responses", record.responses_received],
+            ["p50 (ms)", round(record.p50_ns / 1e6, 3)],
+            ["p99 (ms)", round(record.p99_ns / 1e6, 3)],
+            ["fleet energy (J)", round(record.energy_j, 1)],
+            ["fleet avg power (W)", round(record.avg_power_w, 1)],
+        ]
+    rows += [
+        ["utilization (min/mean/max)",
+         f"{min(utils):.3f} / {sum(utils) / len(utils):.3f} / {max(utils):.3f}"],
+        ["SLA", "met fleet-wide" if violators == 0
+         else f"VIOLATED on {violators}/{len(utils)} servers"],
+    ]
+    out = format_table(
+        ["metric", "value"], rows,
+        title=f"Datacenter fleet — {config.app}, "
+              f"{config.n_shards} shard{'s' if config.n_shards != 1 else ''}",
+    )
+    if result.shards:
+        shard_rows = []
+        for s in result.shards:
+            rate = s.events / s.wall_s / 1e6 if s.wall_s > 0 else 0.0
+            shard_rows.append([
+                s.shard_index,
+                f"{s.server_indices[0]}-{s.server_indices[-1]}",
+                s.events,
+                round(s.wall_s, 2),
+                f"{rate:.2f}",
+            ])
+        out += "\n\n" + format_table(
+            ["shard", "servers", "events", "wall (s)", "Mev/s"],
+            shard_rows, title="Per-shard execution",
+        )
+        out += (
+            f"\nparallel speedup (sum of shard work / critical path): "
+            f"{result.shard_speedup:.2f}x"
+        )
+    return out

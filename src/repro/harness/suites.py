@@ -244,6 +244,76 @@ def headline_attributed(profiler: Optional[SimProfiler]) -> ScenarioStats:
     return _headline(profiler, attributed=True)
 
 
+def _datacenter_stats(run, result) -> ScenarioStats:
+    shards = run.inline_shards()
+    return _kernel_stats(
+        shards[0].sim,
+        total_events=sum(s.sim.events_executed for s in shards),
+        responses_received=result.record.responses_received,
+        requests_sent=result.record.requests_sent,
+    )
+
+
+def datacenter_sharded(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Four servers in two conservative-window shards, executed serially
+    — times the window-coordination machinery without multiprocessing."""
+    from repro.cluster.datacenter import DatacenterConfig
+    from repro.cluster.sharding import ShardedDatacenterRun
+
+    config = DatacenterConfig(
+        total_rps=60_000.0,
+        clients_per_server=2,
+        warmup_ns=5 * MS,
+        measure_ns=30 * MS,
+        drain_ns=20 * MS,
+        n_shards=2,
+    )
+    run = ShardedDatacenterRun(config, jobs=1, profile=profiler)
+    result = run.execute()
+    assert result.record.responses_received > 0
+    return _datacenter_stats(run, result)
+
+
+def _frontend_run(
+    profiler: Optional[SimProfiler], bulk: bool
+) -> ScenarioStats:
+    from repro.cluster.datacenter import DatacenterConfig
+    from repro.cluster.frontend import FrontendConfig
+    from repro.cluster.sharding import ShardedDatacenterRun
+
+    config = DatacenterConfig(
+        app="memcached",
+        n_servers=4,
+        load_shares="uniform",
+        total_rps=80_000.0,
+        warmup_ns=5 * MS,
+        measure_ns=30 * MS,
+        drain_ns=20 * MS,
+        frontend=FrontendConfig(
+            n_users=5_000, spray="po2", burst_size=75,
+            intra_burst_gap_ns=1_000, dispatch_latency_ns=1 * MS,
+        ),
+    )
+    run = ShardedDatacenterRun(
+        config, jobs=1, profile=profiler, bulk_datapath=bulk
+    )
+    result = run.execute()
+    assert result.record.responses_received > 0
+    return _datacenter_stats(run, result)
+
+
+def frontend_bulk(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Frontend tier spraying 4 servers, bursts vectorized through the
+    link/switch/NIC bulk datapath (the datacenter_1000 configuration)."""
+    return _frontend_run(profiler, bulk=True)
+
+
+def frontend_scalar(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Same run with the scalar per-frame datapath — pins the bulk
+    speedup and guards scalar-path performance."""
+    return _frontend_run(profiler, bulk=False)
+
+
 MICRO_SUITE = BenchSuite(
     name="micro",
     description="Simulation-substrate micro-benchmarks (batched event "
@@ -292,8 +362,31 @@ TELEMETRY_SUITE = BenchSuite(
     repeats=5,
 )
 
+DATACENTER_SUITE = BenchSuite(
+    name="datacenter",
+    description="Sharded-fleet machinery: serial conservative-window "
+    "coordination, and the frontend tier over the bulk vs scalar "
+    "datapath",
+    scenarios=(
+        BenchScenario(
+            "datacenter_sharded", datacenter_sharded,
+            "4 servers / 2 shards, serial windows",
+        ),
+        BenchScenario(
+            "frontend_bulk", frontend_bulk,
+            "frontend spray, vectorized datapath",
+        ),
+        BenchScenario(
+            "frontend_scalar", frontend_scalar,
+            "frontend spray, per-frame datapath",
+        ),
+    ),
+    repeats=3,
+)
+
 SUITES: Dict[str, BenchSuite] = {
-    suite.name: suite for suite in (MICRO_SUITE, TELEMETRY_SUITE)
+    suite.name: suite
+    for suite in (MICRO_SUITE, TELEMETRY_SUITE, DATACENTER_SUITE)
 }
 
 
@@ -307,6 +400,7 @@ def get_suite(name: str) -> BenchSuite:
 
 
 __all__ = [
+    "DATACENTER_SUITE",
     "MICRO_SUITE",
     "SUITES",
     "TELEMETRY_SUITE",

@@ -37,6 +37,7 @@ class Scheduler:
         self.jobs_enqueued: int = 0
         for core in self.cores:
             core.on_idle = self._on_core_idle
+            core.take_next = self._take_next
 
     # -- submission ------------------------------------------------------
 
@@ -82,6 +83,14 @@ class Scheduler:
             return
         if self.idle_hook is not None:
             self.idle_hook(core)
+
+    def _take_next(self) -> Optional[Job]:
+        """Completion fast path: pop the next queued job for the asking
+        core, or None to let it go idle (then ``_on_core_idle`` runs the
+        cpuidle hook as before)."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
 
     # -- introspection --------------------------------------------------------
 

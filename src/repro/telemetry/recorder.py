@@ -640,3 +640,74 @@ def _stat_source(stat) -> Tuple[SourceFn, str]:
     if isinstance(stat, Distribution):
         return (lambda: float(stat.mean)), "gauge"
     return (lambda: float(stat.value)), "gauge"
+
+
+def merge_timeseries_bundles(
+    named: Mapping[str, TimeseriesBundle],
+) -> TimeseriesBundle:
+    """Merge per-node bundles into one fleet bundle, deterministically.
+
+    ``named`` maps a node key (e.g. ``"server0"``) to that node's bundle;
+    every series, capture window and watchpoint firing comes back prefixed
+    with its key (``server0.cpu.util``).  The merge is a pure function of
+    the *contents*: keys are processed in sorted order and the merged
+    lists are re-sorted on stable fields, so any iteration order of
+    ``named`` — and any shard-to-worker placement that produced the
+    bundles — yields a byte-identical serialized bundle (the recorder's
+    serial==pool contract, extended across processes).
+
+    All bundles must share the same base ``interval_ns``.
+    """
+    if not named:
+        raise ValueError("cannot merge zero bundles")
+    intervals = {bundle.interval_ns for bundle in named.values()}
+    if len(intervals) != 1:
+        raise ValueError(
+            f"cannot merge bundles with differing base intervals: "
+            f"{sorted(intervals)}"
+        )
+
+    def _clone(prefix: str, s: SeriesData) -> SeriesData:
+        return SeriesData(
+            name=f"{prefix}.{s.name}", kind=s.kind, stride=s.stride,
+            times=list(s.times), values=list(s.values),
+        )
+
+    series: List[SeriesData] = []
+    windows: List[CaptureWindow] = []
+    fired: List[WatchpointRecord] = []
+    for key in sorted(named):
+        bundle = named[key]
+        series.extend(_clone(key, s) for s in bundle.series)
+        for w in bundle.windows:
+            windows.append(
+                CaptureWindow(
+                    watchpoint=f"{key}.{w.watchpoint}",
+                    fired_at_ns=w.fired_at_ns,
+                    start_ns=w.start_ns,
+                    end_ns=w.end_ns,
+                    interval_ns=w.interval_ns,
+                    series={
+                        f"{key}.{name}": _clone(key, sd)
+                        for name, sd in w.series.items()
+                    },
+                )
+            )
+        fired.extend(
+            WatchpointRecord(
+                name=f"{key}.{f.name}", series=f"{key}.{f.series}",
+                t_ns=f.t_ns, value=f.value, detail=f.detail,
+            )
+            for f in bundle.fired
+        )
+    series.sort(key=lambda s: s.name)
+    windows.sort(key=lambda w: (w.fired_at_ns, w.watchpoint))
+    fired.sort(key=lambda f: (f.t_ns, f.name, f.series))
+    return TimeseriesBundle(
+        interval_ns=next(iter(intervals)),
+        start_ns=min(b.start_ns for b in named.values()),
+        end_ns=max(b.end_ns for b in named.values()),
+        series=series,
+        windows=windows,
+        fired=fired,
+    )

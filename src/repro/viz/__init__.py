@@ -3,7 +3,9 @@
 from repro.viz.dashboard import (  # noqa: F401 - re-exported
     Panel,
     PanelSeries,
+    dashboard_from_datacenter,
     dashboard_from_result,
+    datacenter_panels,
     render_dashboard,
     standard_panels,
     write_dashboard,

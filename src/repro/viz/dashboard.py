@@ -182,6 +182,49 @@ def standard_panels(bundle: TimeseriesBundle) -> List[Panel]:
     return [p for p in panels if p.has_data()]
 
 
+#: Key metrics plotted per server in :func:`datacenter_panels`:
+#: (series suffix, panel title, unit, step rendering, rate-of-counter).
+_DATACENTER_METRICS: Tuple[Tuple[str, str, str, bool, bool], ...] = (
+    ("cpu.freq_ghz", "Frequency", "GHz", True, False),
+    ("cpu.util", "Utilization", "U", False, False),
+    ("power.watts", "Power", "W", False, False),
+    ("runq.depth", "Run queue", "depth", False, False),
+    ("nic.rx.bytes", "Network Rx", "Mb/s", False, True),
+    ("app.responses", "Responses", "req/s", False, True),
+)
+
+
+def datacenter_panels(bundle: TimeseriesBundle) -> List[Panel]:
+    """Panel layout for a merged multi-server bundle.
+
+    :func:`~repro.telemetry.recorder.merge_timeseries_bundles` prefixes
+    every series with its node name (``server3.power.watts``); this
+    layout inverts that — one panel per key metric, one line per server —
+    so the recorded servers can be compared side by side.
+    """
+    panels: List[Panel] = []
+    for suffix, title, unit, step, as_rate in _DATACENTER_METRICS:
+        marker = "." + suffix
+        named = sorted(
+            (name[: -len(marker)], bundle.get(name))
+            for name in bundle.names()
+            if name.endswith(marker)
+        )
+        if not named:
+            continue
+        panel = Panel(title, unit, zero_base=not step)
+        for node, series in named:
+            if as_rate:
+                points = [(t, r) for t, r in series.rate_points()]
+                if suffix.endswith(".bytes"):
+                    points = [(t, r * 8 / 1e6) for t, r in points]
+            else:
+                points = _series_points(series)
+            panel.series.append(PanelSeries(node, points, step=step))
+        panels.append(panel)
+    return [p for p in panels if p.has_data()]
+
+
 # -- scales and shapes -----------------------------------------------------
 
 
@@ -676,6 +719,37 @@ def dashboard_from_result(
         title=title or "Flight recorder",
         subtitle=subtitle,
         phases=phases,
+    )
+
+
+def dashboard_from_datacenter(result, title: Optional[str] = None) -> str:
+    """Render a recorded :class:`~repro.cluster.datacenter.DatacenterResult`
+    with the per-metric, line-per-server :func:`datacenter_panels` layout."""
+    record = getattr(result, "record", None)
+    timeseries = getattr(record, "timeseries", None) or {}
+    if not timeseries:
+        raise ValueError(
+            "result carries no merged timeseries; run with "
+            "record_timeseries='coarse' (or a RecorderConfig)"
+        )
+    bundle = TimeseriesBundle.from_json_dict(timeseries)
+    config = result.config
+    warmup = config.warmup_ns
+    measured = warmup + config.measure_ns
+    return render_dashboard(
+        bundle,
+        title=title or "Datacenter flight recorder",
+        subtitle=(
+            f"{config.app} / {record.policy} - {config.n_servers} servers, "
+            f"{config.n_shards} shard{'s' if config.n_shards != 1 else ''} - "
+            f"seed {config.seed}"
+        ),
+        phases=[
+            ("warmup", 0, warmup),
+            ("measure", warmup, measured),
+            ("drain", measured, config.end_ns),
+        ],
+        panels=datacenter_panels(bundle),
     )
 
 

@@ -96,3 +96,44 @@ class TestBurstArrivalTimes:
     def test_validation(self):
         with pytest.raises(ValueError):
             burst_arrival_times(0, 0, 1_000)
+
+
+class TestGenerateLoadShares:
+    def test_uniform_is_equal_and_normalized(self):
+        from repro.apps.workload import generate_load_shares
+
+        shares = generate_load_shares("uniform", 8)
+        assert len(shares) == 8
+        assert all(s == shares[0] for s in shares)
+        assert abs(sum(shares) - 1.0) < 1e-12
+
+    def test_uniform_scales_to_a_thousand_servers(self):
+        from repro.apps.workload import generate_load_shares
+
+        shares = generate_load_shares("uniform", 1000)
+        assert len(shares) == 1000
+        assert abs(sum(shares) - 1.0) < 1e-9
+
+    def test_zipf_is_decreasing_and_normalized(self):
+        from repro.apps.workload import generate_load_shares
+
+        shares = generate_load_shares("zipf:1.2", 100)
+        assert len(shares) == 100
+        assert all(a > b for a, b in zip(shares, shares[1:]))
+        assert abs(sum(shares) - 1.0) < 1e-9
+
+    def test_zipf_exponent_controls_skew(self):
+        from repro.apps.workload import generate_load_shares
+
+        mild = generate_load_shares("zipf:0.5", 50)
+        steep = generate_load_shares("zipf:2.0", 50)
+        assert steep[0] > mild[0]
+
+    def test_bad_specs_rejected(self):
+        from repro.apps.workload import generate_load_shares
+
+        for spec in ("pareto", "zipf", "zipf:", "zipf:abc", "zipf:0", "zipf:-1"):
+            with pytest.raises(ValueError):
+                generate_load_shares(spec, 4)
+        with pytest.raises(ValueError):
+            generate_load_shares("uniform", 0)

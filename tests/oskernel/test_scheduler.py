@@ -139,3 +139,28 @@ class TestStats:
         sched.wake_all()
         sim.run()
         assert all(core.state is CoreState.IDLE for core in package.cores)
+
+
+class TestTakeNext:
+    def test_completion_chains_queued_job_without_idle_bounce(self):
+        # One core, two jobs: the second must start at the exact instant
+        # the first completes (the take_next fast path), with the
+        # zero-length idle period still booked for accounting parity.
+        sim, package, sched = make(n_cores=1)
+        done = []
+        sched.enqueue(Job(work_us(10), on_complete=lambda: done.append(sim.now)))
+        sched.enqueue(Job(work_us(10), on_complete=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [10 * US, 20 * US]  # back to back, no gap
+
+    def test_take_next_returns_none_on_empty_queue(self):
+        sim, package, sched = make(n_cores=1)
+        assert sched._take_next() is None
+
+    def test_idle_hook_still_fires_when_queue_empty(self):
+        sim, package, sched = make(n_cores=1)
+        idled = []
+        sched.idle_hook = lambda core: idled.append(core.core_id)
+        sched.enqueue(Job(work_us(10)))
+        sim.run()
+        assert idled == [0]
