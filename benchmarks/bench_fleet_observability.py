@@ -1,0 +1,102 @@
+"""Fleet-observability overhead bench: off / traced / fully observed.
+
+Request tracing, the window profiler and the run monitor are opt-in
+observers of the sharded coordinator: with every knob unset no tracer,
+profile or monitor object exists, so a plain frontend fleet run must
+stay within noise of the pre-observer wall time (the disabled path is
+a handful of ``is None`` checks per window).  The traced and fully
+observed configurations quantify the opt-in cost of 1-in-64 sampling,
+per-window shard wall bookkeeping and JSONL heartbeats.
+"""
+
+import statistics
+import time
+
+from repro.cluster.datacenter import DatacenterConfig, run_datacenter
+from repro.cluster.frontend import FrontendConfig
+from repro.metrics.report import format_table
+from repro.sim.units import MS
+from repro.telemetry.monitor import RunMonitor
+
+#: Median wall time of the plain (observers-off) fleet run measured on
+#: the machine that generated the committed report, at the commit that
+#: introduced the observability layer.  Informational: re-measure when
+#: regenerating the report on different hardware.
+PRE_OBSERVER_BASELINE_S = 0.212
+
+
+def _fleet_run(**observers):
+    config = DatacenterConfig(
+        app="memcached",
+        n_servers=4,
+        n_shards=2,
+        load_shares="uniform",
+        total_rps=80_000.0,
+        warmup_ns=5 * MS,
+        measure_ns=30 * MS,
+        drain_ns=20 * MS,
+        frontend=FrontendConfig(
+            n_users=5_000, spray="po2", burst_size=75,
+            intra_burst_gap_ns=1_000, dispatch_latency_ns=1 * MS,
+        ),
+    )
+    t0 = time.perf_counter()
+    result = run_datacenter(config, jobs=1, **observers)
+    elapsed = time.perf_counter() - t0
+    assert result.record.responses_received > 0
+    if observers.get("trace_requests"):
+        assert len(result.trace) > 0
+    if observers.get("profile_fleet"):
+        assert result.fleet_profile.windows
+    return elapsed
+
+
+def _observed_run():
+    # Everything on; the huge monitor interval keeps stderr quiet while
+    # still exercising the per-window bookkeeping.
+    return _fleet_run(
+        trace_requests=64,
+        profile_fleet=True,
+        monitor=RunMonitor("-", interval_s=3600.0),
+    )
+
+
+def test_fleet_observability_overhead(benchmark, save_report):
+    def compute():
+        off = [_fleet_run() for _ in range(5)]
+        traced = [_fleet_run(trace_requests=64) for _ in range(5)]
+        observed = [_observed_run() for _ in range(5)]
+        return off, traced, observed
+
+    off, traced, observed = benchmark.pedantic(compute, rounds=1, iterations=1)
+    off_median = statistics.median(off)
+    traced_median = statistics.median(traced)
+    observed_median = statistics.median(observed)
+    off_ratio = off_median / PRE_OBSERVER_BASELINE_S
+    traced_ratio = traced_median / off_median
+    observed_ratio = observed_median / off_median
+    rows = [
+        ["observers off, median of 5 (s)", round(off_median, 3)],
+        ["traced (1-in-64), median of 5 (s)", round(traced_median, 3)],
+        ["fully observed, median of 5 (s)", round(observed_median, 3)],
+        ["pre-observer baseline (s)", PRE_OBSERVER_BASELINE_S],
+        ["disabled-path ratio vs baseline", round(off_ratio, 3)],
+        ["tracing cost (traced / off)", round(traced_ratio, 3)],
+        ["full cost (observed / off)", round(observed_ratio, 3)],
+    ]
+    report = format_table(
+        ["metric", "value"], rows,
+        title="Fleet-observability overhead — 4 servers / 2 shards, "
+              "frontend tier",
+    )
+    save_report("fleet_observability_overhead", report)
+
+    # Quiet-machine target for the disabled path is <= 1.02 (the issue's
+    # acceptance bound); the CI bound is generous for shared runners.
+    assert off_ratio < 1.5
+    # 1-in-64 sampling touches a crc32 per dispatch plus the probe
+    # subscription; it must stay cheap enough to leave on for any run.
+    assert traced_ratio < 1.3
+    # The profiler adds two perf_counter reads per shard-window and the
+    # monitor a dict per window: full observability stays bounded.
+    assert observed_ratio < 1.4

@@ -460,6 +460,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_datacenter(args: argparse.Namespace) -> int:
     from repro.experiments import datacenter as dc_experiment
 
+    if args.trace_out and args.trace_requests is None:
+        print("repro datacenter: error: --trace-out needs --trace-requests",
+              file=sys.stderr)
+        return 2
     overrides: dict = {}
     if args.policy is not None:
         overrides["policy"] = args.policy
@@ -492,11 +496,44 @@ def cmd_datacenter(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             record_timeseries=args.record,
             profile=True,
+            trace_requests=args.trace_requests,
+            profile_fleet=args.profile_fleet,
+            monitor=args.progress,
         )
     except ValueError as exc:
         print(f"repro datacenter: error: {exc}", file=sys.stderr)
         return 2
     print(dc_experiment.format_fleet_report(result))
+    if result.fleet_profile is not None:
+        from repro.profiling.fleet import format_fleet_profile
+
+        print()
+        print(format_fleet_profile(
+            result.fleet_profile, measured_speedup=result.shard_speedup
+        ))
+    if result.trace is not None:
+        from repro.telemetry.tracing import format_hop_table
+
+        print()
+        print(format_hop_table(result.trace))
+        if args.trace_out:
+            from repro.telemetry.tracing import write_fleet_trace
+
+            shard_of_server = {
+                i: s.shard_index
+                for s in result.shards for i in s.server_indices
+            }
+            extra = []
+            if result.fleet_profile is not None:
+                from repro.profiling.fleet import window_trace_events
+
+                extra = window_trace_events(result.fleet_profile)
+            count = write_fleet_trace(
+                result.trace, shard_of_server, args.trace_out,
+                extra_events=extra,
+            )
+            print(f"wrote {count} merged fleet trace events to "
+                  f"{args.trace_out}")
     if args.out:
         import json
         import os
@@ -511,7 +548,8 @@ def cmd_datacenter(args: argparse.Namespace) -> int:
         from repro.viz import dashboard_from_datacenter, write_dashboard
 
         page = dashboard_from_datacenter(
-            result, title=f"Datacenter - {args.preset}"
+            result, title=f"Datacenter - {args.preset}",
+            trace_path=args.trace_out,
         )
         path = write_dashboard(page, args.dashboard)
         print(f"wrote fleet dashboard to {path}")
@@ -702,6 +740,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the merged-fleet HTML dashboard here "
                            "(needs --record)")
     p_dc.add_argument("--out", help="write the fleet ResultRecord JSON here")
+    p_dc.add_argument("--profile-fleet", action="store_true",
+                      help="print the per-window shard imbalance report "
+                           "(load-imbalance factor, critical path, "
+                           "speedup bound, pool-slot utilization)")
+    p_dc.add_argument("--progress", nargs="?", const="-", metavar="JSONL",
+                      help="emit live JSONL heartbeats (windows done, "
+                           "sim-time, per-shard events/s, straggler, ETA) "
+                           "to stderr or to JSONL path")
+    p_dc.add_argument("--trace-requests", type=int, nargs="?", const=1024,
+                      metavar="N",
+                      help="trace a deterministic 1-in-N sample of "
+                           "requests end-to-end across shards "
+                           "(frontend presets only; default N=1024)")
+    p_dc.add_argument("--trace-out", metavar="JSON",
+                      help="write the merged cross-shard Chrome-trace "
+                           "here (with --trace-requests; Perfetto-loadable)")
     p_dc.set_defaults(fn=cmd_datacenter)
 
     p_pol = add_parser("policies", help="list the policy registry")

@@ -144,6 +144,12 @@ class DatacenterResult:
     shards: List[ShardStats] = field(default_factory=list)
     #: The merged fleet-level record — bit-identical across shard counts.
     record: Optional[ResultRecord] = None
+    #: Merged cross-shard request traces (``trace_requests=`` runs only);
+    #: a :class:`~repro.telemetry.tracing.FleetTraceBundle`.
+    trace: Optional[object] = None
+    #: Window/imbalance profile (``profile_fleet=`` runs only); wall-clock
+    #: data, so — like :class:`ShardStats` — never part of the record.
+    fleet_profile: Optional[object] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -197,6 +203,9 @@ def run_datacenter(
     profile: Union[None, bool, object] = None,
     bulk_datapath: bool = True,
     window_ns: Optional[int] = None,
+    trace_requests: Union[None, bool, int, object] = None,
+    profile_fleet: bool = False,
+    monitor: Union[None, bool, str, object] = None,
 ) -> DatacenterResult:
     """Run a datacenter config, sharded when ``config.n_shards > 1``.
 
@@ -212,6 +221,12 @@ def run_datacenter(
     - ``bulk_datapath``: vectorize frontend bursts through the link/
       switch/NIC ``receive_burst`` path (frontend mode only).
     - ``window_ns``: override the conservative sync window (testing).
+    - ``trace_requests``: cross-shard request tracing spec (``True``,
+      a sample-every int, or a TraceConfig); frontend mode only.
+    - ``profile_fleet``: per-window shard wall-time/imbalance profile on
+      ``result.fleet_profile``.
+    - ``monitor``: live JSONL heartbeat (``True``/``"-"`` for stderr or
+      an output path).
     """
     from repro.cluster.sharding import ShardedDatacenterRun
 
@@ -222,4 +237,7 @@ def run_datacenter(
         profile=profile,
         bulk_datapath=bulk_datapath,
         window_ns=window_ns,
+        trace_requests=trace_requests,
+        profile_fleet=profile_fleet,
+        monitor=monitor,
     ).execute()

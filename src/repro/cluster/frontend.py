@@ -42,9 +42,10 @@ import random
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.apps.workload import burst_arrival_times, burst_period_ns
+from repro.telemetry.tracing import is_sampled
 from repro.net.link import LinkPort
 from repro.net.packet import Frame, make_http_request, make_memcached_request
 from repro.sim.kernel import Simulator
@@ -191,6 +192,7 @@ class FrontendPlanner:
         warmup_ns: int,
         measure_ns: int,
         seed: int,
+        trace_sample_every: Optional[int] = None,
     ):
         self.config = frontend
         self.n_servers = n_servers
@@ -221,6 +223,14 @@ class FrontendPlanner:
         #: inside the measurement window (for per-server reporting).
         self.dispatched = [0] * n_servers
         self.dispatched_in_measure = [0] * n_servers
+        # Request tracing (observer-side, never in the config hash): stamp
+        # deterministically-sampled dispatches with their spray decision.
+        # Sampling uses the pure hash rule shared with the shard-side
+        # collectors, so it consumes no RNG stream and the plan is
+        # unchanged whether tracing is on or off.
+        self._trace_sample_every = trace_sample_every
+        #: Stamped samples: (src, req_id, user, server, decision_ns, send_ns).
+        self.trace_samples: List[Tuple[str, int, int, int, int, int]] = []
 
     # -- load view -------------------------------------------------------
 
@@ -268,7 +278,15 @@ class FrontendPlanner:
                 self.dispatched[server] += 1
                 if self._warmup_ns <= send_ns < self._warmup_ns + self._measure_ns:
                     self.dispatched_in_measure[server] += 1
-                out.append(Dispatch(send_ns, server, self._make_frame(server, user, send_ns)))
+                frame = self._make_frame(server, user, send_ns)
+                if self._trace_sample_every is not None and is_sampled(
+                    frame.src, frame.req_id, self._trace_sample_every
+                ):
+                    self.trace_samples.append(
+                        (frame.src, frame.req_id, user, server,
+                         decision_ns, send_ns)
+                    )
+                out.append(Dispatch(send_ns, server, frame))
         return out
 
     def _make_frame(self, server: int, user: int, send_ns: int) -> Frame:
@@ -308,6 +326,9 @@ class FrontendPort:
         self.rtts: List[Tuple[int, int]] = []  # (send time, rtt)
         self.requests_sent = 0
         self.responses_received = 0
+        #: Observer hook ``(req_id, send_ns, recv_ns)`` called on every
+        #: reply (request tracing closes sampled RTT spans through it).
+        self.trace_hook: Optional[Callable[[int, int, int], None]] = None
 
     def attach_port(self, port: LinkPort) -> None:
         self._port = port
@@ -320,6 +341,8 @@ class FrontendPort:
             return
         self.responses_received += 1
         self.rtts.append((send_ns, self._sim.now - send_ns))
+        if self.trace_hook is not None:
+            self.trace_hook(frame.req_id, send_ns, self._sim.now)
 
     def inject(self, dispatches: Sequence[Tuple[int, Frame]]) -> None:
         """Inject planned ``(send_ns, frame)`` pairs (non-decreasing times).

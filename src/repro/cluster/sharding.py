@@ -68,16 +68,25 @@ from repro.metrics.energy import average_power_w, energy_delta
 from repro.metrics.latency import LatencyStats
 from repro.net.link import Link
 from repro.net.switch import Switch
+from repro.profiling.fleet import FleetProfile, WindowSample
 from repro.profiling.profiler import SimProfiler
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTraceRecorder
 from repro.sim.units import US, gbps
+from repro.telemetry.monitor import RunMonitor, resolve_monitor
 from repro.telemetry.recorder import (
     RecorderConfig,
     TimeseriesBundle,
     merge_timeseries_bundles,
     resolve_recorder_config,
+)
+from repro.telemetry.tracing import (
+    FleetTraceBundle,
+    RequestTraceCollector,
+    TraceConfig,
+    merge_fleet_traces,
+    resolve_trace_config,
 )
 
 #: At most this many servers get a flight recorder in a recorded run
@@ -151,6 +160,8 @@ class ShardResult:
     events: int
     wall_s: float
     profile: Dict[str, object] = field(default_factory=dict)
+    #: Per-shard request-trace payload (sampled spans), when tracing.
+    trace: Dict[str, object] = field(default_factory=dict)
 
 
 class ShardRun:
@@ -171,6 +182,7 @@ class ShardRun:
         recorder_config: Optional[RecorderConfig] = None,
         profiler: Optional[SimProfiler] = None,
         bulk_datapath: bool = True,
+        trace_sample_every: Optional[int] = None,
     ):
         self.config = config
         self.shard_index = shard_index
@@ -187,6 +199,13 @@ class ShardRun:
         self.frontend_ports: Dict[int, FrontendPort] = {}
         self.recorders: Dict[str, object] = {}
         self.wall_s = 0.0
+        #: Wall/event deltas of the most recent ``advance`` window (the
+        #: coordinator's window profiler and monitor read these).
+        self.last_window_wall_s = 0.0
+        self.last_window_events = 0
+        self.tracer: Optional[RequestTraceCollector] = None
+        if trace_sample_every is not None and config.frontend is not None:
+            self.tracer = RequestTraceCollector(trace_sample_every)
 
         shares = config.resolved_shares()
         burst_size = default_burst_size(config.app)
@@ -201,6 +220,8 @@ class ShardRun:
             server.attach_port(link.endpoint_port(server))
             self.switch.attach_link(link, server_name)
             self.servers.append(server)
+            if self.tracer is not None:
+                self.tracer.attach_server(i, server)
 
             if config.frontend is not None:
                 port = FrontendPort(
@@ -211,6 +232,8 @@ class ShardRun:
                 port.attach_port(fe_link.endpoint_port(port))
                 self.switch.attach_link(fe_link, port.name)
                 self.frontend_ports[i] = port
+                if self.tracer is not None:
+                    self.tracer.attach_port(i, port)
             else:
                 rps = config.total_rps * shares[i]
                 period = burst_period_ns(
@@ -289,6 +312,7 @@ class ShardRun:
         otherwise) — the load view the spray policies consume.
         """
         t0 = time.perf_counter()
+        events_before = self.sim.events_executed
         if injections:
             grouped: Dict[int, List[Tuple[int, object]]] = {}
             for send_ns, server_index, frame in injections:
@@ -296,7 +320,9 @@ class ShardRun:
             for server_index, dispatches in grouped.items():
                 self.frontend_ports[server_index].inject(dispatches)
         self.sim.run(until=until_ns)
-        self.wall_s += time.perf_counter() - t0
+        self.last_window_wall_s = time.perf_counter() - t0
+        self.last_window_events = self.sim.events_executed - events_before
+        self.wall_s += self.last_window_wall_s
         if self.frontend_ports:
             return {
                 i: port.outstanding for i, port in self.frontend_ports.items()
@@ -374,6 +400,7 @@ class ShardRun:
                 if self.profiler is not None
                 else {}
             ),
+            trace=self.tracer.payload() if self.tracer is not None else {},
         )
 
 
@@ -391,6 +418,7 @@ class _ShardHost:
         profile: bool = False,
         profiler: Optional[SimProfiler] = None,
         bulk_datapath: bool = True,
+        trace_sample_every: Optional[int] = None,
     ):
         self.shards: Dict[int, ShardRun] = {}
         for shard_index in sorted(assignments):
@@ -407,6 +435,7 @@ class _ShardHost:
                 recorder_config=recorder_config,
                 profiler=shard_profiler,
                 bulk_datapath=bulk_datapath,
+                trace_sample_every=trace_sample_every,
             )
 
     def start(self) -> None:
@@ -417,13 +446,22 @@ class _ShardHost:
         self,
         until_ns: int,
         injections: Dict[int, List[Tuple[int, int, object]]],
-    ) -> Dict[int, int]:
+    ) -> Tuple[Dict[int, int], Dict[int, Tuple[float, int]]]:
+        """Advance every hosted shard; returns (outstanding, reports).
+
+        ``reports`` maps shard index to its ``(wall_s, events)`` delta for
+        this window — the raw material of the fleet window profiler.
+        """
         outstanding: Dict[int, int] = {}
+        reports: Dict[int, Tuple[float, int]] = {}
         for shard_index, shard in self.shards.items():
             outstanding.update(
                 shard.advance(until_ns, injections.get(shard_index, ()))
             )
-        return outstanding
+            reports[shard_index] = (
+                shard.last_window_wall_s, shard.last_window_events
+            )
+        return outstanding, reports
 
     def collect(self) -> List[ShardResult]:
         return [self.shards[k].collect() for k in sorted(self.shards)]
@@ -447,7 +485,9 @@ def _worker_start() -> None:
     _WORKER_HOST.start()
 
 
-def _worker_advance(until_ns, injections) -> Dict[int, int]:
+def _worker_advance(
+    until_ns, injections
+) -> Tuple[Dict[int, int], Dict[int, Tuple[float, int]]]:
     return _WORKER_HOST.advance(until_ns, injections)
 
 
@@ -475,7 +515,7 @@ class _PoolWorkers:
         until_ns: int,
         injections_by_shard: Dict[int, List[Tuple[int, int, object]]],
         slot_of_shard: Dict[int, int],
-    ) -> Dict[int, int]:
+    ) -> Tuple[Dict[int, int], Dict[int, Tuple[float, int]]]:
         per_slot: List[Dict[int, List[Tuple[int, int, object]]]] = [
             {} for _ in self._slots
         ]
@@ -486,9 +526,12 @@ class _PoolWorkers:
             for slot, inj in zip(self._slots, per_slot)
         ]
         outstanding: Dict[int, int] = {}
+        reports: Dict[int, Tuple[float, int]] = {}
         for f in futures:
-            outstanding.update(f.result())
-        return outstanding
+            slot_outstanding, slot_reports = f.result()
+            outstanding.update(slot_outstanding)
+            reports.update(slot_reports)
+        return outstanding, reports
 
     def collect_all(self) -> List[ShardResult]:
         results: List[ShardResult] = []
@@ -514,6 +557,9 @@ class ShardedDatacenterRun:
         profile: Union[None, bool, SimProfiler] = None,
         bulk_datapath: bool = True,
         window_ns: Optional[int] = None,
+        trace_requests: Union[None, bool, int, TraceConfig] = None,
+        profile_fleet: bool = False,
+        monitor: Union[None, bool, str, RunMonitor] = None,
     ):
         self.config = config
         self.plan = shard_plan(config.n_servers, config.n_shards)
@@ -536,6 +582,19 @@ class ShardedDatacenterRun:
         self._profiler = profile if isinstance(profile, SimProfiler) else None
         self._profile = bool(profile) and self._profiler is None
         self._bulk = bulk_datapath
+        # Fleet observers (never in the config hash, never able to change
+        # the simulated outcome — the parity suites prove it).
+        self._trace_config = resolve_trace_config(trace_requests)
+        if self._trace_config is not None and config.frontend is None:
+            raise ValueError(
+                "request tracing requires frontend mode: classic client "
+                "pools draw request ids from a process-global counter, so "
+                "(src, req_id) identities would depend on shard placement "
+                "and the sampled set could not be placement-deterministic"
+            )
+        self._profile_fleet = bool(profile_fleet)
+        self._monitor = resolve_monitor(monitor)
+        self.fleet_profile: Optional[FleetProfile] = None
         n_jobs = resolve_jobs(jobs)
         self._use_pool = (
             config.n_shards > 1 and n_jobs > 1 and self._profiler is None
@@ -555,7 +614,14 @@ class ShardedDatacenterRun:
                 profile=self._profile,
                 profiler=self._profiler,
                 bulk_datapath=self._bulk,
+                trace_sample_every=self._trace_sample_every,
             )
+
+    @property
+    def _trace_sample_every(self) -> Optional[int]:
+        if self._trace_config is None:
+            return None
+        return self._trace_config.sample_every
 
     def inline_shards(self) -> List[ShardRun]:
         """The in-process ShardRuns (serial mode only), in shard order."""
@@ -580,6 +646,7 @@ class ShardedDatacenterRun:
                 warmup_ns=config.warmup_ns,
                 measure_ns=config.measure_ns,
                 seed=config.seed,
+                trace_sample_every=self._trace_sample_every,
             )
 
         pool: Optional[_PoolWorkers] = None
@@ -591,6 +658,7 @@ class ShardedDatacenterRun:
                 recorder_config=self._recorder_config,
                 profile=self._profile,
                 bulk_datapath=self._bulk,
+                trace_sample_every=self._trace_sample_every,
             )
             payloads: List[Dict[str, object]] = []
             for slot in range(self._n_slots):
@@ -603,6 +671,23 @@ class ShardedDatacenterRun:
                 payloads.append(dict(payload_base, assignments=assignments))
             pool = _PoolWorkers(payloads)
 
+        fleet_profile: Optional[FleetProfile] = None
+        if self._profile_fleet:
+            fleet_profile = FleetProfile(
+                n_shards=config.n_shards,
+                n_slots=self._n_slots if self._use_pool else 1,
+            )
+        monitor = self._monitor
+        end_ns = config.end_ns
+        window = self.window_ns
+        if monitor is not None:
+            monitor.begin(
+                n_windows=-(-end_ns // window),
+                end_ns=end_ns,
+                n_shards=config.n_shards,
+            )
+        events_total = 0
+
         try:
             if pool is not None:
                 pool.start_all()
@@ -610,33 +695,67 @@ class ShardedDatacenterRun:
                 self._inline_host.start()
 
             pending: Deque[Dispatch] = deque()
-            end_ns = config.end_ns
-            window = self.window_ns
             t = 0
+            window_index = 0
             while t < end_ns:
                 w_end = min(t + window, end_ns)
+                t_plan = time.perf_counter()
                 if planner is not None:
                     pending.extend(
                         planner.plan_until(w_end - self._dispatch_ns)
                     )
                 injections: Dict[int, List[Tuple[int, int, object]]] = {}
+                injected = 0
                 while pending and pending[0].send_ns <= w_end:
                     d = pending.popleft()
                     injections.setdefault(
                         self._shard_of[d.server_index], []
                     ).append((d.send_ns, d.server_index, d.frame))
+                    injected += 1
+                t_advance = time.perf_counter()
                 if pool is not None:
-                    outstanding = pool.advance_all(
+                    outstanding, reports = pool.advance_all(
                         w_end, injections, slot_of_shard
                     )
                 else:
-                    outstanding = self._inline_host.advance(w_end, injections)
+                    outstanding, reports = self._inline_host.advance(
+                        w_end, injections
+                    )
+                t_observe = time.perf_counter()
                 if planner is not None:
                     view = [0] * config.n_servers
                     for server_index, count in outstanding.items():
                         view[server_index] = count
                     planner.observe(w_end, view)
+                t_done = time.perf_counter()
+
+                shard_wall = {s: w for s, (w, _) in reports.items()}
+                shard_events = {s: n for s, (_, n) in reports.items()}
+                events_total += sum(shard_events.values())
+                if fleet_profile is not None:
+                    fleet_profile.record(
+                        WindowSample(
+                            index=window_index,
+                            t_start_ns=t,
+                            t_end_ns=w_end,
+                            plan_s=t_advance - t_plan,
+                            advance_s=t_observe - t_advance,
+                            observe_s=t_done - t_observe,
+                            shard_wall_s=shard_wall,
+                            shard_events=shard_events,
+                            injections=injected,
+                        )
+                    )
+                if monitor is not None:
+                    monitor.on_window(
+                        index=window_index,
+                        t_end_ns=w_end,
+                        shard_wall_s=shard_wall,
+                        shard_events=shard_events,
+                        events_total=events_total,
+                    )
                 t = w_end
+                window_index += 1
 
             if pool is not None:
                 shard_results = pool.collect_all()
@@ -645,8 +764,11 @@ class ShardedDatacenterRun:
         finally:
             if pool is not None:
                 pool.close()
+            if monitor is not None:
+                monitor.close(events_total=events_total)
 
-        return self._merge(shard_results, planner)
+        self.fleet_profile = fleet_profile
+        return self._merge(shard_results, planner, fleet_profile)
 
     # -- merge -----------------------------------------------------------
 
@@ -654,6 +776,7 @@ class ShardedDatacenterRun:
         self,
         shard_results: List[ShardResult],
         planner: Optional[FrontendPlanner],
+        fleet_profile: Optional[FleetProfile] = None,
     ) -> DatacenterResult:
         config = self.config
         measures: List[ServerMeasure] = [
@@ -694,16 +817,34 @@ class ShardedDatacenterRun:
             )
             for r in shard_results
         ]
+        trace_bundle: Optional[FleetTraceBundle] = None
+        fleet_section: Dict[str, object] = {}
+        if self._trace_config is not None and planner is not None:
+            trace_bundle = merge_fleet_traces(
+                self._trace_config,
+                planner.trace_samples,
+                [r.trace for r in shard_results],
+            )
+            # Only deterministic sim-time data enters the record: the
+            # trace bundle is byte-identical across shard count, pool
+            # size and window size (the parity tests assert it); the
+            # wall-clock window profile stays on the result object.
+            fleet_section = {"trace": trace_bundle.to_json_dict()}
         return DatacenterResult(
             config=config,
             servers=outcomes,
             shards=shard_stats,
-            record=build_fleet_record(config, measures),
+            record=build_fleet_record(config, measures, fleet=fleet_section),
+            trace=trace_bundle,
+            fleet_profile=fleet_profile,
         )
 
 
 def build_fleet_record(
-    config: DatacenterConfig, measures: Sequence[ServerMeasure]
+    config: DatacenterConfig,
+    measures: Sequence[ServerMeasure],
+    *,
+    fleet: Optional[Dict[str, object]] = None,
 ) -> ResultRecord:
     """Merge per-server measurements into one fleet ResultRecord.
 
@@ -771,6 +912,7 @@ def build_fleet_record(
         ncap_stats=ncap_stats,
         counters=counters,
         timeseries=timeseries,
+        fleet=dict(fleet) if fleet else {},
     )
 
 

@@ -42,6 +42,26 @@ PRESETS: Dict[str, DatacenterConfig] = {
         drain_ns=30 * MS,
         n_shards=4,
     ),
+    # The frontend tier at smoke scale: same shape as datacenter_1000
+    # (po2 spray, 1 ms dispatch latency) on 4 servers / 2 shards, small
+    # enough for CI to run with every fleet observer enabled.
+    "frontend": DatacenterConfig(
+        app="memcached",
+        n_servers=4,
+        load_shares="uniform",
+        total_rps=80_000.0,
+        warmup_ns=5 * MS,
+        measure_ns=30 * MS,
+        drain_ns=20 * MS,
+        n_shards=2,
+        frontend=FrontendConfig(
+            n_users=5_000,
+            spray="po2",
+            burst_size=75,
+            intra_burst_gap_ns=1_000,
+            dispatch_latency_ns=1 * MS,
+        ),
+    ),
     "datacenter_1000": DatacenterConfig(
         app="memcached",
         n_servers=1000,
@@ -131,6 +151,9 @@ def run_preset(
     jobs: Optional[int] = None,
     record_timeseries=None,
     profile=None,
+    trace_requests=None,
+    profile_fleet: bool = False,
+    monitor=None,
 ) -> DatacenterResult:
     """Run one named cluster preset (optionally with config overrides)."""
     try:
@@ -147,6 +170,9 @@ def run_preset(
         jobs=jobs,
         record_timeseries=record_timeseries,
         profile=profile,
+        trace_requests=trace_requests,
+        profile_fleet=profile_fleet,
+        monitor=monitor,
     )
 
 
@@ -182,18 +208,26 @@ def format_fleet_report(result: DatacenterResult) -> str:
               f"{config.n_shards} shard{'s' if config.n_shards != 1 else ''}",
     )
     if result.shards:
+        # events/s and peak RSS come from the per-shard loop-health
+        # checkpoints (the self-profiler payload), so imbalance is
+        # visible from any profiled run even without --profile-fleet.
         shard_rows = []
         for s in result.shards:
             rate = s.events / s.wall_s / 1e6 if s.wall_s > 0 else 0.0
+            loop_rate = s.profile.get("events_per_wall_s") if s.profile else None
+            peak_rss = s.profile.get("peak_rss_bytes") if s.profile else None
             shard_rows.append([
                 s.shard_index,
                 f"{s.server_indices[0]}-{s.server_indices[-1]}",
                 s.events,
                 round(s.wall_s, 2),
                 f"{rate:.2f}",
+                f"{loop_rate / 1e3:.0f}K" if loop_rate else "-",
+                f"{peak_rss / 1e6:.0f}" if peak_rss else "-",
             ])
         out += "\n\n" + format_table(
-            ["shard", "servers", "events", "wall (s)", "Mev/s"],
+            ["shard", "servers", "events", "wall (s)", "Mev/s",
+             "loop ev/s", "peak RSS (MB)"],
             shard_rows, title="Per-shard execution",
         )
         out += (

@@ -25,7 +25,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: v3: added ``attribution`` — flattened critical-path tail-blame report.
 #: v4: added ``timeseries`` — the flight recorder's serialized bundle.
 #: v5: added ``profile`` — the simulator self-profile payload.
-RECORD_SCHEMA_VERSION = 5
+#: v6: added ``fleet`` — fleet observability payload (merged cross-shard
+#:     request traces and sampling metadata; sim-time data only).
+RECORD_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -73,6 +75,14 @@ class ResultRecord:
     #: the run was built with ``profile=``; empty otherwise.  Rebuild
     #: with :meth:`loop_profile`.
     profile: Dict[str, object] = field(default_factory=dict)
+    #: Fleet observability payload for sharded datacenter runs: the
+    #: merged cross-shard request-trace bundle
+    #: (:meth:`~repro.telemetry.tracing.FleetTraceBundle.to_json_dict`)
+    #: under ``"trace"`` when the run was built with ``trace_requests=``;
+    #: empty otherwise.  Sim-time data only — byte-identical across shard
+    #: count, pool size and window size.  Rebuild with
+    #: :meth:`fleet_trace_bundle`.
+    fleet: Dict[str, object] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -163,6 +173,16 @@ class ResultRecord:
         from repro.telemetry.recorder import TimeseriesBundle
 
         return TimeseriesBundle.from_json_dict(self.timeseries)
+
+    def fleet_trace_bundle(self):
+        """The merged cross-shard request traces, rebuilt as a
+        :class:`~repro.telemetry.tracing.FleetTraceBundle` (None when the
+        run traced no requests)."""
+        if not self.fleet.get("trace"):
+            return None
+        from repro.telemetry.tracing import FleetTraceBundle
+
+        return FleetTraceBundle.from_json_dict(self.fleet["trace"])
 
     def loop_profile(self):
         """The simulator self-profile, rebuilt as a

@@ -275,7 +275,7 @@ def datacenter_sharded(profiler: Optional[SimProfiler]) -> ScenarioStats:
 
 
 def _frontend_run(
-    profiler: Optional[SimProfiler], bulk: bool
+    profiler: Optional[SimProfiler], bulk: bool, **observers
 ) -> ScenarioStats:
     from repro.cluster.datacenter import DatacenterConfig
     from repro.cluster.frontend import FrontendConfig
@@ -295,7 +295,7 @@ def _frontend_run(
         ),
     )
     run = ShardedDatacenterRun(
-        config, jobs=1, profile=profiler, bulk_datapath=bulk
+        config, jobs=1, profile=profiler, bulk_datapath=bulk, **observers
     )
     result = run.execute()
     assert result.record.responses_received > 0
@@ -312,6 +312,15 @@ def frontend_scalar(profiler: Optional[SimProfiler]) -> ScenarioStats:
     """Same run with the scalar per-frame datapath — pins the bulk
     speedup and guards scalar-path performance."""
     return _frontend_run(profiler, bulk=False)
+
+
+def frontend_observed(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """The bulk frontend run with every fleet observer on — request
+    tracing (1-in-64) and the window/imbalance profiler — pinning the
+    cost of full observability against ``frontend_bulk``."""
+    return _frontend_run(
+        profiler, bulk=True, trace_requests=64, profile_fleet=True
+    )
 
 
 MICRO_SUITE = BenchSuite(
@@ -365,8 +374,8 @@ TELEMETRY_SUITE = BenchSuite(
 DATACENTER_SUITE = BenchSuite(
     name="datacenter",
     description="Sharded-fleet machinery: serial conservative-window "
-    "coordination, and the frontend tier over the bulk vs scalar "
-    "datapath",
+    "coordination, the frontend tier over the bulk vs scalar datapath, "
+    "and the fully-observed run (request tracing + fleet profiler)",
     scenarios=(
         BenchScenario(
             "datacenter_sharded", datacenter_sharded,
@@ -379,6 +388,10 @@ DATACENTER_SUITE = BenchSuite(
         BenchScenario(
             "frontend_scalar", frontend_scalar,
             "frontend spray, per-frame datapath",
+        ),
+        BenchScenario(
+            "frontend_observed", frontend_observed,
+            "frontend spray with request tracing + fleet profiler",
         ),
     ),
     repeats=3,

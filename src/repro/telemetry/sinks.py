@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Dict, List, TYPE_CHECKING, Tuple
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.telemetry.events import (
     CStateTransition,
@@ -95,7 +95,18 @@ class ChromeTraceSink:
 
     PID = 1
 
-    def __init__(self, include_irq: bool = False, include_classify: bool = False):
+    def __init__(
+        self,
+        include_irq: bool = False,
+        include_classify: bool = False,
+        pid: Optional[int] = None,
+        process_name: str = "repro-sim",
+    ):
+        #: Lane identity: per-shard sinks pass e.g. ``pid=10+shard,
+        #: process_name="shard 3"`` so Perfetto names the process track
+        #: instead of showing a bare pid.
+        self.pid = self.PID if pid is None else pid
+        self.process_name = process_name
         self.include_irq = include_irq
         self.include_classify = include_classify
         self._events: List[Dict[str, Any]] = []
@@ -121,7 +132,7 @@ class ChromeTraceSink:
     # -- event assembly --------------------------------------------------
 
     def _add(self, event: Dict[str, Any], t_ns: int, tid: int, label: str = "") -> None:
-        event["pid"] = self.PID
+        event["pid"] = self.pid
         event["tid"] = tid
         event["ts"] = t_ns / 1e3
         self._events.append(event)
@@ -288,7 +299,7 @@ class ChromeTraceSink:
                     "ph": "X",
                     "ts": start_ns / 1e3,
                     "dur": max(0.0, (self._last_ns - start_ns) / 1e3),
-                    "pid": self.PID,
+                    "pid": self.pid,
                     "tid": core_id,
                     "args": {"domain": domain},
                 }
@@ -300,32 +311,16 @@ class ChromeTraceSink:
                     "cat": "request",
                     "ph": "e",
                     "ts": self._last_ns / 1e3,
-                    "pid": self.PID,
+                    "pid": self.pid,
                     "tid": 0,
                     "id": span_id,
                     "args": {},
                 }
             )
-        for tid in sorted(self._tids_seen):
-            out.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "ts": 0.0,
-                    "pid": self.PID,
-                    "tid": tid,
-                    "args": {"name": self._tids_seen[tid]},
-                }
-            )
-        out.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "ts": 0.0,
-                "pid": self.PID,
-                "tid": 0,
-                "args": {"name": "repro-sim"},
-            }
+        from repro.telemetry.tracing import lane_metadata_events
+
+        out.extend(
+            lane_metadata_events(self.pid, self.process_name, self._tids_seen)
         )
         return out
 

@@ -580,12 +580,14 @@ def render_dashboard(
     subtitle: str = "",
     phases: Optional[Sequence[Tuple[str, int, int]]] = None,
     panels: Optional[List[Panel]] = None,
+    extra_html: str = "",
 ) -> str:
     """Render a bundle as one self-contained HTML page (returned as str).
 
     ``phases`` are ``(name, start_ns, end_ns)`` run windows; every phase
     except ``"measure"`` is shaded across all panels.  ``panels``
-    overrides the :func:`standard_panels` layout.
+    overrides the :func:`standard_panels` layout.  ``extra_html`` is
+    appended below the panels (already-escaped markup).
     """
     panels = panels if panels is not None else standard_panels(bundle)
     if not panels:
@@ -677,6 +679,7 @@ def render_dashboard(
 {phase_strip}
 {watchpoint_block}
 {''.join(body)}
+{extra_html}
 <div id="tooltip"></div>
 <script id="dash-data" type="application/json">{json.dumps(payload, separators=(',', ':'))}</script>
 <script>{_JS}</script>
@@ -722,9 +725,75 @@ def dashboard_from_result(
     )
 
 
-def dashboard_from_datacenter(result, title: Optional[str] = None) -> str:
+def _fleet_imbalance_panel(fleet_profile) -> Optional[Panel]:
+    """Per-window shard wall time as a timeline panel over sim time.
+
+    One step line per shard (the top :data:`PALETTE` shards by total wall
+    time when the fleet is wider than the palette), x = the window's
+    sim-time end, y = the shard's wall seconds for that window — the
+    imbalance picture, aligned under the simulated-metric panels.
+    """
+    windows = getattr(fleet_profile, "windows", None)
+    if not windows:
+        return None
+    totals = fleet_profile.shard_wall_totals
+    shown = sorted(totals, key=lambda s: (-totals[s], s))[: len(PALETTE)]
+    panel = Panel("Shard wall time (imbalance)", "s/window")
+    for s in sorted(shown):
+        points = [
+            (w.t_end_ns, w.shard_wall_s.get(s, 0.0)) for w in windows
+        ]
+        panel.series.append(PanelSeries(f"shard {s}", points, step=True))
+    return panel if panel.has_data() else None
+
+
+def _fleet_trace_block(trace, shard_of_server, trace_path: Optional[str]) -> str:
+    """Deep-link section for the sampled cross-shard request traces."""
+    traces = getattr(trace, "traces", None)
+    if not traces:
+        return ""
+    link = ""
+    if trace_path:
+        link = (
+            f' — merged Chrome-trace: <a href="{html.escape(trace_path)}">'
+            f"{html.escape(trace_path)}</a> (open in Perfetto)"
+        )
+    rows = []
+    for t in traces[:MAX_TABLE_ROWS]:
+        marks = t.markers()
+        send = marks.get("send")
+        recv = marks.get("reply_recv")
+        rtt = f"{(recv - send) / 1e6:.3f}" if send is not None and recv is not None else "-"
+        shard = shard_of_server.get(t.server_index, "-")
+        rows.append(
+            f"<tr><td>{html.escape(t.trace_id)}</td>"
+            f"<td>server{t.server_index}</td><td>{shard}</td>"
+            f"<td>{_fmt(send / 1e6) if send is not None else '-'}</td>"
+            f"<td>{rtt}</td></tr>"
+        )
+    return (
+        "<div class='watchpoints'><b>"
+        f"{len(traces)} traced request"
+        f"{'s' if len(traces) != 1 else ''}</b> "
+        f"(1 in {trace.sample_every} deterministic sample){link}"
+        "<details class='table-view'><summary>Trace samples</summary>"
+        "<table><thead><tr><th>trace id</th><th>server</th><th>shard</th>"
+        "<th>sent (ms)</th><th>RTT (ms)</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details></div>"
+    )
+
+
+def dashboard_from_datacenter(
+    result, title: Optional[str] = None, trace_path: Optional[str] = None
+) -> str:
     """Render a recorded :class:`~repro.cluster.datacenter.DatacenterResult`
-    with the per-metric, line-per-server :func:`datacenter_panels` layout."""
+    with the per-metric, line-per-server :func:`datacenter_panels` layout.
+
+    A run with ``profile_fleet=`` adds a per-window shard wall-time panel
+    (the imbalance picture); one with ``trace_requests=`` adds a trace
+    sample table, deep-linking ``trace_path`` when the merged Chrome-trace
+    was written next to the dashboard.
+    """
     record = getattr(result, "record", None)
     timeseries = getattr(record, "timeseries", None) or {}
     if not timeseries:
@@ -736,6 +805,21 @@ def dashboard_from_datacenter(result, title: Optional[str] = None) -> str:
     config = result.config
     warmup = config.warmup_ns
     measured = warmup + config.measure_ns
+    panels = datacenter_panels(bundle)
+    fleet_profile = getattr(result, "fleet_profile", None)
+    if fleet_profile is not None:
+        imbalance = _fleet_imbalance_panel(fleet_profile)
+        if imbalance is not None:
+            panels.append(imbalance)
+    extra_html = ""
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        shard_of_server = {
+            i: s.shard_index
+            for s in getattr(result, "shards", ())
+            for i in s.server_indices
+        }
+        extra_html = _fleet_trace_block(trace, shard_of_server, trace_path)
     return render_dashboard(
         bundle,
         title=title or "Datacenter flight recorder",
@@ -749,7 +833,8 @@ def dashboard_from_datacenter(result, title: Optional[str] = None) -> str:
             ("measure", warmup, measured),
             ("drain", measured, config.end_ns),
         ],
-        panels=datacenter_panels(bundle),
+        panels=panels,
+        extra_html=extra_html,
     )
 
 

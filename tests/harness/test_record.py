@@ -169,6 +169,74 @@ class TestSchemaV5:
         assert profile.to_json_dict() == record.profile
 
 
+class TestSchemaV6:
+    def test_plain_run_has_empty_fleet(self, record):
+        assert record.fleet == {}
+        assert record.to_json_dict()["fleet"] == {}
+        assert record.fleet_trace_bundle() is None
+
+    def test_v5_payload_rejected(self, record):
+        data = record.to_json_dict()
+        data["schema"] = 5
+        del data["fleet"]  # v5 records predate the field
+        with pytest.raises(ValueError, match="schema 5"):
+            ResultRecord.from_json_dict(data)
+
+    def test_v5_cache_entry_invalidated_with_one_warning(
+        self, record, tmp_path, caplog
+    ):
+        import json
+        import logging
+
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(record)
+        # Rewrite the entry as its v5 ancestor.
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["schema"] = 5
+        del data["fleet"]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.get(record.config_hash) is None
+            assert cache.get(record.config_hash) is None  # warn only once
+        warnings = [r for r in caplog.records if "older record schemas" in r.message]
+        assert len(warnings) == 1
+        assert cache.misses == 2
+
+    def test_traced_fleet_run_round_trips(self):
+        from repro.cluster.datacenter import DatacenterConfig, run_datacenter
+        from repro.cluster.frontend import FrontendConfig
+
+        config = DatacenterConfig(
+            app="memcached",
+            n_servers=2,
+            n_shards=2,
+            load_shares="uniform",
+            total_rps=40_000.0,
+            seed=7,
+            warmup_ns=2 * MS,
+            measure_ns=8 * MS,
+            drain_ns=5 * MS,
+            frontend=FrontendConfig(
+                n_users=1_000, spray="po2", burst_size=40,
+                intra_burst_gap_ns=1_000, dispatch_latency_ns=1 * MS,
+            ),
+        )
+        result = run_datacenter(config, jobs=1, trace_requests=32)
+        record = result.record
+        assert record.fleet["trace"]["sampling"]["sample_every"] == 32
+        assert record.fleet["trace"]["traces"]
+        clone = ResultRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+        bundle = clone.fleet_trace_bundle()
+        assert bundle is not None
+        assert len(bundle) == len(record.fleet["trace"]["traces"])
+        assert bundle.to_json_dict() == record.fleet["trace"]
+
+
 class TestViews:
     def test_latency_and_energy_rebuild(self, record):
         assert record.latency.p95_ns == record.p95_ns
