@@ -76,8 +76,10 @@ def test_telemetry_overhead(save_report):
     validate_bench_payload(payload)
     plain = payload["scenarios"]["headline_plain"]["wall_s"]["median"]
     attributed = payload["scenarios"]["headline_attributed"]["wall_s"]["median"]
+    energy = payload["scenarios"]["headline_energy"]["wall_s"]["median"]
     off_ratio = plain / PRE_REFACTOR_BASELINE_S
     on_ratio = attributed / plain
+    energy_ratio = energy / plain
 
     rows = [
         ["loop floor (ns/op)", round(floor, 2)],
@@ -86,9 +88,11 @@ def test_telemetry_overhead(save_report):
         ["counter.inc() (ns/op)", round(inc, 2)],
         ["headline wall, median of 5 (s)", round(plain, 3)],
         ["attributed+audited wall, median of 5 (s)", round(attributed, 3)],
+        ["energy-attributed wall (no audit), median of 5 (s)", round(energy, 3)],
         ["pre-refactor baseline (s)", PRE_REFACTOR_BASELINE_S],
         ["disabled-path ratio vs baseline", round(off_ratio, 3)],
         ["enabled cost (attributed / plain)", round(on_ratio, 3)],
+        ["enabled cost (energy / plain)", round(energy_ratio, 3)],
     ]
     report = format_table(
         ["metric", "value"], rows,
@@ -107,3 +111,7 @@ def test_telemetry_overhead(save_report):
     # so it stays usable in sweeps.
     assert off_ratio < 1.5
     assert on_ratio < 3.0
+    # Energy attribution is per-idle-exit dict deltas — much lighter than
+    # per-request attribution; the on-path must stay under 1.3x plain
+    # (the off-path shares headline_plain: the observer is never built).
+    assert energy_ratio < 1.3

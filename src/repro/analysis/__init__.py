@@ -5,6 +5,9 @@
 - :mod:`repro.analysis.attribution` — per-request critical-path
   attribution (wire/dma/coalesce/wake/kernel/queue/service/ramp/
   preempt/io/tx) with tail blame tables;
+- :mod:`repro.analysis.energy` — the energy twin: per-node joules
+  telescoped into active/ramp/wake/idle-floor/wasted-shallow with
+  governor-miss grading against a perfect oracle;
 - :mod:`repro.analysis.audit` — opt-in invariant auditing that fails
   loudly when the telemetry stream or the accounting is inconsistent;
 - :mod:`repro.analysis.report` — table rendering for the above.
@@ -19,6 +22,14 @@ from repro.analysis.attribution import (  # noqa: F401
     TailAttribution,
 )
 from repro.analysis.audit import AuditError, InvariantAuditor  # noqa: F401
+from repro.analysis.energy import (  # noqa: F401
+    ENERGY_COMPONENTS,
+    EnergyAttribution,
+    attribution_between,
+    format_energy_blame,
+    format_energy_diff,
+    format_governor_misses,
+)
 from repro.analysis.report import (  # noqa: F401
     format_attribution_report,
     format_mean_table,

@@ -19,6 +19,9 @@ stream and the simulation's own accounting:
 - **Attribution conservation** — when an
   :class:`~repro.analysis.attribution.AttributionSink` runs alongside,
   its per-request components must sum to the measured RTT within 1 ns.
+- **Energy-attribution conservation** — when the run carries an
+  :class:`~repro.analysis.energy.EnergyAttribution`, its telescoping
+  components must sum to the EnergyReport integral within ±1 µJ.
 
 Any violation raises :class:`AuditError` from
 :meth:`InvariantAuditor.finish` (called by ``Cluster.collect``).
@@ -182,11 +185,36 @@ class InvariantAuditor:
         for message in sink.conservation_violations:
             self._note(f"attribution: {message}")
 
-    def finish(self, cluster=None, attribution=None) -> None:
+    def check_energy_attribution(self, attribution) -> None:
+        """Energy decomposition conservation: the telescoping components
+        (active + ramp + wake + floor + wasted_shallow) must sum to the
+        EnergyReport integral within ±1 µJ, and no component that is
+        non-negative by construction may go negative."""
+        from repro.analysis.energy import CONSERVATION_TOL_J
+
+        error = attribution.conservation_error_j
+        if abs(error) > CONSERVATION_TOL_J:
+            self._note(
+                f"energy: components sum to {attribution.components_sum_j!r} J "
+                f"but the integral is {attribution.total_j!r} J "
+                f"(error {error:+.3e} J > ±1 µJ)"
+            )
+        if attribution.wasted_shallow_j < -CONSERVATION_TOL_J:
+            self._note(
+                f"energy: negative wasted-shallow "
+                f"{attribution.wasted_shallow_j!r} J"
+            )
+        for state, joules in attribution.floor_j_by_state.items():
+            if joules < -CONSERVATION_TOL_J:
+                self._note(f"energy: negative {state} idle floor {joules!r} J")
+
+    def finish(self, cluster=None, attribution=None, energy_attribution=None) -> None:
         """Run the end-of-run checks; raise on any recorded violation."""
         if cluster is not None:
             self.check_cluster(cluster)
         if attribution is not None:
             self.check_attribution(attribution)
+        if energy_attribution is not None:
+            self.check_energy_attribution(energy_attribution)
         if self.violations:
             raise AuditError(list(self.violations))

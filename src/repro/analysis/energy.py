@@ -1,0 +1,355 @@
+"""Energy provenance: decompose a node's joules into causal components.
+
+The energy twin of :mod:`repro.analysis.attribution`.  Where the latency
+sink telescopes each RTT into wire/wake/ramp/... components, this module
+telescopes each node's measurement-window energy into
+
+==================  =====================================================
+``active``          cycles retired in RUN (the work itself)
+``ramp``            DVFS PLL-relock halts (frequency-ramp overshoot)
+``wake``            C-state entry/exit transitions (WAKING residency)
+``floor``           the per-C-state idle floor: what a perfect-oracle
+                    C-state choice would have spent for the realized
+                    idle residency, broken down by oracle state
+``wasted_shallow``  actual idle energy minus the floor — joules burned
+                    because the governor chose too shallow (or NCAP /
+                    the latency limit pinned the core awake)
+==================  =====================================================
+
+with a conservation invariant: the components sum to the
+:class:`~repro.cpu.energy.EnergyReport` integral within ±1 µJ (enforced
+by :class:`~repro.analysis.audit.InvariantAuditor`).  The floor/wasted
+split and the per-governor ``above``/``below``/``hit`` decision grades
+come from :class:`repro.oskernel.cpuidle.IdleAccounting`; the other
+components read straight off the meter's per-mode energy dict.
+
+Everything here is plain data — picklable, JSON-serializable, and merged
+across fleet shards in server-index order so serial, sharded, and pooled
+runs produce byte-identical records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.energy import EnergyReport
+from repro.metrics.report import format_table
+
+#: Telescoping component names, in blame-table order.
+ENERGY_COMPONENTS = ("active", "ramp", "wake", "floor", "wasted_shallow")
+
+#: Conservation tolerance: components must sum to the EnergyReport
+#: integral within this many joules (±1 µJ).
+CONSERVATION_TOL_J = 1e-6
+
+_DECISION_KEYS = ("above", "below", "hit")
+
+
+@dataclass
+class EnergyAttribution:
+    """One node's (or a fleet's merged) energy decomposition.
+
+    ``decisions`` is keyed per governor, then per core position
+    (``"0"``, ``"1"``, ...); merging fleet nodes adds counters of the
+    same governor and core position together.
+    """
+
+    governor: str
+    total_j: float
+    active_j: float = 0.0
+    ramp_j: float = 0.0
+    wake_j: float = 0.0
+    wasted_shallow_j: float = 0.0
+    floor_j_by_state: Dict[str, float] = field(default_factory=dict)
+    floor_ns_by_state: Dict[str, int] = field(default_factory=dict)
+    decisions: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+    above_ns: int = 0
+    below_j: float = 0.0
+    n_nodes: int = 1
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def floor_j(self) -> float:
+        return sum(self.floor_j_by_state.values())
+
+    @property
+    def components_sum_j(self) -> float:
+        return (
+            self.active_j
+            + self.ramp_j
+            + self.wake_j
+            + self.floor_j
+            + self.wasted_shallow_j
+        )
+
+    @property
+    def conservation_error_j(self) -> float:
+        """Signed telescoping error: components sum minus the integral."""
+        return self.components_sum_j - self.total_j
+
+    def component_j(self, name: str) -> float:
+        if name == "floor":
+            return self.floor_j
+        return getattr(self, f"{name}_j")
+
+    def decision_totals(self, governor: Optional[str] = None) -> Dict[str, int]:
+        """above/below/hit summed over cores (and governors unless given)."""
+        totals = {key: 0 for key in _DECISION_KEYS}
+        for gov, per_core in self.decisions.items():
+            if governor is not None and gov != governor:
+                continue
+            for counts in per_core.values():
+                for key in _DECISION_KEYS:
+                    totals[key] += counts.get(key, 0)
+        return totals
+
+    # -- fleet merge ---------------------------------------------------------
+
+    def merge(self, other: "EnergyAttribution") -> "EnergyAttribution":
+        """Combine two nodes' attributions (fleet reduction).
+
+        Deterministic given the call order — callers reduce in server
+        index order, which is what makes sharded merges byte-identical.
+        """
+        governors = list(self.governor.split("+"))
+        for part in other.governor.split("+"):
+            if part not in governors:
+                governors.append(part)
+        merged = EnergyAttribution(
+            governor="+".join(governors),
+            total_j=self.total_j + other.total_j,
+            active_j=self.active_j + other.active_j,
+            ramp_j=self.ramp_j + other.ramp_j,
+            wake_j=self.wake_j + other.wake_j,
+            wasted_shallow_j=self.wasted_shallow_j + other.wasted_shallow_j,
+            above_ns=self.above_ns + other.above_ns,
+            below_j=self.below_j + other.below_j,
+            n_nodes=self.n_nodes + other.n_nodes,
+        )
+        for src in (self.floor_j_by_state, other.floor_j_by_state):
+            for key, value in src.items():
+                merged.floor_j_by_state[key] = (
+                    merged.floor_j_by_state.get(key, 0.0) + value
+                )
+        for src in (self.floor_ns_by_state, other.floor_ns_by_state):
+            for key, value in src.items():
+                merged.floor_ns_by_state[key] = (
+                    merged.floor_ns_by_state.get(key, 0) + value
+                )
+        for src in (self.decisions, other.decisions):
+            for gov, per_core in src.items():
+                gov_dst = merged.decisions.setdefault(gov, {})
+                for core, counts in per_core.items():
+                    dst = gov_dst.setdefault(
+                        core, {key: 0 for key in _DECISION_KEYS}
+                    )
+                    for key in _DECISION_KEYS:
+                        dst[key] += counts.get(key, 0)
+        return merged
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "governor": self.governor,
+            "total_j": self.total_j,
+            "active_j": self.active_j,
+            "ramp_j": self.ramp_j,
+            "wake_j": self.wake_j,
+            "wasted_shallow_j": self.wasted_shallow_j,
+            "floor_j_by_state": dict(self.floor_j_by_state),
+            "floor_ns_by_state": dict(self.floor_ns_by_state),
+            "decisions": {
+                gov: {core: dict(counts) for core, counts in per_core.items()}
+                for gov, per_core in self.decisions.items()
+            },
+            "above_ns": self.above_ns,
+            "below_j": self.below_j,
+            "n_nodes": self.n_nodes,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "EnergyAttribution":
+        return cls(
+            governor=data["governor"],
+            total_j=data["total_j"],
+            active_j=data["active_j"],
+            ramp_j=data["ramp_j"],
+            wake_j=data["wake_j"],
+            wasted_shallow_j=data["wasted_shallow_j"],
+            floor_j_by_state=dict(data["floor_j_by_state"]),
+            floor_ns_by_state={
+                key: int(value)
+                for key, value in data["floor_ns_by_state"].items()
+            },
+            decisions={
+                gov: {core: dict(counts) for core, counts in per_core.items()}
+                for gov, per_core in data["decisions"].items()
+            },
+            above_ns=int(data["above_ns"]),
+            below_j=data["below_j"],
+            n_nodes=int(data.get("n_nodes", 1)),
+        )
+
+
+def _sub_float(end: Dict[str, float], start: Dict[str, float]) -> Dict[str, float]:
+    return {
+        key: value - start.get(key, 0.0)
+        for key, value in end.items()
+        if abs(value - start.get(key, 0.0)) > 1e-15
+    }
+
+
+def _sub_int(end: Dict[str, int], start: Dict[str, int]) -> Dict[str, int]:
+    out = {}
+    for key, value in end.items():
+        diff = value - start.get(key, 0)
+        if diff:
+            out[key] = diff
+    return out
+
+
+def attribution_between(
+    start: Dict[str, object],
+    end: Dict[str, object],
+    window_energy: EnergyReport,
+) -> EnergyAttribution:
+    """Build one node's window attribution from two accounting snapshots.
+
+    ``start``/``end`` are :meth:`IdleAccounting.snapshot` totals taken at
+    the window boundaries (both snapshots force a partial booking, so
+    their cumulative totals diff exactly); ``window_energy`` is the
+    matching :func:`~repro.metrics.energy.energy_delta` report.
+    """
+    by_mode = window_energy.energy_by_mode_j
+    governor = end["governor"]
+    decisions: Dict[str, Dict[str, Dict[str, int]]] = {}
+    start_decisions = start["decisions"]
+    for core, counts in end["decisions"].items():
+        base = start_decisions.get(core, {})
+        diff = {
+            key: counts.get(key, 0) - base.get(key, 0) for key in _DECISION_KEYS
+        }
+        if any(diff.values()):
+            decisions.setdefault(governor, {})[core] = diff
+    return EnergyAttribution(
+        governor=governor,
+        total_j=window_energy.energy_j,
+        active_j=by_mode.get("run", 0.0),
+        ramp_j=by_mode.get("stall", 0.0),
+        wake_j=by_mode.get("waking", 0.0),
+        wasted_shallow_j=end["wasted_shallow_j"] - start["wasted_shallow_j"],
+        floor_j_by_state=_sub_float(
+            end["floor_j_by_state"], start["floor_j_by_state"]
+        ),
+        floor_ns_by_state=_sub_int(
+            end["floor_ns_by_state"], start["floor_ns_by_state"]
+        ),
+        decisions=decisions,
+        above_ns=end["above_ns"] - start["above_ns"],
+        below_j=end["below_j"] - start["below_j"],
+    )
+
+
+# -- reports ----------------------------------------------------------------
+
+
+def _fmt_j(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def _floor_states(attrs: List[EnergyAttribution]) -> List[str]:
+    states: List[str] = []
+    for attr in attrs:
+        # Union of both breakdowns: a state whose floor is exactly 0 J
+        # (C6 at zero static power) still appears via its residency.
+        for name in list(attr.floor_j_by_state) + list(attr.floor_ns_by_state):
+            if name not in states:
+                states.append(name)
+    order = {"C0": 0, "C1": 1, "C3": 2, "C6": 3}
+    return sorted(states, key=lambda s: (order.get(s, 99), s))
+
+
+def format_energy_blame(
+    rows: List[tuple], title: str = "Energy decomposition (J)"
+) -> str:
+    """Per-policy blame table: ``rows`` is [(label, EnergyAttribution)]."""
+    attrs = [attr for _, attr in rows]
+    states = _floor_states(attrs)
+    headers = (
+        ["policy", "total", "active", "ramp", "wake"]
+        + [f"floor {s}" for s in states]
+        + ["wasted", "wasted %"]
+    )
+    body = []
+    for label, attr in rows:
+        wasted_pct = (
+            100.0 * attr.wasted_shallow_j / attr.total_j if attr.total_j else 0.0
+        )
+        body.append(
+            [label, _fmt_j(attr.total_j), _fmt_j(attr.active_j),
+             _fmt_j(attr.ramp_j), _fmt_j(attr.wake_j)]
+            + [_fmt_j(attr.floor_j_by_state.get(s, 0.0)) for s in states]
+            + [_fmt_j(attr.wasted_shallow_j), f"{wasted_pct:.1f}"]
+        )
+    return format_table(headers, body, title=title)
+
+
+def format_governor_misses(rows: List[tuple]) -> str:
+    """Per-policy governor decision grades: [(label, EnergyAttribution)]."""
+    headers = ["policy", "governor", "above", "below", "hit",
+               "above cost (ms)", "below cost (J)"]
+    body = []
+    for label, attr in rows:
+        totals = attr.decision_totals()
+        n = sum(totals.values())
+        body.append([
+            label,
+            attr.governor,
+            f"{totals['above']} ({100 * totals['above'] / n:.1f}%)" if n else "0",
+            f"{totals['below']} ({100 * totals['below'] / n:.1f}%)" if n else "0",
+            f"{totals['hit']} ({100 * totals['hit'] / n:.1f}%)" if n else "0",
+            f"{attr.above_ns / 1e6:.3f}",
+            _fmt_j(attr.below_j),
+        ])
+    return format_table(
+        headers, body,
+        title="Governor decisions vs perfect oracle (idle exits)",
+    )
+
+
+def format_energy_diff(
+    label_a: str,
+    attr_a: EnergyAttribution,
+    label_b: str,
+    attr_b: EnergyAttribution,
+) -> str:
+    """Side-by-side two-policy component diff (B minus A)."""
+    states = _floor_states([attr_a, attr_b])
+    rows = []
+    components = [
+        ("total", attr_a.total_j, attr_b.total_j),
+        ("active", attr_a.active_j, attr_b.active_j),
+        ("ramp", attr_a.ramp_j, attr_b.ramp_j),
+        ("wake", attr_a.wake_j, attr_b.wake_j),
+    ]
+    for state in states:
+        components.append((
+            f"floor {state}",
+            attr_a.floor_j_by_state.get(state, 0.0),
+            attr_b.floor_j_by_state.get(state, 0.0),
+        ))
+    components.append(
+        ("wasted_shallow", attr_a.wasted_shallow_j, attr_b.wasted_shallow_j)
+    )
+    for name, a, b in components:
+        delta = b - a
+        pct = f"{100 * delta / a:+.1f}%" if a else "-"
+        rows.append([name, _fmt_j(a), _fmt_j(b), f"{delta:+.4f}", pct])
+    return format_table(
+        ["component", label_a, label_b, "delta (J)", "delta"],
+        rows,
+        title=f"Energy diff — {label_b} vs {label_a}",
+    )

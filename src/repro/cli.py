@@ -8,6 +8,8 @@ Commands:
 - ``sweep``    — declarative grid over apps × policies × loads × seeds;
 - ``headline`` — the abstract's savings table;
 - ``attribute``— per-policy critical-path tail-blame tables with auditing;
+- ``energy``   — per-policy energy decomposition + governor-miss blame
+  tables (optionally a two-policy ``--diff``), with invariant auditing;
 - ``trace``    — run one experiment and export Chrome-trace (Perfetto) JSON;
 - ``dashboard``— run one experiment with the flight recorder and write a
   self-contained HTML timeline dashboard;
@@ -37,6 +39,7 @@ from repro.cluster.simulation import ExperimentConfig, run_experiment
 from repro.experiments import (
     RunSettings,
     attribution,
+    energy,
     fig1_dvfs_timing,
     fig2_ondemand_period,
     fig4_correlation,
@@ -302,7 +305,9 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     elif args.load is not None:
         params["target_rps"] = load_level(params["app"], args.load).target_rps
     config = ExperimentConfig.from_settings(settings, **params)
-    result = run_experiment(config, record_timeseries=args.record)
+    result = run_experiment(
+        config, record_timeseries=args.record, energy_attribution=True
+    )
     page = dashboard_from_result(
         result,
         config=config,
@@ -330,6 +335,35 @@ def cmd_attribute(args: argparse.Namespace) -> int:
         print(f"repro attribute: error: {exc.args[0]}", file=sys.stderr)
         return 2
     report = attribution.format_report(result)
+    print(report)
+    if args.out:
+        import os
+
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote report to {args.out}")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    if args.quick:
+        settings = RunSettings.quick(seed=settings.seed)
+    try:
+        result = energy.run(
+            args.experiment, settings=settings, jobs=args.jobs,
+            audit=not args.no_audit,
+        )
+        report = energy.format_report(result, diff=args.diff)
+    except KeyError as exc:
+        print(f"repro energy: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro energy: error: {exc}", file=sys.stderr)
+        return 2
     print(report)
     if args.out:
         import os
@@ -499,11 +533,27 @@ def cmd_datacenter(args: argparse.Namespace) -> int:
             trace_requests=args.trace_requests,
             profile_fleet=args.profile_fleet,
             monitor=args.progress,
+            energy_attribution=args.energy,
         )
     except ValueError as exc:
         print(f"repro datacenter: error: {exc}", file=sys.stderr)
         return 2
     print(dc_experiment.format_fleet_report(result))
+    if args.energy and result.record is not None:
+        attribution_report = result.record.energy_attribution_report()
+        if attribution_report is not None:
+            from repro.analysis.energy import (
+                format_energy_blame,
+                format_governor_misses,
+            )
+
+            pairs = [(result.record.policy, attribution_report)]
+            print()
+            print(format_energy_blame(
+                pairs, title="Fleet energy decomposition (J)"
+            ))
+            print()
+            print(format_governor_misses(pairs))
     if result.fleet_profile is not None:
         from repro.profiling.fleet import format_fleet_profile
 
@@ -658,6 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_attr.add_argument("--out", help="also write the report to this path")
     p_attr.set_defaults(fn=cmd_attribute)
 
+    p_energy = add_parser(
+        "energy",
+        help="energy provenance: per-policy decomposition (active/ramp/"
+             "wake/floor/wasted-shallow) and governor-miss tables, with "
+             "the conservation invariant audited",
+    )
+    p_energy.add_argument("experiment", nargs="?", default="headline",
+                          choices=tuple(energy.PRESETS),
+                          help="energy experiment preset")
+    p_energy.add_argument("--diff", metavar="POLICY",
+                          help="add a component diff of the preset's last "
+                               "policy against this baseline policy")
+    p_energy.add_argument("--quick", action="store_true",
+                          help="force the quick run-length preset")
+    p_energy.add_argument("--no-audit", action="store_true",
+                          help="skip the invariant auditor")
+    p_energy.add_argument("--out", help="also write the report to this path")
+    p_energy.set_defaults(fn=cmd_energy)
+
     p_bench = add_parser(
         "bench",
         help="run a declared benchmark suite and write BENCH_<suite>.json "
@@ -740,6 +809,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the merged-fleet HTML dashboard here "
                            "(needs --record)")
     p_dc.add_argument("--out", help="write the fleet ResultRecord JSON here")
+    p_dc.add_argument("--energy", action="store_true",
+                      help="attach per-server energy decomposition + "
+                           "governor-miss accounting and print the "
+                           "fleet-merged blame tables")
     p_dc.add_argument("--profile-fleet", action="store_true",
                       help="print the per-window shard imbalance report "
                            "(load-imbalance factor, critical path, "

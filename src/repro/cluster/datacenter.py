@@ -206,6 +206,7 @@ def run_datacenter(
     trace_requests: Union[None, bool, int, object] = None,
     profile_fleet: bool = False,
     monitor: Union[None, bool, str, object] = None,
+    energy_attribution: bool = False,
 ) -> DatacenterResult:
     """Run a datacenter config, sharded when ``config.n_shards > 1``.
 
@@ -227,6 +228,9 @@ def run_datacenter(
       ``result.fleet_profile``.
     - ``monitor``: live JSONL heartbeat (``True``/``"-"`` for stderr or
       an output path).
+    - ``energy_attribution``: per-server energy decomposition +
+      governor-miss accounting, merged into the fleet record's
+      ``energy_attribution`` field in server-index order.
     """
     from repro.cluster.sharding import ShardedDatacenterRun
 
@@ -240,4 +244,5 @@ def run_datacenter(
         trace_requests=trace_requests,
         profile_fleet=profile_fleet,
         monitor=monitor,
+        energy_attribution=energy_attribution,
     ).execute()

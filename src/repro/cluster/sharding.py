@@ -50,6 +50,7 @@ from repro.apps.client import (
     http_request_factory,
     memcached_request_factory,
 )
+from repro.analysis.energy import EnergyAttribution, attribution_between
 from repro.apps.workload import burst_period_ns, default_burst_size, sla_for
 from repro.cluster.datacenter import (
     DatacenterConfig,
@@ -68,6 +69,7 @@ from repro.metrics.energy import average_power_w, energy_delta
 from repro.metrics.latency import LatencyStats
 from repro.net.link import Link
 from repro.net.switch import Switch
+from repro.oskernel.cpuidle import IdleAccounting, build_idle_accounting
 from repro.profiling.fleet import FleetProfile, WindowSample
 from repro.profiling.profiler import SimProfiler
 from repro.sim.kernel import Simulator
@@ -148,6 +150,10 @@ class ServerMeasure:
     counters: Dict[str, float]
     #: Serialized per-server recorder bundle, when this server was recorded.
     timeseries: Optional[Dict[str, object]] = None
+    #: Serialized per-server :class:`~repro.analysis.energy.EnergyAttribution`
+    #: (energy decomposition + governor-miss grades over the measurement
+    #: window), when the run was built with ``energy_attribution=True``.
+    energy_attribution: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -183,6 +189,7 @@ class ShardRun:
         profiler: Optional[SimProfiler] = None,
         bulk_datapath: bool = True,
         trace_sample_every: Optional[int] = None,
+        energy_attribution: bool = False,
     ):
         self.config = config
         self.shard_index = shard_index
@@ -206,6 +213,8 @@ class ShardRun:
         self.tracer: Optional[RequestTraceCollector] = None
         if trace_sample_every is not None and config.frontend is not None:
             self.tracer = RequestTraceCollector(trace_sample_every)
+        self._accountings: Dict[str, IdleAccounting] = {}
+        self._accounting_snapshots: Dict[str, Dict[str, object]] = {}
 
         shares = config.resolved_shares()
         burst_size = default_burst_size(config.app)
@@ -222,6 +231,19 @@ class ShardRun:
             self.servers.append(server)
             if self.tracer is not None:
                 self.tracer.attach_server(i, server)
+            if energy_attribution:
+                # Per-server accounting is placement-independent (it only
+                # reads the server's own meters/governor), so serial,
+                # sharded, and pooled runs produce identical payloads.
+                accounting = build_idle_accounting(
+                    server.package.cstates,
+                    server.cpuidle.governor
+                    if server.cpuidle is not None
+                    else None,
+                    telemetry=server.telemetry,
+                )
+                accounting.attach(server.package.cores)
+                self._accountings[server.name] = accounting
 
             if config.frontend is not None:
                 port = FrontendPort(
@@ -298,6 +320,11 @@ class ShardRun:
             self._busy_marks[f"{server.name}.{tag}"] = (
                 server.package.busy_ns_per_core()
             )
+            accounting = self._accountings.get(server.name)
+            if accounting is not None:
+                self._accounting_snapshots[f"{server.name}.{tag}"] = (
+                    accounting.snapshot()
+                )
 
     def advance(
         self,
@@ -373,6 +400,13 @@ class ShardRun:
             if recorder is not None:
                 recorder.stop()
                 timeseries = recorder.bundle().to_json_dict()
+            energy_attribution = None
+            if server.name in self._accountings:
+                energy_attribution = attribution_between(
+                    self._accounting_snapshots[f"{server.name}.a"],
+                    self._accounting_snapshots[f"{server.name}.b"],
+                    energy,
+                ).to_json_dict()
             measures.append(
                 ServerMeasure(
                     index=i,
@@ -387,6 +421,7 @@ class ShardRun:
                     ncap_stats=ncap_stats,
                     counters=server.telemetry.stats.snapshot(),
                     timeseries=timeseries,
+                    energy_attribution=energy_attribution,
                 )
             )
         return ShardResult(
@@ -419,6 +454,7 @@ class _ShardHost:
         profiler: Optional[SimProfiler] = None,
         bulk_datapath: bool = True,
         trace_sample_every: Optional[int] = None,
+        energy_attribution: bool = False,
     ):
         self.shards: Dict[int, ShardRun] = {}
         for shard_index in sorted(assignments):
@@ -436,6 +472,7 @@ class _ShardHost:
                 profiler=shard_profiler,
                 bulk_datapath=bulk_datapath,
                 trace_sample_every=trace_sample_every,
+                energy_attribution=energy_attribution,
             )
 
     def start(self) -> None:
@@ -560,6 +597,7 @@ class ShardedDatacenterRun:
         trace_requests: Union[None, bool, int, TraceConfig] = None,
         profile_fleet: bool = False,
         monitor: Union[None, bool, str, RunMonitor] = None,
+        energy_attribution: bool = False,
     ):
         self.config = config
         self.plan = shard_plan(config.n_servers, config.n_shards)
@@ -593,6 +631,7 @@ class ShardedDatacenterRun:
                 "and the sampled set could not be placement-deterministic"
             )
         self._profile_fleet = bool(profile_fleet)
+        self._energy_attribution = bool(energy_attribution)
         self._monitor = resolve_monitor(monitor)
         self.fleet_profile: Optional[FleetProfile] = None
         n_jobs = resolve_jobs(jobs)
@@ -615,6 +654,7 @@ class ShardedDatacenterRun:
                 profiler=self._profiler,
                 bulk_datapath=self._bulk,
                 trace_sample_every=self._trace_sample_every,
+                energy_attribution=self._energy_attribution,
             )
 
     @property
@@ -659,6 +699,7 @@ class ShardedDatacenterRun:
                 profile=self._profile,
                 bulk_datapath=self._bulk,
                 trace_sample_every=self._trace_sample_every,
+                energy_attribution=self._energy_attribution,
             )
             payloads: List[Dict[str, object]] = []
             for slot in range(self._n_slots):
@@ -884,6 +925,20 @@ def build_fleet_record(
     timeseries: Dict[str, object] = {}
     if bundles:
         timeseries = merge_timeseries_bundles(bundles).to_json_dict()
+    # Per-server attributions reduce in server-index order (the same
+    # float-summation-order discipline as ``energy`` above), so the
+    # merged payload is byte-identical across shard counts/pool sizes.
+    energy_attribution: Dict[str, object] = {}
+    attributions = [
+        EnergyAttribution.from_json_dict(m.energy_attribution)
+        for m in measures
+        if m.energy_attribution is not None
+    ]
+    if attributions:
+        merged_attribution = attributions[0]
+        for attribution in attributions[1:]:
+            merged_attribution = merged_attribution.merge(attribution)
+        energy_attribution = merged_attribution.to_json_dict()
     sla_ns = sla_for(config.app)
     return ResultRecord(
         config_hash=config_hash(replace(config, n_shards=1)),
@@ -912,6 +967,7 @@ def build_fleet_record(
         ncap_stats=ncap_stats,
         counters=counters,
         timeseries=timeseries,
+        energy_attribution=energy_attribution,
         fleet=dict(fleet) if fleet else {},
     )
 

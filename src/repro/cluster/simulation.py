@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.analysis.attribution import AttributionReport, AttributionSink
 from repro.analysis.audit import InvariantAuditor
+from repro.analysis.energy import EnergyAttribution, attribution_between
 from repro.analysis.sketch import StreamingSketch
 from repro.apps.client import (
     OpenLoopClient,
@@ -32,6 +33,7 @@ from repro.metrics.latency import LatencyStats
 from repro.net.interrupts import ModerationConfig
 from repro.net.link import Link
 from repro.net.switch import Switch
+from repro.oskernel.cpuidle import build_idle_accounting
 from repro.oskernel.netstack import NetStackCosts
 from repro.profiling.profiler import LoopProfile, SimProfiler
 from repro.sim.kernel import Simulator
@@ -151,6 +153,11 @@ class ExperimentResult:
     #: Plain data — picklable for pool sweeps.  Additive: None on plain
     #: runs.
     profile: Optional[LoopProfile] = None
+    #: Energy decomposition + governor-miss accounting over the
+    #: measurement window, populated when the run was built with
+    #: ``energy_attribution=True``.  Plain data — picklable.  Additive:
+    #: None on plain runs.
+    energy_attribution: Optional[EnergyAttribution] = None
     trace: Optional[TraceRecorder] = None
     server: Optional[ServerNode] = None
 
@@ -171,6 +178,7 @@ class Cluster:
         record_timeseries: Union[None, bool, str, object] = None,
         watchpoints: Optional[Iterable[Watchpoint]] = None,
         profile: Union[None, bool, SimProfiler] = None,
+        energy_attribution: bool = False,
         sim_factory: Optional[Callable[[], Simulator]] = None,
     ):
         self.config = config
@@ -228,6 +236,20 @@ class Cluster:
         self.switch = Switch(self.sim)
         self.clients: List[OpenLoopClient] = []
         self._energy_snapshots: Dict[str, EnergyReport] = {}
+        #: Energy-attribution accounting — an observer like sinks/audit,
+        #: never a config field: per-idle-exit bookings only resegment the
+        #: meters at boundaries that close anyway, so attaching it cannot
+        #: change the simulated result (the parity test proves it).
+        self.energy_accounting = None
+        self._accounting_snapshots: Dict[str, Dict[str, object]] = {}
+        if energy_attribution:
+            cpuidle = self.server.cpuidle
+            self.energy_accounting = build_idle_accounting(
+                self.server.package.cstates,
+                cpuidle.governor if cpuidle is not None else None,
+                telemetry=self.telemetry,
+            )
+            self.energy_accounting.attach(self.server.package.cores)
         window = (config.warmup_ns, config.warmup_ns + config.measure_ns)
         if self.attribution is not None:
             # The sink needs F_max (to re-cost cycles) and the measurement
@@ -335,6 +357,14 @@ class Cluster:
 
         return listener
 
+    def _window_snapshot(self, tag: str) -> None:
+        """Measurement-window boundary: cumulative energy (and, when the
+        accounting observer is attached, idle-accounting) snapshots, taken
+        in one callback so both see the same meter state."""
+        self._energy_snapshots[tag] = self.server.package.energy_report()
+        if self.energy_accounting is not None:
+            self._accounting_snapshots[tag] = self.energy_accounting.snapshot()
+
     def run(self, keep_server: bool = False) -> ExperimentResult:
         """Simulate and extract the result in one call."""
         self.simulate()
@@ -356,16 +386,9 @@ class Cluster:
         window_start = config.warmup_ns
         window_end = config.warmup_ns + config.measure_ns
 
-        snapshots: Dict[str, EnergyReport] = {}
-        self._energy_snapshots = snapshots
-        self.sim.schedule_at(
-            window_start,
-            lambda: snapshots.__setitem__("start", self.server.package.energy_report()),
-        )
-        self.sim.schedule_at(
-            window_end,
-            lambda: snapshots.__setitem__("end", self.server.package.energy_report()),
-        )
+        self._energy_snapshots = {}
+        self.sim.schedule_at(window_start, self._window_snapshot, "start")
+        self.sim.schedule_at(window_end, self._window_snapshot, "end")
         # Stop generating traffic at window end; drain afterwards.
         for client in self.clients:
             self.sim.schedule_at(window_end, client.stop)
@@ -383,8 +406,20 @@ class Cluster:
         window_start = config.warmup_ns
         window_end = config.warmup_ns + config.measure_ns
 
+        energy_attribution: Optional[EnergyAttribution] = None
+        if self.energy_accounting is not None:
+            energy_attribution = attribution_between(
+                self._accounting_snapshots["start"],
+                self._accounting_snapshots["end"],
+                energy_delta(snapshots["start"], snapshots["end"]),
+            )
+
         if self.auditor is not None:
-            self.auditor.finish(cluster=self, attribution=self.attribution)
+            self.auditor.finish(
+                cluster=self,
+                attribution=self.attribution,
+                energy_attribution=energy_attribution,
+            )
 
         sent = 0
         responses = 0
@@ -440,6 +475,7 @@ class Cluster:
             profile=(
                 self.profiler.profile() if self.profiler is not None else None
             ),
+            energy_attribution=energy_attribution,
             trace=self.trace if config.collect_traces else None,
             server=self.server if keep_server else None,
         )
@@ -454,6 +490,7 @@ def run_experiment(
     record_timeseries: Union[None, bool, str, object] = None,
     watchpoints: Optional[Iterable[Watchpoint]] = None,
     profile: Union[None, bool, SimProfiler] = None,
+    energy_attribution: bool = False,
 ) -> ExperimentResult:
     """Build and run one cluster experiment.
 
@@ -474,8 +511,10 @@ def run_experiment(
     ``profile`` (``True`` or a :class:`~repro.profiling.SimProfiler`)
     swaps in the instrumented dispatch loop and populates
     ``result.profile`` with per-handler wall-time attribution and heap
-    health.  None of these are config fields, so none invalidate cached
-    results.
+    health.  ``energy_attribution=True`` attaches the idle-accounting
+    observer and populates ``result.energy_attribution`` with the
+    telescoping energy decomposition and governor-miss grades.  None of
+    these are config fields, so none invalidate cached results.
     """
     return Cluster(
         config,
@@ -485,4 +524,5 @@ def run_experiment(
         record_timeseries=record_timeseries,
         watchpoints=watchpoints,
         profile=profile,
+        energy_attribution=energy_attribution,
     ).run(keep_server=keep_server)

@@ -109,6 +109,11 @@ class Core:
         #: ``small_cluster`` profiles).  Idle-period statistics still see a
         #: zero-length idle period, exactly as the round trip produced.
         self.take_next: Optional[Callable[[], Optional[Job]]] = None
+        #: Optional observer fired when an idle period ends (just before the
+        #: meter switches to RUN), with the realized idle duration in ns.
+        #: Installed by the energy-attribution accounting; like ``take_next``
+        #: and ``job.account``, the disabled cost is one attribute check.
+        self.on_idle_end: Optional[Callable[["Core", int], None]] = None
 
         self._current: Optional[Job] = None
         self._stack: List[Job] = []
@@ -231,6 +236,8 @@ class Core:
             else:
                 self.last_idle_duration_ns = self._sim.now - self._idle_since
                 self.idle_periods_completed += 1
+                if self.on_idle_end is not None:
+                    self.on_idle_end(self, self.last_idle_duration_ns)
         account = job.account
         if account is not None and account.first_start_ns is None:
             account.first_start_ns = self._sim.now

@@ -88,6 +88,16 @@ class PowerMeter:
             self.energy_by_mode_j[key] = self.energy_by_mode_j.get(key, 0.0) + joules
         self._segment_start = now
 
+    def sync(self) -> None:
+        """Book the open segment up to ``sim.now`` without changing mode.
+
+        Cumulative ``energy_j`` / ``residency_ns`` / ``energy_by_mode_j``
+        are current after this call; the next ``set_mode`` then closes a
+        zero-length segment, so syncing never perturbs the totals.
+        """
+        if self._started:
+            self._close_segment()
+
     @property
     def mode(self) -> PowerMode:
         return self._mode

@@ -4,6 +4,7 @@ from repro.experiments import (
     ablations,
     attribution,
     datacenter,
+    energy,
     fig1_dvfs_timing,
     fig2_ondemand_period,
     fig4_correlation,
@@ -18,6 +19,7 @@ __all__ = [
     "ablations",
     "attribution",
     "datacenter",
+    "energy",
     "fig1_dvfs_timing",
     "fig2_ondemand_period",
     "fig4_correlation",

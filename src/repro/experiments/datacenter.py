@@ -154,6 +154,7 @@ def run_preset(
     trace_requests=None,
     profile_fleet: bool = False,
     monitor=None,
+    energy_attribution: bool = False,
 ) -> DatacenterResult:
     """Run one named cluster preset (optionally with config overrides)."""
     try:
@@ -173,6 +174,7 @@ def run_preset(
         trace_requests=trace_requests,
         profile_fleet=profile_fleet,
         monitor=monitor,
+        energy_attribution=energy_attribution,
     )
 
 

@@ -1,0 +1,215 @@
+"""Energy provenance experiments: blame the joules, per policy.
+
+Runs a small set of policies on one workload with the energy
+decomposition (:mod:`repro.analysis.energy`) and governor-miss
+accounting (:class:`repro.oskernel.cpuidle.IdleAccounting`) attached,
+then renders the per-policy blame tables: *"under ond.idle, X J are
+wasted-shallow because the menu governor picked too shallow; under
+NCAP, Y J"* — plus an optional two-policy component diff.
+
+Single-node presets (``headline``, ``fig4``) mirror the attribution
+experiments; the ``frontend`` preset exercises the sharded datacenter
+path, so the reported attribution is a fleet merge across servers.
+
+Exposed on the CLI as ``repro energy <experiment> [--diff POLICY]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.energy import (
+    EnergyAttribution,
+    format_energy_blame,
+    format_energy_diff,
+    format_governor_misses,
+)
+from repro.apps.workload import load_level
+from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.harness.runner import Runner
+from repro.harness.settings import RunSettings
+from repro.metrics.latency import LatencyStats
+
+
+@dataclass(frozen=True)
+class EnergyPreset:
+    """One named energy experiment: a workload and a policy set.
+
+    ``fleet`` names a :data:`repro.experiments.datacenter.PRESETS` shape
+    instead of a single-node app/load pair; the policies then run as
+    sharded datacenter sweeps and each row carries the fleet-merged
+    attribution.
+    """
+
+    app: str
+    load: str
+    policies: Tuple[str, ...]
+    note: str = ""
+    fleet: Optional[str] = None
+
+
+#: Named experiments.  ``headline`` contrasts the reactive baseline, the
+#: deep-idle variant (where the menu governor actually grades), and NCAP;
+#: ``fig4`` keeps the wake/ramp pair; ``frontend`` is the CI-scale
+#: sharded fleet (memcached behind the po2 frontend tier).
+PRESETS: Dict[str, EnergyPreset] = {
+    "headline": EnergyPreset(
+        app="apache",
+        load="low",
+        policies=("ond", "ond.idle", "ncap.cons"),
+        note="reactive baselines vs NCAP on the abstract's workload",
+    ),
+    "fig4": EnergyPreset(
+        app="apache",
+        load="low",
+        policies=("ond.idle", "ncap.cons"),
+        note="wake/ramp correlation pair",
+    ),
+    "frontend": EnergyPreset(
+        app="memcached",
+        load="fleet",
+        policies=("perf", "ncap.cons"),
+        note="fleet-merged attribution across the sharded frontend preset",
+        fleet="frontend",
+    ),
+}
+
+
+@dataclass
+class EnergyRow:
+    """One policy's run: latency summary plus the energy attribution."""
+
+    policy: str
+    latency: LatencyStats
+    attribution: EnergyAttribution
+
+
+@dataclass
+class EnergyResult:
+    name: str
+    app: str
+    load: str
+    rows: List[EnergyRow]
+
+    def row(self, policy: str) -> EnergyRow:
+        for row in self.rows:
+            if row.policy == policy:
+                return row
+        raise KeyError(f"no energy row for policy {policy!r}")
+
+
+def _run_one(task: Tuple[str, str, str, RunSettings, bool]) -> EnergyRow:
+    """Process-pool worker: one policy's attributed run (module-level,
+    picklable)."""
+    app, load, policy, settings, audit = task
+    level = load_level(app, load)
+    config = ExperimentConfig.from_settings(
+        settings, app=app, policy=policy, target_rps=level.target_rps
+    )
+    result = run_experiment(config, audit=audit, energy_attribution=True)
+    assert result.energy_attribution is not None
+    return EnergyRow(
+        policy=policy,
+        latency=result.latency,
+        attribution=result.energy_attribution,
+    )
+
+
+def _run_fleet(preset_name: str, fleet: str, policies: Tuple[str, ...],
+               jobs: Optional[int]) -> List[EnergyRow]:
+    """Fleet path: each policy is a sharded datacenter run (which owns its
+    own worker pool), so policies run serially here."""
+    from repro.experiments.datacenter import run_preset
+
+    rows = []
+    for policy in policies:
+        result = run_preset(
+            fleet,
+            overrides={"policy": policy},
+            jobs=jobs,
+            energy_attribution=True,
+        )
+        attribution = result.record.energy_attribution_report()
+        if attribution is None:
+            raise RuntimeError(
+                f"fleet preset {fleet!r} produced no energy attribution"
+            )
+        rows.append(
+            EnergyRow(
+                policy=policy,
+                latency=result.record.latency,
+                attribution=attribution,
+            )
+        )
+    return rows
+
+
+def run(
+    name: str = "headline",
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+    audit: bool = True,
+) -> EnergyResult:
+    """Run the named preset; one attributed run per policy.
+
+    Like the latency-attribution experiments, these runs are never served
+    from the result cache: the accounting is a run-time observer, not a
+    config field, so a cached plain record would have nothing to blame.
+    """
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown energy experiment {name!r}; "
+            f"choose from {sorted(PRESETS)}"
+        ) from None
+    if preset.fleet is not None:
+        rows = _run_fleet(name, preset.fleet, preset.policies, jobs)
+    else:
+        tasks = [
+            (preset.app, preset.load, policy, settings, audit)
+            for policy in preset.policies
+        ]
+        rows = Runner(jobs=jobs).map(_run_one, tasks)
+    return EnergyResult(
+        name=name, app=preset.app, load=preset.load, rows=rows
+    )
+
+
+def format_report(result: EnergyResult, diff: Optional[str] = None) -> str:
+    """Blame + governor-miss tables; ``diff`` adds a component diff of the
+    last policy against the named baseline policy."""
+    preset = PRESETS.get(result.name)
+    note = f" — {preset.note}" if preset and preset.note else ""
+    pairs = [(row.policy, row.attribution) for row in result.rows]
+    out = format_energy_blame(
+        pairs,
+        title=(
+            f"Energy provenance: {result.name} "
+            f"({result.app}/{result.load}){note}"
+        ),
+    )
+    out += "\n\n" + format_governor_misses(pairs)
+    worst = max(
+        (row for row in result.rows),
+        key=lambda row: row.attribution.wasted_shallow_j,
+    )
+    out += (
+        f"\nconservation: max |error| "
+        f"{max(abs(r.attribution.conservation_error_j) for r in result.rows):.2e} J"
+        f" | largest wasted-shallow: {worst.policy} "
+        f"({worst.attribution.wasted_shallow_j:.4f} J)"
+    )
+    if diff is not None:
+        base = result.row(diff)
+        others = [row for row in result.rows if row.policy != diff]
+        if not others:
+            raise ValueError(
+                f"--diff {diff!r} needs a second policy to compare against"
+            )
+        target = others[-1]
+        out += "\n\n" + format_energy_diff(
+            base.policy, base.attribution, target.policy, target.attribution
+        )
+    return out

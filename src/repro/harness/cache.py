@@ -28,6 +28,13 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
+#: (abspath(cache_dir), old_schema_version) pairs already warned about in
+#: this process.  Sweeps construct a ResultCache per runner (and every
+#: stale entry re-triggers the check), so a per-instance flag still spams
+#: one warning per point; the dedupe must be process-wide.
+_SCHEMA_WARNED: set = set()
+
+
 class ResultCache:
     """A directory of ``<config_hash>.json`` result records."""
 
@@ -36,7 +43,6 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        self._schema_warned = False
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -48,7 +54,7 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             if isinstance(data, dict) and data.get("schema") != RECORD_SCHEMA_VERSION:
-                self._warn_schema_invalidation()
+                self._warn_schema_invalidation(data.get("schema"))
             record = ResultRecord.from_json_dict(data)
         except (OSError, ValueError, TypeError):
             self.misses += 1
@@ -59,11 +65,13 @@ class ResultCache:
         self.hits += 1
         return record
 
-    def _warn_schema_invalidation(self) -> None:
-        """Log once per cache how many entries a schema bump invalidated."""
-        if self._schema_warned:
+    def _warn_schema_invalidation(self, old_version: object) -> None:
+        """Log once per (cache dir, old version) per process how many
+        entries a schema bump invalidated."""
+        dedupe_key = (os.path.abspath(self.directory), old_version)
+        if dedupe_key in _SCHEMA_WARNED:
             return
-        self._schema_warned = True
+        _SCHEMA_WARNED.add(dedupe_key)
         stale = 0
         try:
             for name in os.listdir(self.directory):
@@ -82,10 +90,11 @@ class ResultCache:
             pass
         logger.warning(
             "result cache %s: %d entr%s from older record schemas "
-            "(current is v%d); they will be re-simulated",
+            "(first seen: v%s, current is v%d); they will be re-simulated",
             self.directory,
             stale,
             "y" if stale == 1 else "ies",
+            old_version,
             RECORD_SCHEMA_VERSION,
         )
 

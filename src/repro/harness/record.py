@@ -27,7 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: v5: added ``profile`` — the simulator self-profile payload.
 #: v6: added ``fleet`` — fleet observability payload (merged cross-shard
 #:     request traces and sampling metadata; sim-time data only).
-RECORD_SCHEMA_VERSION = 6
+#: v7: added ``energy_attribution`` — telescoping energy decomposition +
+#:     governor-miss accounting (serialized EnergyAttribution).
+RECORD_SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -83,6 +85,13 @@ class ResultRecord:
     #: count, pool size and window size.  Rebuild with
     #: :meth:`fleet_trace_bundle`.
     fleet: Dict[str, object] = field(default_factory=dict)
+    #: Serialized energy decomposition + governor-miss accounting
+    #: (:meth:`~repro.analysis.energy.EnergyAttribution.to_json_dict`)
+    #: when the run was built with ``energy_attribution=True``; empty
+    #: otherwise.  Fleet runs merge per-server payloads in server-index
+    #: order, so the field is byte-identical across shard count and pool
+    #: size.  Rebuild with :meth:`energy_attribution_report`.
+    energy_attribution: Dict[str, object] = field(default_factory=dict)
     #: True when the runner served this record from the on-disk cache.
     #: Not part of the run's identity: excluded from equality and JSON.
     from_cache: bool = field(default=False, compare=False)
@@ -134,6 +143,11 @@ class ResultRecord:
                 if result.profile is not None
                 else {}
             ),
+            energy_attribution=(
+                result.energy_attribution.to_json_dict()
+                if result.energy_attribution is not None
+                else {}
+            ),
         )
 
     # -- views ----------------------------------------------------------
@@ -183,6 +197,16 @@ class ResultRecord:
         from repro.telemetry.tracing import FleetTraceBundle
 
         return FleetTraceBundle.from_json_dict(self.fleet["trace"])
+
+    def energy_attribution_report(self):
+        """The energy decomposition, rebuilt as an
+        :class:`~repro.analysis.energy.EnergyAttribution` (None when the
+        run carried no energy attribution)."""
+        if not self.energy_attribution:
+            return None
+        from repro.analysis.energy import EnergyAttribution
+
+        return EnergyAttribution.from_json_dict(self.energy_attribution)
 
     def loop_profile(self):
         """The simulator self-profile, rebuilt as a

@@ -210,7 +210,11 @@ def small_cluster(profiler: Optional[SimProfiler]) -> ScenarioStats:
     )
 
 
-def _headline(profiler: Optional[SimProfiler], attributed: bool) -> ScenarioStats:
+def _headline(
+    profiler: Optional[SimProfiler],
+    attributed: bool,
+    energy: bool = False,
+) -> ScenarioStats:
     from repro.analysis.attribution import AttributionSink
     from repro.cluster.simulation import Cluster, ExperimentConfig
     from repro.harness.settings import RunSettings
@@ -224,6 +228,7 @@ def _headline(profiler: Optional[SimProfiler], attributed: bool) -> ScenarioStat
         sinks=[AttributionSink()] if attributed else None,
         audit=attributed,
         profile=profiler,
+        energy_attribution=energy,
     )
     result = cluster.run()
     assert result.responses_received > 0
@@ -242,6 +247,15 @@ def headline_plain(profiler: Optional[SimProfiler]) -> ScenarioStats:
 def headline_attributed(profiler: Optional[SimProfiler]) -> ScenarioStats:
     """Headline experiment with AttributionSink + invariant auditor."""
     return _headline(profiler, attributed=True)
+
+
+def headline_energy(profiler: Optional[SimProfiler]) -> ScenarioStats:
+    """Headline experiment with energy attribution on (per-idle-exit
+    governor grading + telescoping decomposition, no other observers) —
+    pins the attribution-on overhead against ``headline_plain``.  The
+    disabled path is ``headline_plain`` itself: without the observer the
+    only residue is one ``on_idle_end is None`` check per idle exit."""
+    return _headline(profiler, attributed=False, energy=True)
 
 
 def _datacenter_stats(run, result) -> ScenarioStats:
@@ -366,6 +380,10 @@ TELEMETRY_SUITE = BenchSuite(
         BenchScenario(
             "headline_attributed", headline_attributed,
             "headline quick run, attribution + audit",
+        ),
+        BenchScenario(
+            "headline_energy", headline_energy,
+            "headline quick run, energy attribution + audit",
         ),
     ),
     repeats=5,

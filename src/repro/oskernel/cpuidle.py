@@ -27,12 +27,13 @@ re-arms the governor on the first IT_LOW (Section 4.3).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.cpu.core import Core, CoreState
 from repro.cpu.cstates import CState, CStateTable
+from repro.cpu.power import PowerMode
 from repro.sim.units import MS, US
-from repro.telemetry import GovernorDecision, Telemetry, ensure_telemetry
+from repro.telemetry import GovernorDecision, GovernorMiss, Telemetry, ensure_telemetry
 
 
 class _HistoryGovernorBase:
@@ -295,3 +296,210 @@ class CpuidleDriver:
     def enable(self) -> None:
         """Re-arm C-state entry (NCAP first IT_LOW action)."""
         self.enabled = True
+
+
+def build_idle_accounting(
+    cstates: CStateTable,
+    governor=None,
+    telemetry: Optional[Telemetry] = None,
+) -> "IdleAccounting":
+    """Accounting for a node: its governor's name and latency limit when
+    cpuidle is active, the ``"none"`` pseudo-governor (cores poll in C0,
+    every long idle period grades ``below``) otherwise."""
+    if governor is None:
+        name, limit = "none", 10**12
+    else:
+        name = governor.name
+        limit = getattr(governor, "latency_limit_ns", 10**12)
+    return IdleAccounting(cstates, name, limit, telemetry=telemetry)
+
+
+#: Meter modes a core can occupy while idle, shallow to deep.  ``"idle"``
+#: is C0 polling (:attr:`~repro.cpu.power.PowerMode.IDLE_POLL`).
+_IDLE_MODE_KEYS = ("idle", "C1", "C3", "C6")
+
+#: The "chose C0 / oracle says C0" pseudo-state name in verdicts and
+#: per-state floor breakdowns.
+C0_NAME = "C0"
+
+
+class IdleAccounting:
+    """Linux-cpuidle-style governor decision accounting for one node.
+
+    Attached to a node's cores via :meth:`attach` (observer pattern: the
+    per-core ``on_idle_end`` hook, one attribute check when disabled).  On
+    every completed idle period it
+
+    - books the idle-mode energy/residency the meter accumulated since the
+      previous booking (deltas of the meter's cumulative per-mode dicts,
+      so the sum over bookings telescopes exactly to the meter totals),
+    - splits that energy into the *oracle floor* — what a perfect C-state
+      choice for the realized residency would have cost — and the
+      *wasted-shallow* remainder, and
+    - grades the chosen state (deepest residency reached) against the
+      oracle into ``above`` / ``below`` / ``hit`` counters per core, with
+      the ns of excess exit latency (above) and wasted joules (below)
+      each miss cost.
+
+    :meth:`snapshot` forces a partial booking on every attached core, so
+    cumulative totals taken at window boundaries diff exactly — the hook
+    the sharded fleet runs use to merge byte-identically.  Two documented
+    approximations: an idle period split by a DVFS ``stall()`` (no
+    ``_start`` in between) books its pre-stall energy at the *next*
+    booking, and a period shorter than the C-state's entry latency shows
+    no sleep-mode residency, so its chosen state is inferred as C0.
+    Energy is conserved exactly in both cases; only the decision grading
+    of those rare periods is approximate.
+    """
+
+    def __init__(
+        self,
+        cstates: CStateTable,
+        governor: str,
+        latency_limit_ns: int = 10**12,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.cstates = cstates
+        self.governor = governor
+        self.latency_limit_ns = latency_limit_ns
+        self.decisions: Dict[int, Dict[str, int]] = {}
+        self.above_ns = 0
+        self.below_j = 0.0
+        self.floor_j_by_state: Dict[str, float] = {}
+        self.floor_ns_by_state: Dict[str, int] = {}
+        self.wasted_shallow_j = 0.0
+        self._last_e: Dict[int, Dict[str, float]] = {}
+        self._last_r: Dict[int, Dict[str, int]] = {}
+        self._cores: List[Core] = []
+        telemetry = ensure_telemetry(telemetry)
+        self._miss_probe = telemetry.probe("cpuidle.verdict")
+
+    def attach(self, cores: Iterable[Core]) -> None:
+        for core in cores:
+            core.on_idle_end = self._on_idle_end
+            self._cores.append(core)
+
+    # -- booking -----------------------------------------------------------
+
+    def _on_idle_end(self, core: Core, realized_ns: int) -> None:
+        if realized_ns == 0:
+            # take_next zero-length handoff: the governor never ran, the
+            # meter never left RUN — nothing to grade or book.
+            return
+        self._book(core, realized_ns, classify=True)
+
+    def _book(self, core: Core, realized_ns: int, classify: bool) -> None:
+        meter = core.meter
+        meter.sync()
+        core_id = core.core_id
+        last_e = self._last_e.get(core_id)
+        if last_e is None:
+            last_e = self._last_e[core_id] = {}
+            self._last_r[core_id] = {}
+        last_r = self._last_r[core_id]
+        idle_e = 0.0
+        idle_ns = 0
+        chosen: Optional[CState] = None
+        for key in _IDLE_MODE_KEYS:
+            cur_e = meter.energy_by_mode_j.get(key, 0.0)
+            cur_r = meter.residency_ns.get(key, 0)
+            de = cur_e - last_e.get(key, 0.0)
+            dr = cur_r - last_r.get(key, 0)
+            last_e[key] = cur_e
+            last_r[key] = cur_r
+            if dr > 0 and key != "idle":
+                chosen = self.cstates.by_name(key)
+            idle_e += de
+            idle_ns += dr
+        if idle_ns == 0 and idle_e == 0.0 and not classify:
+            return
+        package = core.package
+        oracle = self.cstates.deepest_allowed(realized_ns, self.latency_limit_ns)
+        oracle_mode = (
+            PowerMode.IDLE_POLL if oracle is None else Core._sleep_mode(oracle)
+        )
+        oracle_power_w = package.power_model.core_power_w(
+            oracle_mode, package.voltage, package.frequency_hz
+        )
+        floor_j = min(idle_e, oracle_power_w * idle_ns * 1e-9)
+        wasted_j = idle_e - floor_j
+        state_name = C0_NAME if oracle is None else oracle.name
+        self.floor_j_by_state[state_name] = (
+            self.floor_j_by_state.get(state_name, 0.0) + floor_j
+        )
+        self.floor_ns_by_state[state_name] = (
+            self.floor_ns_by_state.get(state_name, 0) + idle_ns
+        )
+        self.wasted_shallow_j += wasted_j
+        if not classify:
+            return
+        counts = self.decisions.get(core_id)
+        if counts is None:
+            counts = self.decisions[core_id] = {"above": 0, "below": 0, "hit": 0}
+        chosen_index = chosen.index if chosen is not None else 0
+        oracle_index = oracle.index if oracle is not None else 0
+        cost_ns = 0
+        cost_j = 0.0
+        if chosen_index > oracle_index:
+            verdict = "above"
+            assert chosen is not None
+            cost_ns = chosen.exit_latency_ns - (
+                oracle.exit_latency_ns if oracle is not None else 0
+            )
+            self.above_ns += cost_ns
+        elif chosen_index < oracle_index:
+            verdict = "below"
+            cost_j = wasted_j
+            self.below_j += cost_j
+        else:
+            verdict = "hit"
+        counts[verdict] += 1
+        if self._miss_probe.enabled:
+            self._miss_probe.emit(
+                GovernorMiss(
+                    core.sim.now,
+                    self.governor,
+                    core_id,
+                    chosen.name if chosen is not None else C0_NAME,
+                    state_name,
+                    verdict,
+                    realized_ns,
+                    cost_ns=cost_ns,
+                    cost_j=cost_j,
+                )
+            )
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Force a partial booking on every attached core and return a
+        deep copy of the cumulative totals (plain data, picklable).
+
+        A straddling idle period's energy-so-far is booked against the
+        oracle for its elapsed-so-far duration (no decision is graded —
+        the period has not ended).  Taken at window start and end, the
+        totals diff exactly: every joule the meters accumulated inside
+        the window lands in exactly one snapshot delta.
+        """
+        for core in self._cores:
+            if core.state in (CoreState.IDLE, CoreState.SLEEP, CoreState.WAKING):
+                elapsed = core.sim.now - core.idle_since
+            else:
+                elapsed = 0
+            self._book(core, elapsed, classify=False)
+        return self.totals()
+
+    def totals(self) -> Dict[str, object]:
+        """Cumulative accounting state as plain data (no booking forced)."""
+        return {
+            "governor": self.governor,
+            "decisions": {
+                str(core_id): dict(counts)
+                for core_id, counts in sorted(self.decisions.items())
+            },
+            "above_ns": self.above_ns,
+            "below_j": self.below_j,
+            "floor_j_by_state": dict(self.floor_j_by_state),
+            "floor_ns_by_state": dict(self.floor_ns_by_state),
+            "wasted_shallow_j": self.wasted_shallow_j,
+        }

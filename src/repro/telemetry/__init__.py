@@ -24,6 +24,7 @@ from typing import Any, List, Optional
 from repro.telemetry.events import (  # noqa: F401 - re-exported
     CStateTransition,
     GovernorDecision,
+    GovernorMiss,
     IrqDelivered,
     NcapWake,
     NicRx,

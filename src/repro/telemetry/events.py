@@ -16,6 +16,7 @@ Standard probe point names:
 ``nic.tx``                  :class:`NicTx` (transmit observation point)
 ``nic.ring``                :class:`RingOccupancy` (post-DMA ring depth)
 ``governor.decision``       :class:`GovernorDecision` (cpufreq + cpuidle)
+``cpuidle.verdict``         :class:`GovernorMiss` (idle-exit oracle verdicts)
 ``ncap.classify``           :class:`PacketClassified` (ReqMonitor verdicts)
 ``ncap.wake``               :class:`NcapWake` (proactive wake interrupts)
 ``request.span``            :class:`RequestPhase` (per-request lifecycle)
@@ -118,6 +119,31 @@ class GovernorDecision:
     choice: int
     value: float
     core_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class GovernorMiss:
+    """An idle period ended and the chosen C-state was graded against the
+    perfect-oracle choice for the realized residency.
+
+    ``verdict`` is ``"above"`` (chose deeper than the oracle: wake latency
+    was overpaid), ``"below"`` (chose shallower: idle watts were wasted)
+    or ``"hit"``.  ``cost_ns``/``cost_j`` quantify what the miss cost —
+    excess exit latency for ``above``, wasted-shallow joules for
+    ``below``; both are 0 on a ``hit``.  Emitted on ``cpuidle.verdict``
+    alongside the ``cpu.cstate`` stream by
+    :class:`repro.oskernel.cpuidle.IdleAccounting`.
+    """
+
+    t_ns: int
+    governor: str
+    core_id: int
+    chosen: str          # "C0" / "C1" / "C3" / "C6"
+    oracle: str
+    verdict: str         # "above" | "below" | "hit"
+    realized_ns: int     # how long the idle period actually lasted
+    cost_ns: int = 0
+    cost_j: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -224,6 +250,7 @@ ProbeEvent = Union[
     NicTx,
     RingOccupancy,
     GovernorDecision,
+    GovernorMiss,
     PacketClassified,
     NcapWake,
     RequestPhase,

@@ -17,6 +17,7 @@ with it enabled).
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from typing import Any, Dict, IO, Optional
@@ -75,13 +76,24 @@ class RunMonitor:
         events_total: int,
     ) -> None:
         now = self._clock()
-        last = index + 1 >= self._n_windows
+        # A degenerate run (n_windows <= 0) must not force every window to
+        # look like "the last one" and flood heartbeats.
+        last = self._n_windows > 0 and index + 1 >= self._n_windows
         if not last and now - self._last_emit < self._interval_s:
             return
         self._last_emit = now
         elapsed = now - self._t0
-        frac = t_end_ns / self._end_ns if self._end_ns else 1.0
-        eta_s = elapsed * (1.0 - frac) / frac if frac > 0 else None
+        frac = t_end_ns / self._end_ns if self._end_ns > 0 else 1.0
+        frac = min(max(frac, 0.0), 1.0)
+        # ETA only when there is a meaningful extrapolation: some progress
+        # (frac > 0) AND some wall time (elapsed > 0 — a first window that
+        # finishes inside one clock tick has neither), and the result must
+        # be finite and non-negative.  Anything else reports null.
+        eta_s = None
+        if frac > 0.0 and elapsed > 0.0:
+            candidate = elapsed * (1.0 - frac) / frac
+            if math.isfinite(candidate) and candidate >= 0.0:
+                eta_s = candidate
         straggler = (
             max(shard_wall_s, key=lambda s: (shard_wall_s[s], s))
             if shard_wall_s else None

@@ -688,13 +688,87 @@ def render_dashboard(
 """
 
 
+def _energy_block(attribution) -> str:
+    """Stacked energy-decomposition bar + governor-miss table.
+
+    ``attribution`` is an
+    :class:`~repro.analysis.energy.EnergyAttribution` (single-node or a
+    fleet merge).  Identity is never color-alone: every segment repeats
+    its label, joules and share in the legend and a hover title.
+    """
+    total = attribution.total_j
+    if total <= 0:
+        return ""
+    segments = [
+        ("active", attribution.active_j, "var(--s0)"),
+        ("ramp", attribution.ramp_j, "var(--s1)"),
+        ("wake", attribution.wake_j, "var(--s2)"),
+        ("idle floor", attribution.floor_j, "var(--s3)"),
+        ("wasted shallow", attribution.wasted_shallow_j, "var(--alert)"),
+    ]
+    bar: List[str] = []
+    legend: List[str] = []
+    for label, joules, color in segments:
+        pct = 100.0 * joules / total
+        if pct > 0.05:
+            bar.append(
+                f'<span title="{html.escape(label)}: {joules:.4f} J '
+                f'({pct:.1f}%)" style="display:inline-block;height:18px;'
+                f'width:{pct:.2f}%;background:{color};"></span>'
+            )
+        legend.append(
+            f'<span class="key"><span class="chip" '
+            f'style="background:{color};"></span>'
+            f"{html.escape(label)} {joules:.4f} J ({pct:.1f}%)</span>"
+        )
+    gov_block = ""
+    if attribution.decisions:
+        rows = []
+        for gov in sorted(attribution.decisions):
+            totals = attribution.decision_totals(gov)
+            n = sum(totals.values())
+            rows.append(
+                f"<tr><td>{html.escape(gov)}</td>"
+                f"<td>{totals['above']}</td><td>{totals['below']}</td>"
+                f"<td>{totals['hit']}</td>"
+                f"<td>{100.0 * totals['hit'] / n:.1f}%</td></tr>"
+                if n else ""
+            )
+        gov_block = (
+            "<details class='table-view'><summary>Governor decisions vs "
+            "perfect oracle</summary><table><thead><tr><th>governor</th>"
+            "<th>above</th><th>below</th><th>hit</th><th>hit rate</th>"
+            f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+            f"<p class='muted'>miss cost: {attribution.above_ns / 1e6:.3f} "
+            f"ms extra exit latency (above), {attribution.below_j:.4f} J "
+            "wasted shallow (below)</p></details>"
+        )
+    nodes = (
+        f" across {attribution.n_nodes} nodes"
+        if attribution.n_nodes > 1 else ""
+    )
+    return (
+        "<div class='watchpoints'><b>Energy decomposition</b> — "
+        f"{total:.4f} J{nodes}, conservation error "
+        f"{attribution.conservation_error_j:+.2e} J"
+        f'<div style="display:flex;margin:8px 0 6px;border-radius:4px;'
+        f'overflow:hidden;">{"".join(bar)}</div>'
+        f'<span class="legend">{"".join(legend)}</span>'
+        f"{gov_block}</div>"
+    )
+
+
 def dashboard_from_result(
     result,
     config=None,
     title: Optional[str] = None,
 ) -> str:
     """Render any :class:`~repro.cluster.simulation.ExperimentResult` that
-    carries a ``timeseries`` bundle (pass its config for phase shading)."""
+    carries a ``timeseries`` bundle (pass its config for phase shading).
+
+    A run with ``energy_attribution=True`` adds the stacked
+    energy-decomposition bar and governor-miss table below the panels.
+    """
     bundle = getattr(result, "timeseries", None)
     if bundle is None:
         raise ValueError(
@@ -717,11 +791,16 @@ def dashboard_from_result(
             f"{config.app} / {result.policy_name} @ "
             f"{config.target_rps / 1000:g}K rps - seed {config.seed}"
         )
+    extra_html = ""
+    attribution = getattr(result, "energy_attribution", None)
+    if attribution is not None:
+        extra_html = _energy_block(attribution)
     return render_dashboard(
         bundle,
         title=title or "Flight recorder",
         subtitle=subtitle,
         phases=phases,
+        extra_html=extra_html,
     )
 
 
@@ -820,6 +899,8 @@ def dashboard_from_datacenter(
             for i in s.server_indices
         }
         extra_html = _fleet_trace_block(trace, shard_of_server, trace_path)
+    if record is not None and getattr(record, "energy_attribution", None):
+        extra_html += _energy_block(record.energy_attribution_report())
     return render_dashboard(
         bundle,
         title=title or "Datacenter flight recorder",

@@ -10,6 +10,7 @@ observer-free run.
 
 import hashlib
 import json
+import math
 from dataclasses import replace
 
 import pytest
@@ -164,6 +165,63 @@ class TestTraceParity:
         )
         with pytest.raises(ValueError, match="frontend mode"):
             run_datacenter(classic, jobs=1, trace_requests=64)
+
+
+class TestEnergyFleetParity:
+    """Energy provenance over the fleet: placement-independent, pure."""
+
+    def test_byte_identical_across_shards_and_pools(self):
+        base = frontend_config()
+        serial = run_datacenter(base, jobs=1, energy_attribution=True)
+        sharded = run_datacenter(
+            replace(base, n_shards=2), jobs=1, energy_attribution=True
+        )
+        pooled = run_datacenter(
+            replace(base, n_shards=4), jobs=2, energy_attribution=True
+        )
+        shas = {record_sha(r) for r in (serial, sharded, pooled)}
+        assert len(shas) == 1
+
+        attrs = [r.record.energy_attribution_report()
+                 for r in (serial, sharded, pooled)]
+        assert attrs[0] == attrs[1] == attrs[2]
+        assert attrs[0].n_nodes == base.n_servers
+        # Governor counters merge per (governor, core position): identical
+        # across placements, and every idle exit is graded exactly once.
+        totals = {json.dumps(a.decision_totals(), sort_keys=True) for a in attrs}
+        assert len(totals) == 1
+        assert sum(attrs[0].decision_totals().values()) > 0
+
+    def test_fleet_energy_conserves_against_merged_record(self):
+        # Satellite: EnergyReport.merge / residency conservation across
+        # the shard merge path.  The merged record's energy integral and
+        # idle residency must telescope exactly into the attribution.
+        result = run_datacenter(
+            frontend_config(n_shards=2), jobs=2, energy_attribution=True
+        )
+        record = result.record
+        attr = record.energy_attribution_report()
+        assert attr.total_j == pytest.approx(record.energy_j, abs=1e-12)
+        assert abs(attr.conservation_error_j) <= 1e-6
+        idle_ns = sum(
+            ns for mode, ns in record.residency_ns.items()
+            if mode in ("idle", "C1", "C3", "C6")
+        )
+        assert sum(attr.floor_ns_by_state.values()) == idle_ns
+        # The merged per-mode energy dict is itself conserved.
+        assert sum(record.energy_by_mode_j.values()) == pytest.approx(
+            record.energy_j, abs=1e-9
+        )
+
+    def test_energy_accounting_does_not_perturb_results(self):
+        base = frontend_config(n_shards=2)
+        plain = run_datacenter(base, jobs=1)
+        observed = run_datacenter(base, jobs=1, energy_attribution=True)
+        a = plain.record.to_json_dict()
+        b = observed.record.to_json_dict()
+        assert a.pop("energy_attribution") == {}
+        assert b.pop("energy_attribution")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
 
 
 class TestTraceContent:
@@ -351,6 +409,64 @@ class TestRunMonitor:
         beats = [p for p in monitor.emitted if p["type"] == "heartbeat"]
         # 0.1s per window at a 10s interval: only the first beats emit
         assert 1 <= len(beats) < 20
+
+    def test_eta_null_when_first_window_beats_the_clock(self):
+        # A first window that completes inside one clock tick (elapsed
+        # 0.0) has no extrapolation basis: eta_s must be null, never inf
+        # or a division artifact.
+        clock = iter([0.0, 0.0]).__next__  # begin() and on_window() agree
+        monitor = RunMonitor("-", interval_s=1.0, clock=clock)
+        monitor._fh = None
+        monitor._t0 = 0.0
+        monitor._last_emit = -1.0
+        monitor._end_ns = 40 * MS
+        monitor._n_windows = 40
+        monitor.on_window(
+            index=0, t_end_ns=1 * MS, shard_wall_s={0: 0.0},
+            shard_events={0: 0}, events_total=0,
+        )
+        [beat] = [p for p in monitor.emitted if p["type"] == "heartbeat"]
+        assert beat["eta_s"] is None
+        assert beat["elapsed_s"] == 0.0
+
+    def test_eta_finite_with_zero_windows_and_end(self):
+        # A degenerate run (n_windows == 0, end_ns == 0) must not divide
+        # by zero, report inf, or flood every window as "the last one".
+        clock = iter(float(i) for i in range(1, 100)).__next__
+        monitor = RunMonitor("-", interval_s=100.0, clock=clock)
+        monitor._fh = None
+        monitor._t0 = 0.0
+        monitor._last_emit = -100.0
+        monitor._end_ns = 0
+        monitor._n_windows = 0
+        for i in range(5):
+            monitor.on_window(
+                index=i, t_end_ns=0, shard_wall_s={}, shard_events={},
+                events_total=0,
+            )
+        beats = [p for p in monitor.emitted if p["type"] == "heartbeat"]
+        assert len(beats) == 1  # interval throttling still applies
+        assert beats[0]["eta_s"] == 0.0  # frac clamps to 1.0: done
+        assert beats[0]["straggler"] is None
+        for beat in beats:
+            assert beat["eta_s"] is None or math.isfinite(beat["eta_s"])
+
+    def test_eta_clamped_when_sim_time_overshoots_end(self):
+        # The final window can overshoot end_ns (burst tails); frac must
+        # clamp to 1.0 so the ETA lands at 0, never negative.
+        clock = iter([5.0]).__next__
+        monitor = RunMonitor("-", interval_s=1.0, clock=clock)
+        monitor._fh = None
+        monitor._t0 = 0.0
+        monitor._last_emit = -1.0
+        monitor._end_ns = 40 * MS
+        monitor._n_windows = 40
+        monitor.on_window(
+            index=39, t_end_ns=41 * MS, shard_wall_s={0: 1.0},
+            shard_events={0: 10}, events_total=10,
+        )
+        [beat] = [p for p in monitor.emitted if p["type"] == "heartbeat"]
+        assert beat["eta_s"] == 0.0
 
     def test_resolve_monitor_variants(self):
         assert resolve_monitor(None) is None

@@ -116,6 +116,32 @@ class TestSchemaInvalidation:
         assert len(warnings) == 1  # once per cache, not once per entry
         assert f"{len(records)} entries" in warnings[0].getMessage()
 
+    def test_warning_deduped_across_cache_instances(self, tmp_path, caplog):
+        # Sweeps build a ResultCache per runner over the same directory;
+        # the dedupe is per (cache dir, old version) per process, so a
+        # second instance (or a re-run in the same process) stays silent.
+        cache = ResultCache(str(tmp_path))
+        records = run_sweep(SWEEP, jobs=1, cache=cache)
+        self.seed_stale_entries(cache, records, schema=2)
+
+        with caplog.at_level("WARNING", logger="repro.harness.cache"):
+            for _ in range(3):
+                fresh = ResultCache(str(tmp_path))
+                for record in records:
+                    assert fresh.get(record.config_hash) is None
+        warnings = [r for r in caplog.records if "older record schemas"
+                    in r.getMessage()]
+        assert len(warnings) == 1
+        assert "first seen: v2" in warnings[0].getMessage()
+
+        # A different old version in the same directory is new information.
+        self.seed_stale_entries(cache, records, schema=3)
+        with caplog.at_level("WARNING", logger="repro.harness.cache"):
+            again = ResultCache(str(tmp_path))
+            assert again.get(records[0].config_hash) is None
+        assert any("first seen: v3" in r.getMessage()
+                   for r in caplog.records)
+
     def test_current_schema_does_not_warn(self, tmp_path, caplog):
         cache = ResultCache(str(tmp_path))
         records = run_sweep(SWEEP.expand()[:1], jobs=1, cache=cache)
