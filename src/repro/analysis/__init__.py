@@ -10,6 +10,9 @@
   governor-miss grading against a perfect oracle;
 - :mod:`repro.analysis.audit` — opt-in invariant auditing that fails
   loudly when the telemetry stream or the accounting is inconsistent;
+- :mod:`repro.analysis.compare` — cross-run comparison: RunSets over
+  many ResultRecords, paired diffs with order-statistic confidence
+  intervals, energy-component deltas, counter drift;
 - :mod:`repro.analysis.report` — table rendering for the above.
 """
 
@@ -22,6 +25,19 @@ from repro.analysis.attribution import (  # noqa: F401
     TailAttribution,
 )
 from repro.analysis.audit import AuditError, InvariantAuditor  # noqa: F401
+from repro.analysis.compare import (  # noqa: F401
+    AXES,
+    MetricDelta,
+    PairedDiff,
+    RunSet,
+    compare,
+    diff_records,
+    format_compare_report,
+    format_runset_summary,
+    joules_per_request,
+    percentile_ci,
+    sketch_rank_halfwidth,
+)
 from repro.analysis.energy import (  # noqa: F401
     ENERGY_COMPONENTS,
     EnergyAttribution,

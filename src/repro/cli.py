@@ -16,6 +16,11 @@ Commands:
 - ``bench``    — run a declared benchmark suite, write machine-readable
   ``BENCH_<suite>.json``, and optionally gate against a committed
   baseline (``--check``);
+- ``pareto``   — sweep policies × load points and render the
+  energy-vs-p99 Pareto frontier (canonical dataset JSON + HTML scatter
+  with drill-down links);
+- ``history``  — parse the committed ``BENCH_*.json`` trajectory into
+  per-scenario time series, flag step changes, render a trend page;
 - ``profile``  — run one experiment under the simulator self-profiler
   and print/export where wall-clock time goes;
 - ``policies`` — list the policy registry.
@@ -202,6 +207,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     runner = Runner(jobs=args.jobs, cache=_cache(args), progress=progress)
     records = runner.run(specs)
+    if args.summary:
+        from repro.analysis.compare import format_runset_summary
+        from repro.analysis.compare import RunSet
+
+        print(format_runset_summary(
+            RunSet.from_records(records),
+            title=f"Sweep summary — {len(records)} records",
+        ))
+        if args.out:
+            path = export_result_records(records, args.out)
+            print(f"wrote {len(records)} records to {path}")
+        return 0
     rows = [
         [r.app, r.policy, spec.load or f"{r.target_rps / 1000:.0f}K", r.seed,
          round(r.p50_ns / 1e6, 3), round(r.p95_ns / 1e6, 3),
@@ -355,7 +372,7 @@ def cmd_energy(args: argparse.Namespace) -> int:
     try:
         result = energy.run(
             args.experiment, settings=settings, jobs=args.jobs,
-            audit=not args.no_audit,
+            audit=not args.no_audit, cache=_cache(args),
         )
         report = energy.format_report(result, diff=args.diff)
     except KeyError as exc:
@@ -374,6 +391,95 @@ def cmd_energy(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report)
         print(f"wrote report to {args.out}")
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments import pareto
+
+    settings = _settings(args)
+
+    def progress(update: RunProgress) -> None:
+        spec = update.spec
+        tag = " (cached)" if update.cached else ""
+        print(
+            f"[{update.index + 1}/{update.total}] {spec.app} "
+            f"{spec.policy_name} @ {spec.target_rps / 1000:.0f}K{tag}",
+            file=sys.stderr,
+        )
+
+    try:
+        dataset, _records = pareto.run(
+            args.preset, settings=settings, jobs=args.jobs,
+            cache=_cache(args), progress=progress,
+        )
+    except KeyError as exc:
+        print(f"repro pareto: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(pareto.format_frontier_report(dataset))
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(dataset.to_json() + "\n")
+        print(f"wrote frontier dataset to {args.out}")
+    if args.html:
+        from repro.viz.frontier import render_frontier, write_dashboard
+
+        links = None
+        if args.detail_dir:
+            links = pareto.write_details(
+                args.preset, settings, args.detail_dir, jobs=args.jobs,
+                href_prefix=os.path.relpath(
+                    args.detail_dir, os.path.dirname(args.html) or "."
+                ),
+            )
+            print(f"wrote {len(links)} drill-down pages to {args.detail_dir}")
+        path = write_dashboard(
+            render_frontier(dataset, links=links), args.html
+        )
+        print(f"wrote frontier page to {path}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.harness.history import (
+        discover_bench_files,
+        flag_steps,
+        format_history_report,
+        load_bench_history,
+    )
+
+    paths = args.paths or discover_bench_files(args.root)
+    if not paths:
+        print(
+            f"repro history: error: no BENCH payloads found under "
+            f"{args.root!r}",
+            file=sys.stderr,
+        )
+        return 2
+    history = load_bench_history(paths)
+    if not history.series:
+        print("repro history: error: no valid BENCH payloads "
+              f"(rejected {len(history.rejected)})", file=sys.stderr)
+        for path, reason in history.rejected:
+            print(f"  {path}: {reason}", file=sys.stderr)
+        return 2
+    flags = flag_steps(history, tolerance_scale=args.tolerance_scale)
+    print(format_history_report(history, flags))
+    if args.html:
+        from repro.viz.frontier import render_trend_page, write_dashboard
+
+        path = write_dashboard(
+            render_trend_page(history, flags), args.html
+        )
+        print(f"wrote trend page to {path}")
+    if args.check:
+        regressions = [f for f in flags if f.direction == "regressed"]
+        return 1 if regressions else 0
     return 0
 
 
@@ -688,6 +794,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", nargs="+", type=int,
                          help="repeat the grid at each seed")
     p_sweep.add_argument("--out", help="write records as JSON to this path")
+    p_sweep.add_argument("--summary", action="store_true",
+                         help="print the cross-run summary table (one row "
+                              "per record: config axes, p50/p99, mJ/req)")
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_head = add_parser("headline", help="abstract's savings table")
@@ -726,6 +835,47 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the invariant auditor")
     p_energy.add_argument("--out", help="also write the report to this path")
     p_energy.set_defaults(fn=cmd_energy)
+
+    p_par = add_parser(
+        "pareto",
+        help="sweep policies x load points and render the energy-vs-p99 "
+             "Pareto frontier (the ROADMAP's headline figure): canonical "
+             "dataset JSON plus a self-contained HTML scatter with "
+             "dominated-point classification and drill-down links",
+    )
+    from repro.experiments import pareto as pareto_experiment
+
+    p_par.add_argument("preset", nargs="?", default="headline",
+                       choices=tuple(pareto_experiment.PRESETS),
+                       help="frontier experiment preset")
+    p_par.add_argument("--out",
+                       help="write the canonical frontier dataset JSON "
+                            "here (byte-identical serial vs pooled)")
+    p_par.add_argument("--html", help="write the frontier HTML page here")
+    p_par.add_argument("--detail-dir",
+                       help="with --html: render per-run timeline "
+                            "dashboards + energy-blame tables into this "
+                            "directory and link them from the point table")
+    p_par.set_defaults(fn=cmd_pareto)
+
+    p_hist = add_parser(
+        "history",
+        help="bench-history regression watch: parse committed "
+             "BENCH_*.json payloads into per-scenario time series, flag "
+             "step changes against tolerances, render a trend page",
+    )
+    p_hist.add_argument("paths", nargs="*",
+                        help="BENCH payload files, oldest need not come "
+                             "first (default: discover committed payloads "
+                             "under --root)")
+    p_hist.add_argument("--root", default=".",
+                        help="repo root for payload discovery (default .)")
+    p_hist.add_argument("--html", help="write the trend HTML page here")
+    p_hist.add_argument("--check", action="store_true",
+                        help="exit 1 when any regression step is flagged")
+    p_hist.add_argument("--tolerance-scale", type=float, default=1.0,
+                        help="multiply every step tolerance")
+    p_hist.set_defaults(fn=cmd_history)
 
     p_bench = add_parser(
         "bench",

@@ -27,6 +27,9 @@ from repro.analysis.energy import (
 )
 from repro.apps.workload import load_level
 from repro.cluster.simulation import ExperimentConfig, run_experiment
+from repro.harness.cache import ResultCache
+from repro.harness.hashing import config_hash
+from repro.harness.record import ResultRecord
 from repro.harness.runner import Runner
 from repro.harness.settings import RunSettings
 from repro.metrics.latency import LatencyStats
@@ -99,9 +102,22 @@ class EnergyResult:
         raise KeyError(f"no energy row for policy {policy!r}")
 
 
-def _run_one(task: Tuple[str, str, str, RunSettings, bool]) -> EnergyRow:
+def _policy_config(
+    preset: EnergyPreset, policy: str, settings: RunSettings
+) -> ExperimentConfig:
+    level = load_level(preset.app, preset.load)
+    return ExperimentConfig.from_settings(
+        settings, app=preset.app, policy=policy,
+        target_rps=level.target_rps,
+    )
+
+
+def _run_one(
+    task: Tuple[str, str, str, RunSettings, bool],
+) -> Tuple[EnergyRow, ResultRecord]:
     """Process-pool worker: one policy's attributed run (module-level,
-    picklable)."""
+    picklable).  Also returns the full record so the parent can land it
+    in the result cache."""
     app, load, policy, settings, audit = task
     level = load_level(app, load)
     config = ExperimentConfig.from_settings(
@@ -109,11 +125,15 @@ def _run_one(task: Tuple[str, str, str, RunSettings, bool]) -> EnergyRow:
     )
     result = run_experiment(config, audit=audit, energy_attribution=True)
     assert result.energy_attribution is not None
-    return EnergyRow(
+    row = EnergyRow(
         policy=policy,
         latency=result.latency,
         attribution=result.energy_attribution,
     )
+    record = ResultRecord.from_result(
+        result, config_hash=config_hash(config), seed=config.seed
+    )
+    return row, record
 
 
 def _run_fleet(preset_name: str, fleet: str, policies: Tuple[str, ...],
@@ -150,12 +170,18 @@ def run(
     settings: RunSettings = RunSettings.standard(),
     jobs: Optional[int] = None,
     audit: bool = True,
+    cache: Optional[ResultCache] = None,
 ) -> EnergyResult:
     """Run the named preset; one attributed run per policy.
 
-    Like the latency-attribution experiments, these runs are never served
-    from the result cache: the accounting is a run-time observer, not a
-    config field, so a cached plain record would have nothing to blame.
+    The attribution is a run-time observer, so it never enters the
+    config hash — a policy's cache key is the same whether the record
+    came from a plain sweep or an energy run.  With a ``cache``, a
+    cached record that *carries* an attribution payload is reused
+    directly (no re-simulation — this is what lets ``--diff`` compare
+    against a previously swept baseline); a cached record without one
+    still re-runs, and the refreshed record (now attributed) replaces
+    it, upgrading the cache entry in place.
     """
     try:
         preset = PRESETS[name]
@@ -167,11 +193,36 @@ def run(
     if preset.fleet is not None:
         rows = _run_fleet(name, preset.fleet, preset.policies, jobs)
     else:
+        rows_by_policy: Dict[str, EnergyRow] = {}
+        pending: List[str] = []
+        for policy in preset.policies:
+            cached = None
+            if cache is not None:
+                cached = cache.get(
+                    config_hash(_policy_config(preset, policy, settings))
+                )
+            attribution = (
+                cached.energy_attribution_report()
+                if cached is not None else None
+            )
+            if cached is not None and attribution is not None:
+                cached.from_cache = True
+                rows_by_policy[policy] = EnergyRow(
+                    policy=policy,
+                    latency=cached.latency,
+                    attribution=attribution,
+                )
+            else:
+                pending.append(policy)
         tasks = [
             (preset.app, preset.load, policy, settings, audit)
-            for policy in preset.policies
+            for policy in pending
         ]
-        rows = Runner(jobs=jobs).map(_run_one, tasks)
+        for row, record in Runner(jobs=jobs).map(_run_one, tasks):
+            if cache is not None:
+                cache.put(record)
+            rows_by_policy[row.policy] = row
+        rows = [rows_by_policy[policy] for policy in preset.policies]
     return EnergyResult(
         name=name, app=preset.app, load=preset.load, rows=rows
     )

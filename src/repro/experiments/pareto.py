@@ -1,0 +1,382 @@
+"""The energy-vs-p99 Pareto frontier: the figure the repo builds toward.
+
+The NCAP paper's whole argument is a trade-off claim — deep-sleep energy
+savings *without* tail-latency loss versus ondemand — so the decisive
+figure is not any single run but the frontier: every (policy, load)
+point plotted as joules-per-request against p99, with the non-dominated
+set drawn as the achievable boundary.  This experiment sweeps policies ×
+load points through the PR 1 sweep harness (cache-aware, serial or
+process-pool) and classifies each point by Pareto dominance on
+minimize(J/req, p99).
+
+Determinism contract: the frontier dataset is a pure function of the
+sweep's ResultRecords, which the harness returns in spec order and
+byte-identically across pool sizes, and the JSON serialization is
+canonical (sorted keys, no wall-clock fields) — so serial and pooled
+executions of the same grid must produce *byte-identical* dataset files.
+The pareto-smoke CI job asserts exactly that.
+
+Exposed on the CLI as ``repro pareto [preset]``; rendered by
+:mod:`repro.viz.frontier`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.compare import joules_per_request, load_label
+from repro.harness.cache import ResultCache
+from repro.harness.hashing import config_hash
+from repro.harness.record import ResultRecord
+from repro.harness.runner import Runner, run_sweep
+from repro.harness.settings import RunSettings
+from repro.harness.spec import RunSpec, SweepSpec
+from repro.metrics.report import format_table
+
+#: Canonical dataset schema; bumped when the point layout changes.
+FRONTIER_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ParetoPreset:
+    """One named frontier experiment: apps × policies × load points.
+
+    Loads are explicit offered rates (requests/s), not level names, so a
+    preset pins the exact grid independent of per-app level tables.
+    """
+
+    apps: Tuple[str, ...]
+    policies: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    note: str = ""
+
+
+#: Named experiments.  ``headline`` is the ROADMAP item-5 figure: every
+#: headline policy across four load points spanning idle-dominated to
+#: near-saturation apache; ``memcached`` repeats it on the second paper
+#: workload; ``smoke`` is the two-policy grid the CI job runs.
+PRESETS: Dict[str, ParetoPreset] = {
+    "headline": ParetoPreset(
+        apps=("apache",),
+        policies=("perf", "ond", "ond.idle", "ncap.cons"),
+        loads=(12_000.0, 24_000.0, 36_000.0, 48_000.0),
+        note="all headline policies across the apache load range",
+    ),
+    "memcached": ParetoPreset(
+        apps=("memcached",),
+        policies=("perf", "ond", "ond.idle", "ncap.cons"),
+        loads=(35_000.0, 70_000.0, 105_000.0, 127_000.0),
+        note="the same frontier on the second paper workload",
+    ),
+    "smoke": ParetoPreset(
+        apps=("apache",),
+        policies=("perf", "ncap.cons"),
+        loads=(12_000.0, 24_000.0),
+        note="CI-sized grid for the determinism gate",
+    ),
+}
+
+
+@dataclass
+class FrontierPoint:
+    """One (app, policy, load, seed) run projected onto the frontier plane."""
+
+    app: str
+    policy: str
+    target_rps: float
+    seed: int
+    joules_per_request: float
+    p99_ns: float
+    p50_ns: float
+    energy_j: float
+    avg_power_w: float
+    achieved_rps: float
+    meets_sla: bool
+    config_hash: str
+    dominated: bool = False
+    #: Label of the first dominating point in dataset order (reports and
+    #: tooltips), empty for frontier members.
+    dominated_by: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}@{load_label(self.target_rps)}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "policy": self.policy,
+            "target_rps": self.target_rps,
+            "seed": self.seed,
+            "joules_per_request": self.joules_per_request,
+            "p99_ns": self.p99_ns,
+            "p50_ns": self.p50_ns,
+            "energy_j": self.energy_j,
+            "avg_power_w": self.avg_power_w,
+            "achieved_rps": self.achieved_rps,
+            "meets_sla": self.meets_sla,
+            "config_hash": self.config_hash,
+            "dominated": self.dominated,
+            "dominated_by": self.dominated_by,
+        }
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` on minimize(J/req, p99)."""
+    return (
+        a.joules_per_request <= b.joules_per_request
+        and a.p99_ns <= b.p99_ns
+        and (
+            a.joules_per_request < b.joules_per_request
+            or a.p99_ns < b.p99_ns
+        )
+    )
+
+
+def classify_dominance(points: List[FrontierPoint]) -> None:
+    """Mark each point dominated/non-dominated, in place.
+
+    ``dominated_by`` names the first dominating point in dataset order,
+    which is deterministic because the dataset order is.
+    """
+    for point in points:
+        point.dominated = False
+        point.dominated_by = ""
+        for other in points:
+            if other is not point and dominates(other, point):
+                point.dominated = True
+                point.dominated_by = other.label
+                break
+
+
+@dataclass
+class FrontierDataset:
+    """The frontier experiment's output: classified points, canonical JSON."""
+
+    name: str
+    points: List[FrontierPoint] = field(default_factory=list)
+
+    def frontier(self) -> List[FrontierPoint]:
+        """The non-dominated set, sorted by joules/request (the polyline)."""
+        return sorted(
+            (p for p in self.points if not p.dominated),
+            key=lambda p: (p.joules_per_request, p.p99_ns),
+        )
+
+    def policies(self) -> List[str]:
+        return sorted({p.policy for p in self.points})
+
+    def loads(self) -> List[float]:
+        return sorted({p.target_rps for p in self.points})
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": FRONTIER_SCHEMA_VERSION,
+            "name": self.name,
+            "objectives": ["joules_per_request", "p99_ns"],
+            "points": [p.to_json_dict() for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, fixed separators, no
+        wall-clock fields — the byte-identity contract of the CI gate."""
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "FrontierDataset":
+        schema = data.get("schema")
+        if schema != FRONTIER_SCHEMA_VERSION:
+            raise ValueError(
+                f"frontier schema {schema!r} != {FRONTIER_SCHEMA_VERSION}"
+            )
+        return cls(
+            name=str(data["name"]),
+            points=[FrontierPoint(**p) for p in data["points"]],
+        )
+
+
+def dataset_from_records(
+    records: List[ResultRecord], name: str = "frontier"
+) -> FrontierDataset:
+    """Project sweep records onto the frontier plane and classify them.
+
+    Points keep the records' (spec) order, so the dataset inherits the
+    sweep harness's serial==pooled byte-identity.
+    """
+    points = [
+        FrontierPoint(
+            app=r.app,
+            policy=r.policy,
+            target_rps=r.target_rps,
+            seed=r.seed,
+            joules_per_request=joules_per_request(r),
+            p99_ns=r.p99_ns,
+            p50_ns=r.p50_ns,
+            energy_j=r.energy_j,
+            avg_power_w=r.avg_power_w,
+            achieved_rps=r.achieved_rps,
+            meets_sla=r.meets_sla,
+            config_hash=r.config_hash,
+        )
+        for r in records
+    ]
+    classify_dominance(points)
+    return FrontierDataset(name=name, points=points)
+
+
+def sweep_spec(
+    preset: ParetoPreset, settings: RunSettings
+) -> SweepSpec:
+    """The preset's grid as a harness sweep (cache-aware, pool-ready)."""
+    return SweepSpec(
+        apps=preset.apps,
+        policies=preset.policies,
+        loads=preset.loads,
+        settings=settings,
+    )
+
+
+def run(
+    name: str = "headline",
+    settings: RunSettings = RunSettings.standard(),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress=None,
+) -> Tuple[FrontierDataset, List[ResultRecord]]:
+    """Run the named preset through the sweep harness.
+
+    Returns the classified dataset plus the raw records (for summary
+    tables and per-run drill-down rendering).
+    """
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pareto experiment {name!r}; "
+            f"choose from {sorted(PRESETS)}"
+        ) from None
+    records = run_sweep(
+        sweep_spec(preset, settings), jobs=jobs, cache=cache,
+        progress=progress,
+    )
+    return dataset_from_records(records, name=name), records
+
+
+def _render_detail(spec: RunSpec) -> Tuple[str, str, str]:
+    """Process-pool worker: one frontier point's drill-down artifacts.
+
+    Re-runs the point with the flight recorder and energy attribution
+    attached (observers never enter the config hash, so this names the
+    same cache key as the sweep record) and renders the timeline
+    dashboard page plus the energy-blame text table.
+    """
+    from repro.analysis.energy import (
+        format_energy_blame,
+        format_governor_misses,
+    )
+    from repro.cluster.simulation import run_experiment
+    from repro.viz.dashboard import dashboard_from_result
+
+    config = spec.to_config()
+    key = config_hash(config)
+    result = run_experiment(
+        config, record_timeseries="coarse", energy_attribution=True
+    )
+    label = (
+        f"{spec.policy_name}@{load_label(spec.target_rps)} ({spec.app})"
+    )
+    page = dashboard_from_result(
+        result, config=config, title=f"Frontier point {label}"
+    )
+    assert result.energy_attribution is not None
+    pairs = [(spec.policy_name, result.energy_attribution)]
+    blame = (
+        format_energy_blame(pairs, title=f"Energy blame — {label}")
+        + "\n\n"
+        + format_governor_misses(pairs)
+    )
+    return key, page, blame
+
+
+def write_details(
+    name: str,
+    settings: RunSettings,
+    out_dir: str,
+    jobs: Optional[int] = None,
+    href_prefix: Optional[str] = None,
+) -> Dict[str, Dict[str, str]]:
+    """Render every grid point's drill-down pages into ``out_dir``.
+
+    Returns the ``links`` map for :func:`repro.viz.frontier.
+    render_frontier` — ``config_hash`` → ``{"timeline": href, "energy":
+    href}``, with hrefs under ``href_prefix`` (default: the directory's
+    basename, i.e. relative to the frontier page sitting next to it).
+    """
+    preset = PRESETS[name]
+    specs = sweep_spec(preset, settings).expand()
+    os.makedirs(out_dir, exist_ok=True)
+    prefix = href_prefix if href_prefix is not None else os.path.basename(
+        os.path.normpath(out_dir)
+    )
+    links: Dict[str, Dict[str, str]] = {}
+    for key, page, blame in Runner(jobs=jobs).map(_render_detail, specs):
+        with open(
+            os.path.join(out_dir, f"{key}.html"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(page)
+        with open(
+            os.path.join(out_dir, f"{key}_energy.txt"), "w",
+            encoding="utf-8",
+        ) as fh:
+            fh.write(blame + "\n")
+        links[key] = {
+            "timeline": f"{prefix}/{key}.html",
+            "energy": f"{prefix}/{key}_energy.txt",
+        }
+    return links
+
+
+def format_frontier_report(
+    dataset: FrontierDataset, title: Optional[str] = None
+) -> str:
+    """Point table (frontier members first) plus the frontier summary."""
+    preset = PRESETS.get(dataset.name)
+    note = f" — {preset.note}" if preset and preset.note else ""
+    ordered = sorted(
+        dataset.points,
+        key=lambda p: (p.dominated, p.joules_per_request, p.p99_ns),
+    )
+    rows = []
+    for p in ordered:
+        rows.append([
+            p.app,
+            p.policy,
+            load_label(p.target_rps),
+            f"{1e3 * p.joules_per_request:.4f}",
+            round(p.p99_ns / 1e6, 3),
+            round(p.p50_ns / 1e6, 3),
+            round(p.avg_power_w, 2),
+            "met" if p.meets_sla else "VIOLATED",
+            "frontier" if not p.dominated else f"dom. by {p.dominated_by}",
+        ])
+    table = format_table(
+        ["app", "policy", "load", "mJ/req", "p99 (ms)", "p50 (ms)",
+         "power (W)", "SLA", "class"],
+        rows,
+        title=title or (
+            f"Pareto frontier: {dataset.name}{note} "
+            f"(minimize mJ/req × p99)"
+        ),
+    )
+    frontier = dataset.frontier()
+    members = ", ".join(p.label for p in frontier)
+    return (
+        f"{table}\n"
+        f"frontier: {len(frontier)}/{len(dataset.points)} non-dominated "
+        f"[{members}]"
+    )

@@ -33,6 +33,15 @@ from repro.harness.bench import (
 )
 from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.harness.hashing import HASH_SCHEMA_VERSION, canonical_json, config_hash
+from repro.harness.history import (
+    BenchHistory,
+    StepFlag,
+    TrendSeries,
+    discover_bench_files,
+    flag_steps,
+    format_history_report,
+    load_bench_history,
+)
 from repro.harness.record import RECORD_SCHEMA_VERSION, ResultRecord
 from repro.harness.runner import (
     JOBS_ENV,
@@ -49,8 +58,11 @@ from repro.harness.suites import SUITES, get_suite
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchCheck",
+    "BenchHistory",
     "BenchScenario",
     "BenchSuite",
+    "StepFlag",
+    "TrendSeries",
     "DEFAULT_CACHE_DIR",
     "HASH_SCHEMA_VERSION",
     "JOBS_ENV",
@@ -71,9 +83,13 @@ __all__ = [
     "compare_to_baseline",
     "config_hash",
     "default_cache_dir",
+    "discover_bench_files",
     "execute_spec",
+    "flag_steps",
     "format_check_report",
+    "format_history_report",
     "format_suite_report",
+    "load_bench_history",
     "get_suite",
     "load_bench_json",
     "policy_label",

@@ -10,3 +10,7 @@ from repro.viz.dashboard import (  # noqa: F401 - re-exported
     standard_panels,
     write_dashboard,
 )
+from repro.viz.frontier import (  # noqa: F401 - re-exported
+    render_frontier,
+    render_trend_page,
+)

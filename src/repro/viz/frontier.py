@@ -1,0 +1,390 @@
+"""Frontier and trend pages: cross-run figures as self-contained HTML.
+
+Two renderers in the dashboard family (inline SVG/CSS/JS, no external
+assets, CVD-safe palette, light/dark via the shared surface tokens):
+
+* :func:`render_frontier` — the energy-vs-p99 Pareto scatter for a
+  :class:`~repro.experiments.pareto.FrontierDataset`: one marker per
+  (policy, load) run (filled = frontier member, hollow = dominated), the
+  non-dominated polyline, native SVG tooltips, a per-policy legend, and
+  a point table with optional drill-down links into each run's timeline
+  dashboard and energy-blame report.  The canonical dataset JSON is
+  embedded in the page (``id="frontier-data"``) so CI can introspect the
+  rendered figure without re-running the sweep.
+
+* :func:`render_trend_page` — the bench-history trajectory from
+  :mod:`repro.harness.history`: one sparkline panel per (suite,
+  scenario) metric series, with tolerance-breaking steps marked in the
+  alert accent.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.viz.dashboard import _CSS, _fmt, _nice_step, write_dashboard
+
+__all__ = [
+    "render_frontier",
+    "render_trend_page",
+    "write_dashboard",
+]
+
+# Scatter geometry (CSS pixels; the page scales the viewBox).
+_W, _H = 960, 520
+_X0, _X1 = 70, 930
+_Y0, _Y1 = 24, 446
+
+_EXTRA_CSS = """
+.scatter-svg { width: 100%; height: auto; display: block; }
+.pt { stroke-width: 2; }
+.pt.dominated { fill: var(--surface); opacity: 0.75; }
+.pt.s0 { stroke: var(--s0); } .pt.s1 { stroke: var(--s1); }
+.pt.s2 { stroke: var(--s2); } .pt.s3 { stroke: var(--s3); }
+.pt.fill-s0 { fill: var(--s0); } .pt.fill-s1 { fill: var(--s1); }
+.pt.fill-s2 { fill: var(--s2); } .pt.fill-s3 { fill: var(--s3); }
+.front-line { fill: none; stroke: var(--ink-muted); stroke-width: 1.5;
+  stroke-dasharray: 6 4; }
+.sla-violated { stroke: var(--alert); stroke-width: 1.2;
+  stroke-dasharray: 2 2; fill: none; }
+.point-table { border-collapse: collapse; font-size: 12px; margin: 10px 0; }
+.point-table th, .point-table td { border: 1px solid var(--panel-border);
+  padding: 3px 9px; text-align: right; }
+.point-table td.l, .point-table th.l { text-align: left; }
+.point-table a { color: var(--s0); }
+.frontier-row { font-weight: 600; }
+.spark { margin: 4px 0 14px; }
+.spark-svg { width: 100%; max-width: 720px; height: auto; display: block; }
+.spark .name { font-size: 13px; }
+.spark .flagged { fill: var(--alert); }
+.step-list { font-size: 13px; }
+.step-list .alert { color: var(--alert); font-weight: 600; }
+"""
+
+_THEME_JS = """
+(function () {
+  var toggle = document.getElementById("theme-toggle");
+  toggle.addEventListener("click", function () {
+    var root = document.documentElement;
+    var dark = root.getAttribute("data-theme") === "dark" ||
+      (root.getAttribute("data-theme") !== "light" &&
+       matchMedia("(prefers-color-scheme: dark)").matches);
+    root.setAttribute("data-theme", dark ? "light" : "dark");
+  });
+})();
+"""
+
+
+def _page(title: str, subtitle: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}{_EXTRA_CSS}</style>\n"
+        "</head><body>\n"
+        "<header>"
+        f"<h1>{html.escape(title)}</h1>"
+        f'<span class="meta">{html.escape(subtitle)}</span>'
+        '<button id="theme-toggle" type="button">theme</button>'
+        "</header>\n"
+        f"{body}\n"
+        f"<script>{_THEME_JS}</script>\n"
+        "</body></html>\n"
+    )
+
+
+class _Scale:
+    """Linear data→pixel map with a small padding margin."""
+
+    def __init__(self, lo: float, hi: float, p0: float, p1: float):
+        if hi <= lo:
+            hi = lo + 1.0
+        span = hi - lo
+        self.lo, self.hi = lo - 0.06 * span, hi + 0.06 * span
+        self.p0, self.p1 = p0, p1
+
+    def __call__(self, value: float) -> float:
+        frac = (value - self.lo) / (self.hi - self.lo)
+        return self.p0 + frac * (self.p1 - self.p0)
+
+
+def _axis_ticks(lo: float, hi: float) -> List[float]:
+    step = _nice_step(hi - lo)
+    tick = (lo // step) * step
+    ticks = []
+    while tick <= hi:
+        if tick >= lo:
+            ticks.append(tick)
+        tick += step
+    return ticks
+
+
+def policy_slots(policies: Sequence[str]) -> Dict[str, int]:
+    """Stable palette slot per policy (sorted order, 4 slots)."""
+    return {name: i % 4 for i, name in enumerate(sorted(policies))}
+
+
+def _scatter_svg(dataset, slots: Dict[str, int]) -> str:
+    xs = [1e3 * p.joules_per_request for p in dataset.points]
+    ys = [p.p99_ns / 1e6 for p in dataset.points]
+    sx = _Scale(min(xs), max(xs), _X0, _X1)
+    sy = _Scale(min(ys), max(ys), _Y1, _Y0)  # y grows downward
+    parts: List[str] = [
+        f'<svg class="scatter-svg" viewBox="0 0 {_W} {_H}" '
+        'role="img" aria-label="Energy vs p99 Pareto frontier">'
+    ]
+    for tick in _axis_ticks(sx.lo, sx.hi):
+        px = sx(tick)
+        parts.append(
+            f'<line class="grid" x1="{px:.1f}" y1="{_Y0}" '
+            f'x2="{px:.1f}" y2="{_Y1}"/>'
+            f'<text class="tick" x="{px:.1f}" y="{_Y1 + 16}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _axis_ticks(sy.hi, sy.lo):
+        py = sy(tick)
+        parts.append(
+            f'<line class="grid" x1="{_X0}" y1="{py:.1f}" '
+            f'x2="{_X1}" y2="{py:.1f}"/>'
+            f'<text class="tick" x="{_X0 - 6}" y="{py + 3:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<text class="tick axis-name" x="{(_X0 + _X1) / 2:.0f}" '
+        f'y="{_Y1 + 34}" text-anchor="middle">energy (mJ/request)</text>'
+        f'<text class="tick axis-name" x="14" y="{(_Y0 + _Y1) / 2:.0f}" '
+        f'text-anchor="middle" transform="rotate(-90 14 '
+        f'{(_Y0 + _Y1) / 2:.0f})">p99 latency (ms)</text>'
+    )
+    frontier = dataset.frontier()
+    if len(frontier) >= 2:
+        path = " ".join(
+            f"{sx(1e3 * p.joules_per_request):.1f},{sy(p.p99_ns / 1e6):.1f}"
+            for p in frontier
+        )
+        parts.append(f'<polyline class="front-line" points="{path}"/>')
+    for point in dataset.points:
+        px = sx(1e3 * point.joules_per_request)
+        py = sy(point.p99_ns / 1e6)
+        slot = slots[point.policy]
+        tip = (
+            f"{point.label} — {1e3 * point.joules_per_request:.4f} mJ/req, "
+            f"p99 {point.p99_ns / 1e6:.3f} ms"
+            + ("" if point.meets_sla else " — SLA VIOLATED")
+            + ("" if not point.dominated
+               else f" — dominated by {point.dominated_by}")
+        )
+        if point.dominated:
+            cls = f"pt dominated s{slot}"
+            radius = 4.5
+        else:
+            cls = f"pt s{slot} fill-s{slot}"
+            radius = 6.0
+        parts.append(
+            f'<circle class="{cls}" cx="{px:.1f}" cy="{py:.1f}" '
+            f'r="{radius}"><title>{html.escape(tip)}</title></circle>'
+        )
+        if not point.meets_sla:
+            parts.append(
+                f'<circle class="sla-violated" cx="{px:.1f}" '
+                f'cy="{py:.1f}" r="{radius + 3.5}"/>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(slots: Dict[str, int]) -> str:
+    keys = "".join(
+        f'<span class="key"><span class="chip s{slot}"></span>'
+        f"{html.escape(policy)}</span>"
+        for policy, slot in sorted(slots.items())
+    )
+    return (
+        f'<div class="legend">{keys}'
+        '<span class="key">filled = frontier, hollow = dominated, '
+        "red ring = SLA violated</span></div>"
+    )
+
+
+def _point_table(
+    dataset, links: Optional[Dict[str, Dict[str, str]]]
+) -> str:
+    header = (
+        '<tr><th class="l">point</th><th class="l">app</th>'
+        "<th>mJ/req</th><th>p99 (ms)</th><th>p50 (ms)</th>"
+        "<th>power (W)</th><th>SLA</th>"
+        '<th class="l">class</th><th class="l">drill-down</th></tr>'
+    )
+    rows = []
+    ordered = sorted(
+        dataset.points,
+        key=lambda p: (p.dominated, p.joules_per_request, p.p99_ns),
+    )
+    for p in ordered:
+        drill = ""
+        for kind, href in sorted((links or {}).get(p.config_hash, {}).items()):
+            drill += (
+                f'<a href="{html.escape(href, quote=True)}">'
+                f"{html.escape(kind)}</a> "
+            )
+        cls = "" if p.dominated else ' class="frontier-row"'
+        rows.append(
+            f"<tr{cls}>"
+            f'<td class="l">{html.escape(p.label)}</td>'
+            f'<td class="l">{html.escape(p.app)}</td>'
+            f"<td>{1e3 * p.joules_per_request:.4f}</td>"
+            f"<td>{p.p99_ns / 1e6:.3f}</td>"
+            f"<td>{p.p50_ns / 1e6:.3f}</td>"
+            f"<td>{p.avg_power_w:.2f}</td>"
+            f"<td>{'met' if p.meets_sla else 'VIOLATED'}</td>"
+            f'<td class="l">'
+            f"{'frontier' if not p.dominated else html.escape('dom. by ' + p.dominated_by)}"
+            f'</td><td class="l">{drill.strip() or "-"}</td></tr>'
+        )
+    return f'<table class="point-table">{header}{"".join(rows)}</table>'
+
+
+def render_frontier(
+    dataset,
+    title: Optional[str] = None,
+    subtitle: str = "",
+    links: Optional[Dict[str, Dict[str, str]]] = None,
+) -> str:
+    """The Pareto scatter page for a
+    :class:`~repro.experiments.pareto.FrontierDataset`.
+
+    ``links`` maps ``config_hash`` → ``{kind: relative_href}`` drill-down
+    targets (e.g. ``{"timeline": "runs/ab12.html", "energy":
+    "runs/ab12_energy.txt"}``), rendered in the point table.
+    """
+    if not dataset.points:
+        return _page(
+            title or "Pareto frontier", subtitle,
+            '<p class="muted">no points</p>',
+        )
+    slots = policy_slots(dataset.policies())
+    frontier = dataset.frontier()
+    default_subtitle = (
+        f"{len(dataset.points)} runs, {len(frontier)} on the frontier — "
+        f"{len(slots)} policies x {len(dataset.loads())} load points"
+    )
+    body = (
+        _legend(slots)
+        + _scatter_svg(dataset, slots)
+        + _point_table(dataset, links)
+        + '<script id="frontier-data" type="application/json">'
+        + dataset.to_json()
+        + "</script>"
+    )
+    return _page(
+        title or f"Pareto frontier: {dataset.name}",
+        subtitle or default_subtitle,
+        body,
+    )
+
+
+# -- bench-history trend panels ---------------------------------------------
+
+_SPARK_W, _SPARK_H = 720, 72
+_SPARK_X0, _SPARK_X1 = 8, 600
+_SPARK_Y0, _SPARK_Y1 = 8, 60
+
+
+def _spark_svg(series, flagged: set) -> str:
+    values = [p.value for p in series.points]
+    lo, hi = min(values), max(values)
+    sy = _Scale(lo, hi, _SPARK_Y1, _SPARK_Y0)
+    n = len(values)
+    step = (_SPARK_X1 - _SPARK_X0) / max(1, n - 1)
+    coords = [
+        (_SPARK_X0 + i * step, sy(v)) for i, v in enumerate(values)
+    ]
+    parts = [
+        f'<svg class="spark-svg" viewBox="0 0 {_SPARK_W} {_SPARK_H}" '
+        f'role="img" aria-label="{html.escape(series.scenario)} trend">'
+    ]
+    if n >= 2:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+        parts.append(
+            f'<polyline class="line s0" points="{path}" '
+            'style="stroke-width:1.5"/>'
+        )
+    for i, ((x, y), point) in enumerate(zip(coords, series.points)):
+        cls = "flagged" if i in flagged else "s0"
+        fill = "var(--alert)" if i in flagged else "var(--s0)"
+        tip = (
+            f"{series.metric} = {point.value:.4g} "
+            f"[{point.source.rsplit('/', 1)[-1]}]"
+        )
+        parts.append(
+            f'<circle class="pt {cls}" cx="{x:.1f}" cy="{y:.1f}" r="3.5" '
+            f'style="fill:{fill};stroke:none">'
+            f"<title>{html.escape(tip)}</title></circle>"
+        )
+    parts.append(
+        f'<text class="tick" x="{_SPARK_X1 + 10}" y="{_SPARK_Y0 + 8}" '
+        f'text-anchor="start">{_fmt(hi)}</text>'
+        f'<text class="tick" x="{_SPARK_X1 + 10}" y="{_SPARK_Y1}" '
+        f'text-anchor="start">{_fmt(lo)}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_trend_page(
+    history,
+    flags=None,
+    metric: str = "wall_s.min",
+    title: str = "Bench history",
+) -> str:
+    """The trajectory page for a
+    :class:`~repro.harness.history.BenchHistory`.
+
+    One sparkline per (suite, scenario) for the chosen ``metric``;
+    points that end a tolerance-breaking step are marked in the alert
+    accent, and every flag (all metrics) is listed below the panels.
+    """
+    from repro.harness.history import flag_steps
+
+    if flags is None:
+        flags = flag_steps(history)
+    flagged_after = {
+        (f.suite, f.scenario, f.metric, f.after.source) for f in flags
+    }
+    panels = []
+    for series in history.series:
+        if series.metric != metric:
+            continue
+        flagged = {
+            i for i, p in enumerate(series.points)
+            if (series.suite, series.scenario, metric, p.source)
+            in flagged_after
+        }
+        panels.append(
+            '<figure class="spark">'
+            f'<figcaption><span class="name">'
+            f"{html.escape(series.suite)}/{html.escape(series.scenario)}"
+            f'</span> <span class="unit">{html.escape(metric)}, '
+            f"{len(series.points)} runs</span></figcaption>"
+            + _spark_svg(series, flagged)
+            + "</figure>"
+        )
+    if flags:
+        items = "".join(
+            f'<li class="alert">{html.escape(f.describe())}</li>'
+            if f.direction == "regressed"
+            else f"<li>{html.escape(f.describe())}</li>"
+            for f in flags
+        )
+        steps = (
+            f'<div class="step-list"><p>step changes ({len(flags)}):</p>'
+            f"<ul>{items}</ul></div>"
+        )
+    else:
+        steps = '<p class="muted">no step changes beyond tolerance</p>'
+    subtitle = (
+        f"{len(history.sources)} payloads, "
+        f"{sum(1 for s in history.series if s.metric == metric)} scenarios"
+    )
+    return _page(title, subtitle, "".join(panels) + steps)

@@ -260,3 +260,48 @@ class TestExperimentPresets:
         assert "Energy decomposition" in block
         assert "wasted shallow" in block
         assert "Governor decisions" in block
+
+
+class TestExperimentCache:
+    """``repro energy`` reuses cached attributed records (the --diff fix)."""
+
+    def test_second_run_served_from_cache(self, tmp_path):
+        from repro.experiments import energy as energy_exp
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        first = energy_exp.run("fig4", settings=QUICK, jobs=1, cache=cache)
+        assert cache.stores == 2 and cache.hits == 0
+        second = energy_exp.run("fig4", settings=QUICK, jobs=1, cache=cache)
+        assert cache.hits == 2 and cache.stores == 2
+        for row_a, row_b in zip(first.rows, second.rows):
+            assert row_a.policy == row_b.policy
+            assert json.dumps(row_a.attribution.to_json_dict()) == (
+                json.dumps(row_b.attribution.to_json_dict())
+            )
+            assert row_a.latency.p99_ns == row_b.latency.p99_ns
+
+    def test_unattributed_cache_entry_upgraded_in_place(self, tmp_path):
+        from repro.experiments import energy as energy_exp
+        from repro.harness.cache import ResultCache
+        from repro.harness.hashing import config_hash
+        from repro.harness.record import ResultRecord
+
+        cache = ResultCache(str(tmp_path))
+        # Seed the cache the way a plain (unattributed) sweep would.
+        preset = energy_exp.PRESETS["fig4"]
+        for policy in preset.policies:
+            config = energy_exp._policy_config(preset, policy, QUICK)
+            result = run_experiment(config)
+            record = ResultRecord.from_result(
+                result, config_hash=config_hash(config), seed=config.seed
+            )
+            assert record.energy_attribution_report() is None
+            cache.put(record)
+        # The energy run must re-simulate (no attribution payload yet)...
+        energy_exp.run("fig4", settings=QUICK, jobs=1, cache=cache)
+        assert cache.stores == 4  # 2 seeds + 2 upgraded entries
+        # ...after which the upgraded entries satisfy a fresh run.
+        fresh = ResultCache(str(tmp_path))
+        energy_exp.run("fig4", settings=QUICK, jobs=1, cache=fresh)
+        assert fresh.hits == 2 and fresh.stores == 0

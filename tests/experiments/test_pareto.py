@@ -1,0 +1,168 @@
+"""Pareto frontier experiment tests: dominance math, dataset canonical
+JSON, and the acceptance-criteria serial==pooled byte identity."""
+
+import json
+
+import pytest
+
+from repro.experiments import pareto
+from repro.experiments.pareto import (
+    PRESETS,
+    FrontierDataset,
+    FrontierPoint,
+    classify_dominance,
+    dataset_from_records,
+    dominates,
+    format_frontier_report,
+    run,
+    sweep_spec,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.runner import run_sweep
+from repro.harness.settings import RunSettings
+
+
+def point(policy="perf", rps=12_000.0, jpr=1.0, p99=1.0, **kwargs):
+    defaults = dict(
+        app="apache",
+        policy=policy,
+        target_rps=rps,
+        seed=1,
+        joules_per_request=jpr,
+        p99_ns=p99,
+        p50_ns=p99 / 2,
+        energy_j=jpr * 1000,
+        avg_power_w=20.0,
+        achieved_rps=rps,
+        meets_sla=True,
+        config_hash=f"{policy}-{rps:g}",
+    )
+    defaults.update(kwargs)
+    return FrontierPoint(**defaults)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(point(jpr=1.0, p99=1.0), point(jpr=2.0, p99=2.0))
+        assert not dominates(point(jpr=2.0, p99=2.0), point(jpr=1.0, p99=1.0))
+
+    def test_tie_on_one_axis_still_dominates(self):
+        assert dominates(point(jpr=1.0, p99=1.0), point(jpr=1.0, p99=2.0))
+        assert dominates(point(jpr=1.0, p99=1.0), point(jpr=2.0, p99=1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(point(jpr=1.0, p99=1.0), point(jpr=1.0, p99=1.0))
+
+    def test_tradeoff_points_incomparable(self):
+        a, b = point(jpr=1.0, p99=2.0), point(jpr=2.0, p99=1.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_classify_marks_and_names_dominator(self):
+        pts = [
+            point("ncap.cons", jpr=1.0, p99=1.0),
+            point("perf", jpr=2.0, p99=2.0),
+            point("ond", jpr=0.5, p99=3.0),
+        ]
+        classify_dominance(pts)
+        assert [p.dominated for p in pts] == [False, True, False]
+        assert pts[1].dominated_by == pts[0].label
+        assert pts[0].dominated_by == ""
+
+    def test_classify_is_idempotent(self):
+        pts = [point("a", jpr=1.0, p99=1.0), point("b", jpr=2.0, p99=2.0)]
+        classify_dominance(pts)
+        first = [(p.dominated, p.dominated_by) for p in pts]
+        classify_dominance(pts)
+        assert [(p.dominated, p.dominated_by) for p in pts] == first
+
+
+class TestDataset:
+    def _dataset(self):
+        pts = [
+            point("perf", jpr=2.0, p99=1.0),
+            point("ncap.cons", jpr=1.0, p99=1.5),
+            point("ond", jpr=2.5, p99=2.5),
+        ]
+        classify_dominance(pts)
+        return FrontierDataset(name="smoke", points=pts)
+
+    def test_frontier_sorted_by_jpr(self):
+        front = self._dataset().frontier()
+        assert [p.policy for p in front] == ["ncap.cons", "perf"]
+
+    def test_json_roundtrip_byte_stable(self):
+        ds = self._dataset()
+        text = ds.to_json()
+        rebuilt = FrontierDataset.from_json_dict(json.loads(text))
+        assert rebuilt.to_json() == text
+        assert rebuilt.policies() == ds.policies()
+        assert rebuilt.loads() == ds.loads()
+
+    def test_schema_gate(self):
+        data = json.loads(self._dataset().to_json())
+        data["schema"] = 999
+        with pytest.raises(ValueError):
+            FrontierDataset.from_json_dict(data)
+
+    def test_canonical_json_has_no_whitespace_or_clock(self):
+        text = self._dataset().to_json()
+        assert ": " not in text and ", " not in text
+        assert "time" not in json.loads(text)
+
+    def test_report_lists_frontier_members(self):
+        report = format_frontier_report(self._dataset())
+        assert "frontier: 2/3 non-dominated" in report
+        assert "dom. by" in report
+        assert "mJ/req" in report
+
+
+class TestPresets:
+    def test_headline_covers_required_grid(self):
+        preset = PRESETS["headline"]
+        for policy in ("ncap.cons", "ond.idle", "perf"):
+            assert policy in preset.policies
+        assert len(preset.loads) >= 4
+
+    def test_sweep_spec_expands_full_grid(self):
+        preset = PRESETS["smoke"]
+        specs = sweep_spec(preset, RunSettings.quick()).expand()
+        assert len(specs) == len(preset.policies) * len(preset.loads)
+        assert {s.policy_name for s in specs} == set(preset.policies)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            run("nope", settings=RunSettings.quick())
+
+
+class TestEndToEnd:
+    def test_serial_and_pooled_datasets_byte_identical(self, tmp_path):
+        """The acceptance-criteria determinism gate, in-process."""
+        settings = RunSettings.quick()
+        spec = sweep_spec(PRESETS["smoke"], settings)
+        serial = dataset_from_records(
+            run_sweep(spec, jobs=1), name="smoke"
+        )
+        pooled = dataset_from_records(
+            run_sweep(spec, jobs=2), name="smoke"
+        )
+        assert serial.to_json() == pooled.to_json()
+        assert len(serial.points) == 4
+        assert any(p.dominated for p in serial.points)
+        assert len(serial.frontier()) >= 1
+        # every point carries finite objectives
+        for p in serial.points:
+            assert p.joules_per_request > 0
+            assert p.p99_ns > 0
+
+    def test_run_uses_cache_on_second_pass(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        settings = RunSettings.quick()
+        ds1, records1 = run("smoke", settings=settings, jobs=1, cache=cache)
+        assert cache.stores == 4
+        ds2, records2 = run("smoke", settings=settings, jobs=1, cache=cache)
+        assert cache.hits == 4
+        assert all(r.from_cache for r in records2)
+        assert ds1.to_json() == ds2.to_json()
+        assert pareto.FRONTIER_SCHEMA_VERSION == json.loads(ds1.to_json())[
+            "schema"
+        ]

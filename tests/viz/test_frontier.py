@@ -1,0 +1,179 @@
+"""Frontier and trend page rendering: structure checks on the emitted
+HTML, mirroring the dashboard test idiom (no browser, pure parsing)."""
+
+import json
+from html.parser import HTMLParser
+
+from repro.experiments.pareto import (
+    FrontierDataset,
+    FrontierPoint,
+    classify_dominance,
+)
+from repro.harness.history import flag_steps, load_bench_history
+from repro.viz.frontier import policy_slots, render_frontier, render_trend_page
+
+from tests.harness.test_history import make_payload, write_payload
+
+VOID_TAGS = {"meta", "br", "hr", "img", "input", "link", "rect", "line",
+             "path", "circle", "text", "polyline"}
+
+
+class _StructureParser(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.counts = {}
+        self.attrs = []
+
+    def handle_starttag(self, tag, attrs):
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        self.attrs.append((tag, dict(attrs)))
+        if tag not in VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        self.attrs.append((tag, dict(attrs)))
+
+    def handle_endtag(self, tag):
+        if tag in VOID_TAGS:
+            return
+        assert self.stack and self.stack[-1] == tag, (
+            f"unbalanced </{tag}>, stack {self.stack[-5:]}"
+        )
+        self.stack.pop()
+
+
+def parse(html_text):
+    parser = _StructureParser()
+    parser.feed(html_text)
+    assert parser.stack == [], f"unclosed tags: {parser.stack}"
+    return parser
+
+
+def make_dataset(sla_violation=False):
+    points = [
+        FrontierPoint(
+            app="apache", policy="ncap.cons", target_rps=12_000.0, seed=1,
+            joules_per_request=0.001, p99_ns=4e6, p50_ns=2e6,
+            energy_j=12.0, avg_power_w=15.0, achieved_rps=12_000.0,
+            meets_sla=True, config_hash="aaa111",
+        ),
+        FrontierPoint(
+            app="apache", policy="perf", target_rps=12_000.0, seed=1,
+            joules_per_request=0.002, p99_ns=3e6, p50_ns=1.5e6,
+            energy_j=24.0, avg_power_w=25.0, achieved_rps=12_000.0,
+            meets_sla=True, config_hash="bbb222",
+        ),
+        FrontierPoint(
+            app="apache", policy="ond", target_rps=24_000.0, seed=1,
+            joules_per_request=0.003, p99_ns=9e6, p50_ns=4e6,
+            energy_j=30.0, avg_power_w=22.0, achieved_rps=24_000.0,
+            meets_sla=not sla_violation, config_hash="ccc333",
+        ),
+    ]
+    classify_dominance(points)
+    return FrontierDataset(name="smoke", points=points)
+
+
+class TestFrontierPage:
+    def test_structure_balanced_and_complete(self):
+        page = render_frontier(make_dataset())
+        parser = parse(page)
+        assert parser.counts.get("svg", 0) >= 1
+        assert parser.counts.get("polyline", 0) >= 1  # the frontier line
+        assert parser.counts.get("table", 0) == 1
+        assert parser.counts.get("circle", 0) >= 3
+        assert "<!DOCTYPE html>" in page
+        assert "Pareto frontier: smoke" in page
+
+    def test_embedded_dataset_json_parses_back(self):
+        ds = make_dataset()
+        page = render_frontier(ds)
+        marker = '<script id="frontier-data" type="application/json">'
+        assert marker in page
+        payload = page.split(marker, 1)[1].split("</script>", 1)[0]
+        rebuilt = FrontierDataset.from_json_dict(json.loads(payload))
+        assert rebuilt.to_json() == ds.to_json()
+
+    def test_frontier_vs_dominated_markers(self):
+        page = render_frontier(make_dataset())
+        parser = parse(page)
+        circle_classes = [
+            a.get("class", "") for t, a in parser.attrs if t == "circle"
+        ]
+        assert any("dominated" in c for c in circle_classes)
+        assert any("fill-s" in c for c in circle_classes)
+        assert "dom. by" in page
+
+    def test_sla_violation_ring(self):
+        clean = render_frontier(make_dataset(sla_violation=False))
+        violated = render_frontier(make_dataset(sla_violation=True))
+        assert 'class="sla-violated"' not in clean
+        assert 'class="sla-violated"' in violated
+        assert "SLA VIOLATED" in violated
+
+    def test_drill_down_links(self):
+        links = {
+            "aaa111": {"timeline": "details/aaa111.html",
+                       "energy": "details/aaa111_energy.txt"},
+        }
+        page = render_frontier(make_dataset(), links=links)
+        parser = parse(page)
+        hrefs = [a["href"] for t, a in parser.attrs
+                 if t == "a" and "href" in a]
+        assert "details/aaa111.html" in hrefs
+        assert "details/aaa111_energy.txt" in hrefs
+        # points without links render a dash, not a dead anchor
+        assert len(hrefs) == 2
+
+    def test_no_external_assets(self):
+        page = render_frontier(make_dataset())
+        assert "http://" not in page and "https://" not in page
+        assert "src=" not in page
+
+    def test_empty_dataset_page(self):
+        page = render_frontier(FrontierDataset(name="empty"))
+        parse(page)
+        assert "no points" in page
+
+    def test_policy_slots_stable(self):
+        slots = policy_slots(["perf", "ncap.cons", "ond"])
+        assert slots == {"ncap.cons": 0, "ond": 1, "perf": 2}
+
+
+class TestTrendPage:
+    def _history(self, tmp_path, regress=False):
+        paths = [
+            write_payload(tmp_path / "v1.json",
+                          make_payload(created=1000.0, wall_min=1.0)),
+            write_payload(
+                tmp_path / "v2.json",
+                make_payload(created=2000.0,
+                             wall_min=3.0 if regress else 1.0),
+            ),
+        ]
+        return load_bench_history(paths)
+
+    def test_sparkline_per_scenario(self, tmp_path):
+        history = self._history(tmp_path)
+        page = render_trend_page(history)
+        parser = parse(page)
+        assert parser.counts.get("figure", 0) == 1
+        assert parser.counts.get("svg", 0) == 1
+        assert "no step changes beyond tolerance" in page
+        assert "micro/steady" in page
+
+    def test_flagged_step_marked_and_listed(self, tmp_path):
+        history = self._history(tmp_path, regress=True)
+        flags = flag_steps(history)
+        page = render_trend_page(history, flags=flags)
+        parse(page)
+        assert 'class="alert"' in page
+        assert "regressed" in page
+        assert "step changes" in page
+
+    def test_no_external_assets(self, tmp_path):
+        page = render_trend_page(self._history(tmp_path))
+        assert "http://" not in page and "https://" not in page
+        assert "href=" not in page and "src=" not in page
